@@ -1,0 +1,45 @@
+"""Admission-control benchmark (extension; paper Section 5 footnote).
+
+"We also emphasize the peak throughput ... since this represents the
+maximum attainable performance and by using a suitable admission
+control policy (for example, Half-and-Half), the throughput can be
+maintained at this level in high-performance systems."
+
+This bench drives the system deep into the thrashing region (MPL 10)
+with and without the Half-and-Half controller and checks that the
+controller recovers most of the gap to the peak.
+"""
+
+import pytest
+
+import repro
+
+
+@pytest.mark.benchmark(group="admission")
+def test_half_and_half_maintains_peak_throughput(benchmark):
+    def measure():
+        out = {}
+        for protocol in ("2PC", "OPT"):
+            peak = max(
+                repro.simulate(protocol, mpl=mpl,
+                               measured_transactions=400).throughput
+                for mpl in (2, 3, 4))
+            plain = repro.simulate(protocol, mpl=10,
+                                   measured_transactions=400)
+            controlled = repro.simulate(protocol, mpl=10,
+                                        admission_control=True,
+                                        measured_transactions=400)
+            out[protocol] = (peak, plain.throughput, controlled.throughput)
+        return out
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    for protocol, (peak, plain, controlled) in results.items():
+        print(f"{protocol:>4}: peak {peak:5.1f}/s | MPL 10 plain "
+              f"{plain:5.1f}/s | MPL 10 + Half-and-Half "
+              f"{controlled:5.1f}/s")
+        assert controlled > plain, "load control must help when thrashing"
+        recovered = (controlled - plain) / max(peak - plain, 1e-9)
+        assert controlled >= 0.8 * peak, (
+            f"{protocol}: Half-and-Half should hold throughput near the "
+            f"peak (recovered {recovered:.0%} of the gap)")

@@ -1,0 +1,37 @@
+"""Blocking-analysis benchmark (extension; see DESIGN.md section 6).
+
+Injects a master crash between the voting and decision phases and
+measures the cohorts' lock-holding time and the system's throughput
+during the outage, for each blocking protocol and for 3PC with its
+termination protocol.  Quantifies the paper's Section 2.4 argument.
+"""
+
+import pytest
+
+from repro.failures import run_crash_scenario
+
+OUTAGE_MS = 15_000.0
+
+
+@pytest.mark.benchmark(group="blocking")
+def test_blocking_vs_nonblocking_under_master_crash(benchmark):
+    def run_all():
+        return {protocol: run_crash_scenario(
+            protocol, crash_duration_ms=OUTAGE_MS,
+            measured_transactions=300)
+            for protocol in ("2PC", "PA", "PC", "3PC")}
+
+    reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    for report in reports.values():
+        print(report.summary())
+
+    for protocol in ("2PC", "PA", "PC"):
+        assert reports[protocol].unblock_latency_ms >= OUTAGE_MS, (
+            f"{protocol} is a blocking protocol: cohorts must hold "
+            "locks until recovery")
+    assert reports["3PC"].unblock_latency_ms < OUTAGE_MS / 10, (
+        "3PC's termination protocol must unblock within the timeout")
+    # The outage must visibly hurt blocking protocols' throughput.
+    assert (reports["3PC"].outage_throughput
+            > 1.5 * reports["2PC"].outage_throughput)

@@ -1,0 +1,42 @@
+"""Experiment 3 (prose): a five-times-faster network (MsgCPU = 1ms).
+
+Paper claims reproduced here:
+
+- all protocols move closer to CENT than with the slow interface;
+- DPCC and CENT become virtually indistinguishable;
+- under pure DC the forced-write overheads still separate DPCC from
+  2PC, and 2PC from 3PC;
+- OPT's peak remains close to DPCC's in both scenarios: fast messages
+  do not remove the data-contention bottleneck.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_experiment
+
+
+@pytest.mark.benchmark(group="exp3")
+def test_exp3_fast_network_rcdc(figure_runner):
+    results = figure_runner("E3-RCDC", header="Expt 3: fast network, RC+DC")
+    peak = {p: results.peak(p)[1] for p in results.protocols}
+    # DPCC ~ CENT.
+    assert abs(peak["DPCC"] - peak["CENT"]) / peak["CENT"] < 0.10
+    # Everything within a tighter band of CENT than the slow network.
+    slow = run_experiment("E1")
+    slow_peak = {p: slow.peak(p)[1] for p in slow.protocols}
+    gap_fast = (peak["CENT"] - peak["2PC"]) / peak["CENT"]
+    gap_slow = (slow_peak["CENT"] - slow_peak["2PC"]) / slow_peak["CENT"]
+    assert gap_fast <= gap_slow + 0.03
+    assert peak["OPT"] >= 0.85 * peak["DPCC"]
+
+
+@pytest.mark.benchmark(group="exp3")
+def test_exp3_fast_network_pure_dc(figure_runner):
+    results = figure_runner("E3-DC", header="Expt 3: fast network, pure DC")
+    peak = {p: results.peak(p)[1] for p in results.protocols}
+    # Forced writes still hurt: DPCC > 2PC > 3PC remains visible.
+    assert peak["DPCC"] >= 1.15 * peak["2PC"]
+    assert peak["2PC"] >= 1.05 * peak["3PC"]
+    # OPT remains valuable even with a fast network.
+    assert peak["OPT"] >= 1.15 * peak["2PC"]
+    assert peak["OPT"] >= 0.8 * peak["DPCC"]

@@ -1,0 +1,49 @@
+"""Section 5.8: sequential transactions.
+
+Paper claim reproduced here: with sequential cohort execution the
+execution phase lengthens while the commit phase stays the same, so the
+commit-execution ratio -- and with it both the protocol differences and
+OPT's advantage -- shrinks relative to the parallel workload.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_experiment
+
+
+@pytest.mark.benchmark(group="exp7")
+def test_exp7_sequential_narrows_protocol_gaps(figure_runner):
+    sequential = figure_runner("E7", header="Section 5.8: sequential txns")
+    parallel = run_experiment("E1")
+
+    def relative_gap(results, a="DPCC", b="2PC"):
+        peak_a = results.peak(a)[1]
+        peak_b = results.peak(b)[1]
+        return (peak_a - peak_b) / peak_a
+
+    gap_seq = relative_gap(sequential)
+    gap_par = relative_gap(parallel)
+    # Informational: the commit-processing gap itself is noisy at bench
+    # scale (sequential execution also raises lock-holding times, which
+    # pushes the other way); the paper's emphasized claim is the next
+    # assertion -- OPT's impact shrinks.
+    print(f"\nDPCC-vs-2PC relative peak gap: parallel={gap_par:.3f} "
+          f"sequential={gap_seq:.3f}")
+
+    # The paper's claim: the commit-execution ratio shrinks, "resulting
+    # in OPT having lesser impact on the throughput".
+    def opt_gain(results):
+        return (results.peak("OPT")[1] - results.peak("2PC")[1]) \
+            / results.peak("2PC")[1]
+
+    gain_seq = opt_gain(sequential)
+    gain_par = opt_gain(parallel)
+    print(f"OPT-vs-2PC peak gain: parallel={gain_par:.3f} "
+          f"sequential={gain_seq:.3f}")
+    assert gain_seq <= gain_par + 0.02
+
+    # Sanity: response times are longer sequentially (same work, no
+    # intra-transaction parallelism).
+    seq_resp = sequential.point("2PC", 1).metric("response_time")
+    par_resp = parallel.point("2PC", 1).metric("response_time")
+    assert seq_resp > par_resp

@@ -1,0 +1,82 @@
+"""Figures 1a-1c: throughput, block ratio, borrow ratio under RC+DC.
+
+Paper claims reproduced here:
+
+- throughput first rises with MPL, then falls (thrashing);
+- CENT is best and DPCC is close to CENT;
+- the classical protocols (2PC/PA/PC/3PC) sit clearly below the
+  baselines -- distributed *commit* costs more than distributed *data*
+  processing;
+- PA and PC perform essentially like 2PC at DistDegree 3; 3PC is worst;
+- OPT matches 2PC at low MPL and approaches DPCC at high MPL;
+- OPT's block ratio is below 2PC's at equal MPL (Fig 1b);
+- borrowing grows with MPL (Fig 1c).
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_MPLS
+
+
+def series_values(results, protocol, metric="throughput"):
+    return [v for _, v in results.series(protocol, metric)]
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_resource_and_data_contention(figure_runner):
+    results = figure_runner(
+        "E1", metrics=("throughput", "block_ratio", "borrow_ratio"),
+        header="Figure 1a-1c: RC+DC")
+
+    peak = {p: results.peak(p)[1] for p in results.protocols}
+
+    # Baselines on top; commit processing dominates data processing.
+    assert peak["CENT"] >= peak["2PC"]
+    assert peak["DPCC"] >= 0.85 * peak["CENT"], "DPCC tracks CENT closely"
+    commit_cost = peak["DPCC"] - peak["2PC"]
+    data_cost = peak["CENT"] - peak["DPCC"]
+    assert commit_cost >= 0, "distributed commit must cost throughput"
+
+    # Classical protocol ordering.
+    assert peak["3PC"] <= peak["2PC"], "3PC pays for non-blocking"
+    assert abs(peak["PA"] - peak["2PC"]) / peak["2PC"] < 0.10
+    assert abs(peak["PC"] - peak["2PC"]) / peak["2PC"] < 0.15
+
+    # OPT: >= 2PC everywhere, near DPCC at the high-contention end.
+    thr_opt = series_values(results, "OPT")
+    thr_2pc = series_values(results, "2PC")
+    assert all(o >= 0.9 * t for o, t in zip(thr_opt, thr_2pc))
+    high = BENCH_MPLS.index(max(BENCH_MPLS))
+    thr_dpcc = series_values(results, "DPCC")
+    assert thr_opt[high] >= 0.85 * thr_dpcc[high]
+
+    # Thrashing: the curve does not increase monotonically to MPL 10.
+    assert peak["2PC"] > thr_2pc[high] * 1.02 or peak["2PC"] > thr_2pc[-1]
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1b_opt_blocks_less(figure_runner):
+    results = figure_runner("E1", metrics=("block_ratio",),
+                            header="Figure 1b: block ratio")
+    high_mpl = max(BENCH_MPLS)
+    block_2pc = results.point("2PC", high_mpl).metric("block_ratio")
+    block_opt = results.point("OPT", high_mpl).metric("block_ratio")
+    assert block_opt < block_2pc, (
+        "prepared-data lending must reduce blocking")
+    # Block ratio rises with MPL for 2PC.
+    series = series_values(results, "2PC", "block_ratio")
+    assert series[-1] > series[0]
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1c_borrowing_grows_with_mpl(figure_runner):
+    results = figure_runner("E1", metrics=("borrow_ratio",),
+                            header="Figure 1c: borrow ratio")
+    series = series_values(results, "OPT", "borrow_ratio")
+    assert series[0] < 0.6, "little borrowing opportunity at MPL 1"
+    assert series[-1] > series[0], "borrowing increases with contention"
+    assert max(series) > 0.5, "borrowing is substantial at high MPL"
+    # Non-lending protocols never borrow.
+    for protocol in ("2PC", "PA", "PC", "3PC", "CENT", "DPCC"):
+        assert all(v == 0 for v in series_values(results, protocol,
+                                                 "borrow_ratio"))

@@ -1,0 +1,68 @@
+"""Figures 2a-2c: pure data contention (infinite physical resources).
+
+Paper claims reproduced here:
+
+- protocol overhead differences are *markedly* larger than under RC+DC
+  because the commit phase occupies a larger share of response time;
+- 3PC is significantly worse than 2PC; PC stays close to 2PC;
+- OPT's peak throughput is close to DPCC's;
+- OPT reaches its peak at a *higher* MPL than 2PC (MPL 5 vs 4 in the
+  paper) because lending admits more concurrency per contention level;
+- Fig 2b: OPT's block ratio is significantly below the others';
+- Fig 2c: borrowing grows almost linearly with MPL.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_MPLS
+
+
+def values(results, protocol, metric="throughput"):
+    return [v for _, v in results.series(protocol, metric)]
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2a_pure_data_contention_throughput(figure_runner):
+    results = figure_runner(
+        "E2", metrics=("throughput", "block_ratio", "borrow_ratio"),
+        header="Figure 2a-2c: pure DC")
+    peak = {p: results.peak(p)[1] for p in results.protocols}
+
+    # Wider gaps than RC+DC: the baselines beat 2PC by a lot.
+    assert peak["DPCC"] >= 1.25 * peak["2PC"]
+    assert peak["CENT"] >= peak["2PC"]
+    # 3PC clearly below 2PC; PC close to 2PC; PA == 2PC.
+    assert peak["3PC"] <= 0.9 * peak["2PC"]
+    assert abs(peak["PC"] - peak["2PC"]) / peak["2PC"] < 0.15
+    assert abs(peak["PA"] - peak["2PC"]) / peak["2PC"] < 0.10
+    # OPT's peak is close to DPCC's and clearly above 2PC's.
+    assert peak["OPT"] >= 1.2 * peak["2PC"]
+    assert peak["OPT"] >= 0.80 * peak["DPCC"]
+
+    # OPT peaks at a later MPL than 2PC (more admissible concurrency).
+    mpl_2pc, _ = results.peak("2PC")
+    mpl_opt, _ = results.peak("OPT")
+    assert mpl_opt >= mpl_2pc
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2b_block_ratio(figure_runner):
+    results = figure_runner("E2", metrics=("block_ratio",),
+                            header="Figure 2b: block ratio (DC)")
+    mid = BENCH_MPLS[len(BENCH_MPLS) // 2]
+    assert (results.point("OPT", mid).metric("block_ratio")
+            < results.point("2PC", mid).metric("block_ratio"))
+    high = max(BENCH_MPLS)
+    assert (results.point("OPT", high).metric("block_ratio")
+            < results.point("2PC", high).metric("block_ratio"))
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2c_borrowing_nearly_linear(figure_runner):
+    results = figure_runner("E2", metrics=("borrow_ratio",),
+                            header="Figure 2c: borrow ratio (DC)")
+    series = values(results, "OPT", "borrow_ratio")
+    # Monotone non-decreasing trend (allow small jitter).
+    rises = sum(1 for a, b in zip(series, series[1:]) if b >= a * 0.9)
+    assert rises >= len(series) - 2
+    assert series[-1] > series[0]

@@ -1,0 +1,52 @@
+"""Figures 4a-4b: non-blocking OPT (OPT-3PC).
+
+Paper claims reproduced here:
+
+- OPT-3PC behaves like 3PC at low MPL (no borrowing opportunity);
+- at high MPL OPT-3PC clearly beats 3PC;
+- OPT-3PC's peak throughput is comparable to 2PC's under RC+DC
+  (Fig 4a) and significantly surpasses it under pure DC (Fig 4b) --
+  the "win-win": non-blocking safety plus blocking-protocol
+  performance;
+- the lending window is longer under 3PC, so OPT-3PC borrows more than
+  OPT at equal MPL.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_MPLS
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4a_nonblocking_rcdc(figure_runner):
+    results = figure_runner("E5-RCDC",
+                            metrics=("throughput", "borrow_ratio"),
+                            header="Figure 4a: non-blocking OPT, RC+DC")
+    peak = {p: results.peak(p)[1] for p in results.protocols}
+    low = min(BENCH_MPLS)
+    high = max(BENCH_MPLS)
+    # Low MPL: OPT-3PC ~ 3PC.
+    t3pc = results.point("3PC", low).metric("throughput")
+    topt3 = results.point("OPT-3PC", low).metric("throughput")
+    assert abs(topt3 - t3pc) / t3pc < 0.12
+    # High MPL: OPT-3PC beats 3PC.
+    assert (results.point("OPT-3PC", high).metric("throughput")
+            >= results.point("3PC", high).metric("throughput"))
+    # Peak comparable to 2PC.
+    assert peak["OPT-3PC"] >= 0.9 * peak["2PC"]
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4b_nonblocking_pure_dc(figure_runner):
+    results = figure_runner("E5-DC",
+                            metrics=("throughput", "borrow_ratio"),
+                            header="Figure 4b: non-blocking OPT, DC")
+    peak = {p: results.peak(p)[1] for p in results.protocols}
+    # The win-win: a non-blocking protocol whose peak surpasses 2PC's.
+    assert peak["OPT-3PC"] > peak["2PC"], (
+        "OPT-3PC must beat the blocking 2PC under sufficient contention")
+    assert peak["OPT-3PC"] > peak["3PC"]
+    # Longer prepared window -> more borrowing than OPT.
+    high = max(BENCH_MPLS)
+    assert (results.point("OPT-3PC", high).metric("borrow_ratio")
+            > results.point("OPT", high).metric("borrow_ratio"))

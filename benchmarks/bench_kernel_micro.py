@@ -1,0 +1,89 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Not a paper artifact: these time the building blocks (event loop, lock
+manager, full simulation throughput) so regressions in the substrate are
+visible independently of the modeled system's results.
+"""
+
+import pytest
+
+import repro
+from repro.db.deadlock import WaitForGraph
+from repro.db.locks import LockManager, LockMode
+from repro.sim import Environment
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_event_loop_throughput(benchmark):
+    """Schedule and process 10k timeout events."""
+
+    def run():
+        env = Environment()
+
+        def ticker(env):
+            for _ in range(10_000):
+                yield env.timeout(1.0)
+
+        env.process(ticker(env))
+        env.run()
+        return env.now
+
+    assert benchmark(run) == 10_000.0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_process_spawning(benchmark):
+    """Spawn 5k short-lived processes."""
+
+    def run():
+        env = Environment()
+        done = []
+
+        def worker(env):
+            yield env.timeout(1.0)
+            done.append(1)
+
+        for _ in range(5_000):
+            env.process(worker(env))
+        env.run()
+        return len(done)
+
+    assert benchmark(run) == 5_000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_lock_grant_release(benchmark):
+    """Uncontested acquire/finalize cycles through the lock manager."""
+    from tests.db.conftest import FakeCohort
+
+    def run():
+        env = Environment()
+        wfg = WaitForGraph(on_victim=lambda txn: None)
+        lm = LockManager(env, 0, wfg)
+        count = 0
+
+        def worker(env):
+            nonlocal count
+            for i in range(2_000):
+                cohort = FakeCohort()
+                yield from lm.acquire(cohort, i % 64, LockMode.UPDATE)
+                lm.finalize(cohort, committed=True)
+                count += 1
+
+        env.process(worker(env))
+        env.run()
+        return count
+
+    assert benchmark(run) == 2_000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_end_to_end_simulation_rate(benchmark):
+    """Simulated transactions per wall second for the default model."""
+
+    def run():
+        result = repro.simulate("2PC", measured_transactions=300, mpl=2,
+                                warmup_transactions=30)
+        return result.committed
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1) >= 300

@@ -1,0 +1,54 @@
+"""Table 3: protocol overheads at DistDegree = 3.
+
+Regenerates the paper's Table 3 from simulation and asserts that every
+measured count equals the analytic (paper) value.
+"""
+
+import pytest
+
+from repro.experiments.overheads import (
+    TABLE_PROTOCOLS,
+    build_table,
+    render_table,
+)
+
+PAPER_TABLE3 = {
+    "2PC": (4, 7, 8),
+    "PA": (4, 7, 8),
+    "PC": (4, 5, 6),
+    "3PC": (4, 11, 12),
+    "DPCC": (4, 1, 0),
+    "CENT": (0, 1, 0),
+}
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_protocol_overheads(benchmark):
+    rows = benchmark.pedantic(
+        build_table, args=(3, 6), kwargs={"transactions": 50},
+        rounds=1, iterations=1)
+    print()
+    print(render_table(3, 6, transactions=50))
+    for expected, measured in rows:
+        paper_row = PAPER_TABLE3[measured.protocol]
+        assert measured.as_tuple() == paper_row, (
+            f"{measured.protocol}: measured {measured.as_tuple()} != "
+            f"paper {paper_row}")
+        assert expected.as_tuple() == paper_row
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_opt_variants_cost_no_extra_overheads(benchmark):
+    """OPT's lending is free in messages and forced writes (Section 3):
+    the OPT rows equal their base protocols' rows."""
+    from repro.experiments.overheads import measure_overheads
+
+    def measure_all():
+        return {name: measure_overheads(name, 3, 6, transactions=50)
+                for name in ("OPT", "OPT-PA", "OPT-PC", "OPT-3PC")}
+
+    rows = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+    assert rows["OPT"].as_tuple() == PAPER_TABLE3["2PC"]
+    assert rows["OPT-PA"].as_tuple() == PAPER_TABLE3["PA"]
+    assert rows["OPT-PC"].as_tuple() == PAPER_TABLE3["PC"]
+    assert rows["OPT-3PC"].as_tuple() == PAPER_TABLE3["3PC"]

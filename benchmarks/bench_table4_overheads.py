@@ -1,0 +1,46 @@
+"""Table 4: protocol overheads at DistDegree = 6 (CohortSize = 3)."""
+
+import pytest
+
+from repro.experiments.overheads import build_table, render_table
+
+PAPER_TABLE4 = {
+    "2PC": (10, 13, 20),
+    "PA": (10, 13, 20),
+    "PC": (10, 8, 15),
+    "3PC": (10, 20, 30),
+    "DPCC": (10, 1, 0),
+    "CENT": (0, 1, 0),
+}
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_protocol_overheads(benchmark):
+    rows = benchmark.pedantic(
+        build_table, args=(6, 3), kwargs={"transactions": 50},
+        rounds=1, iterations=1)
+    print()
+    print(render_table(6, 3, transactions=50))
+    for expected, measured in rows:
+        paper_row = PAPER_TABLE4[measured.protocol]
+        assert measured.as_tuple() == paper_row
+        assert expected.as_tuple() == paper_row
+
+
+@pytest.mark.benchmark(group="table4")
+def test_overheads_scale_linearly_with_remote_cohorts(benchmark):
+    """Between Tables 3 and 4 message counts scale with DistDegree - 1
+    and forced writes with DistDegree -- a structural sanity check on
+    the protocol implementations."""
+    from repro.experiments.overheads import expected_overheads
+
+    def check():
+        for protocol in ("2PC", "PC", "3PC"):
+            t3 = expected_overheads(protocol, 3)
+            t4 = expected_overheads(protocol, 6)
+            # remote cohorts: 2 -> 5.
+            assert t4.execution_messages * 2 == t3.execution_messages * 5
+            assert t4.commit_messages * 2 == t3.commit_messages * 5
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,62 @@
+"""Shared benchmark harness.
+
+Every benchmark regenerates one paper artifact (a table or a figure's
+series), prints it, and asserts the paper's qualitative claims (who
+wins, by roughly what factor, where the peaks fall).  Absolute numbers
+differ from the paper's testbed; the *shape* is the reproduction target.
+
+Run sizes are laptop-scale by default; set ``REPRO_BENCH_TXNS`` (e.g. to
+5000) and ``REPRO_BENCH_MPLS`` (e.g. ``1,2,3,4,5,6,7,8,9,10``) for
+paper-scale fidelity.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.tables import render_comparison
+from repro.experiments import get_experiment
+from repro.experiments.base import ExperimentResults
+
+#: measured transactions per sweep point.
+BENCH_TXNS = int(os.environ.get("REPRO_BENCH_TXNS", "500"))
+#: MPL grid for the figures.
+BENCH_MPLS = tuple(
+    int(part) for part in
+    os.environ.get("REPRO_BENCH_MPLS", "1,2,3,4,6,8,10").split(","))
+
+_cache: dict[str, ExperimentResults] = {}
+
+
+def run_experiment(experiment_id: str) -> ExperimentResults:
+    """Run (once per session) and cache an experiment's sweep."""
+    key = experiment_id.upper()
+    if key not in _cache:
+        definition = get_experiment(key)
+        _cache[key] = definition.run(measured_transactions=BENCH_TXNS,
+                                     mpls=BENCH_MPLS)
+    return _cache[key]
+
+
+def print_figure(results: ExperimentResults, metrics: tuple[str, ...],
+                 header: str) -> None:
+    """Emit the regenerated series (visible with ``pytest -s`` and in
+    captured output on failure)."""
+    print()
+    print(f"==== {header} ====")
+    for metric in metrics:
+        print(results.table(metric))
+    print(render_comparison(results))
+
+
+@pytest.fixture
+def figure_runner(benchmark):
+    """Benchmark wrapper: time the sweep once, return its results."""
+    def run(experiment_id: str, metrics=("throughput",), header=None):
+        results = benchmark.pedantic(
+            run_experiment, args=(experiment_id,), rounds=1, iterations=1)
+        print_figure(results, metrics, header or experiment_id)
+        return results
+    return run

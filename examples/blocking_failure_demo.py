@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""What "blocking" means in milliseconds (beyond the paper's scope).
+
+Usage::
+
+    python examples/blocking_failure_demo.py [--outage-ms 20000]
+
+The paper's Section 2.4 explains *why* blocking protocols are dangerous:
+a master that fails between the voting and decision phases strands its
+prepared cohorts, whose retained update locks strand everyone queueing
+behind them ("cascading blocking").  The paper measures no-failure
+performance; this demo injects exactly that failure and measures the
+damage -- the argument for OPT-3PC's "win-win" made quantitative.
+"""
+
+import argparse
+
+from repro.failures import run_crash_scenario
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--outage-ms", type=float, default=20_000.0,
+                        help="how long the crashed master stays down")
+    parser.add_argument("--transactions", type=int, default=400)
+    args = parser.parse_args()
+
+    print(f"One transaction's master crashes mid-commit and stays down "
+          f"for {args.outage_ms / 1000:.0f}s.\n")
+
+    for protocol in ("2PC", "PA", "PC", "3PC"):
+        report = run_crash_scenario(
+            protocol, crash_duration_ms=args.outage_ms,
+            measured_transactions=args.transactions)
+        print(report.summary())
+
+    print(
+        "\nReading the results: under the blocking protocols the "
+        "prepared cohorts'\nupdate locks stay held for the entire "
+        "outage, and throughput collapses as\nother transactions pile "
+        "up behind them.  3PC's termination protocol lets\nthe "
+        "surviving cohorts decide among themselves within the decision "
+        "timeout,\nso the outage barely registers.  Combine this with "
+        "Figure 4's result --\nOPT-3PC matches or beats 2PC's "
+        "throughput -- and the paper's 'win-win'\nrecommendation "
+        "follows: non-blocking safety no longer costs performance.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Compare all ten protocols across the MPL range (Figure 1a, reduced).
+
+Usage::
+
+    python examples/protocol_comparison.py [--transactions N] [--pure-dc]
+
+Runs the full protocol family over an MPL sweep and renders the
+throughput series as a table plus sparkline summary -- a terminal
+rendition of the paper's Figure 1a (or 2a with ``--pure-dc``).
+"""
+
+import argparse
+
+from repro import PROTOCOL_NAMES, ModelParams, pure_data_contention
+from repro.analysis.tables import render_comparison
+from repro.experiments import MplSweep
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--transactions", type=int, default=400)
+    parser.add_argument("--pure-dc", action="store_true",
+                        help="infinite resources (Figure 2a)")
+    parser.add_argument("--mpls", default="1,2,4,6,8")
+    args = parser.parse_args()
+
+    mpls = tuple(int(p) for p in args.mpls.split(","))
+
+    def factory(mpl: int) -> ModelParams:
+        if args.pure_dc:
+            return pure_data_contention(mpl=mpl)
+        return ModelParams(mpl=mpl)
+
+    sweep = MplSweep(PROTOCOL_NAMES, factory, mpls=mpls,
+                     measured_transactions=args.transactions)
+    scenario = "pure DC (Fig 2a)" if args.pure_dc else "RC+DC (Fig 1a)"
+    print(f"Sweeping {len(PROTOCOL_NAMES)} protocols x MPL {list(mpls)} "
+          f"under {scenario}; this takes a minute or two...\n")
+    results = sweep.run("comparison", scenario,
+                        progress=lambda msg: print(f"  {msg}"))
+
+    print()
+    print(results.table("throughput"))
+    print()
+    print(render_comparison(results))
+    print()
+    print(results.table("block_ratio", precision=3))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""OPT robustness under surprise aborts (paper Experiment 6).
+
+Usage::
+
+    python examples/surprise_aborts_robustness.py [--transactions N]
+
+OPT lends uncommitted data on the optimistic assumption that prepared
+transactions almost always commit.  This example stresses that
+assumption: cohorts vote NO with increasing probability, and we watch
+OPT's advantage over 2PC erode.  The paper's finding: OPT stays
+superior until the *transaction* abort rate passes roughly fifteen
+percent -- far beyond realistic failure rates.
+"""
+
+import argparse
+
+import repro
+from repro.config import surprise_aborts
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--transactions", type=int, default=600)
+    parser.add_argument("--mpl", type=int, default=4)
+    args = parser.parse_args()
+
+    print(f"MPL = {args.mpl}/site, parallel transactions at 3 sites; "
+          f"cohort NO-vote probability swept\n")
+    header = (f"{'cohort p(NO)':>13} {'txn aborts':>11} "
+              f"{'2PC thr':>9} {'OPT thr':>9} {'OPT gain':>9} "
+              f"{'lender aborts':>14}")
+    print(header)
+
+    for cohort_prob in (0.0, 0.01, 0.05, 0.10, 0.15):
+        params = surprise_aborts(cohort_prob, mpl=args.mpl)
+        r2pc = repro.simulate("2PC", params=params,
+                              measured_transactions=args.transactions)
+        ropt = repro.simulate("OPT", params=params,
+                              measured_transactions=args.transactions)
+        surprise = ropt.aborts_by_reason.get("surprise_vote", 0)
+        lender = ropt.aborts_by_reason.get("lender_abort", 0)
+        txn_abort_rate = surprise / max(ropt.committed + surprise, 1)
+        gain = (ropt.throughput - r2pc.throughput) / r2pc.throughput
+        print(f"{cohort_prob:>13.2f} {txn_abort_rate:>10.1%} "
+              f"{r2pc.throughput:>9.2f} {ropt.throughput:>9.2f} "
+              f"{gain:>8.1%} {lender:>14d}")
+
+    print("\nReading the table: 'OPT gain' should stay positive (or "
+          "near zero) through ~15% transaction aborts; 'lender aborts' "
+          "counts borrowers killed by a lender's abort -- the cost of "
+          "misplaced optimism.")
+
+
+if __name__ == "__main__":
+    main()

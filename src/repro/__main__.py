@@ -1,0 +1,14 @@
+"""``python -m repro`` runs the command-line interface."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Output was piped to a consumer that stopped reading (head,
+        # less, ...): exit quietly like a well-behaved Unix tool.
+        sys.stderr.close()
+        sys.exit(0)

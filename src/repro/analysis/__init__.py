@@ -1,0 +1,21 @@
+"""Result rendering: text tables and simple ASCII charts."""
+
+from repro.analysis.export import (
+    export_experiment,
+    export_long_csv,
+    export_tsv,
+)
+from repro.analysis.tables import (
+    render_comparison,
+    render_series_table,
+    render_sparkline,
+)
+
+__all__ = [
+    "export_experiment",
+    "export_long_csv",
+    "export_tsv",
+    "render_comparison",
+    "render_series_table",
+    "render_sparkline",
+]

@@ -1,0 +1,66 @@
+"""Exporting experiment series for external plotting.
+
+The paper presents line plots; this module writes the regenerated
+series in two plotting-friendly formats:
+
+- **TSV**: one file per (experiment, metric): a header row, then one
+  row per MPL with a column per protocol -- directly loadable by
+  gnuplot, pandas, R, or a spreadsheet;
+- **CSV long form**: one file per experiment with columns
+  ``metric, protocol, mpl, value`` -- convenient for ggplot/seaborn.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.base import ExperimentResults
+
+
+def export_tsv(results: "ExperimentResults", metric: str,
+               directory: pathlib.Path | str) -> pathlib.Path:
+    """Write one metric's series as TSV; returns the file path."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    safe_id = results.experiment_id.replace("/", "_")
+    path = directory / f"{safe_id}.{metric}.tsv"
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter="\t")
+        writer.writerow(["mpl", *results.protocols])
+        for mpl in results.mpls:
+            row: list[object] = [mpl]
+            for protocol in results.protocols:
+                row.append(f"{results.points[(protocol, mpl)].metric(metric):.6g}")
+            writer.writerow(row)
+    return path
+
+
+def export_long_csv(results: "ExperimentResults",
+                    metrics: typing.Sequence[str],
+                    directory: pathlib.Path | str) -> pathlib.Path:
+    """Write all metrics in long form; returns the file path."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    safe_id = results.experiment_id.replace("/", "_")
+    path = directory / f"{safe_id}.long.csv"
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["metric", "protocol", "mpl", "value"])
+        for metric in metrics:
+            for protocol in results.protocols:
+                for mpl, value in results.series(protocol, metric):
+                    writer.writerow([metric, protocol, mpl,
+                                     f"{value:.6g}"])
+    return path
+
+
+def export_experiment(results: "ExperimentResults",
+                      metrics: typing.Sequence[str],
+                      directory: pathlib.Path | str) -> list[pathlib.Path]:
+    """TSV per metric plus one long-form CSV."""
+    paths = [export_tsv(results, metric, directory) for metric in metrics]
+    paths.append(export_long_csv(results, metrics, directory))
+    return paths

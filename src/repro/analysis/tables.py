@@ -1,0 +1,57 @@
+"""Rendering experiment results as text.
+
+The paper presents its results as line plots; a terminal reproduction
+renders the same series as tables (rows = MPL, columns = protocols) plus
+optional unicode sparklines to eyeball curve shapes.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.base import ExperimentResults
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def render_series_table(results: "ExperimentResults", metric: str,
+                        precision: int = 2) -> str:
+    """Rows = MPL, one column per protocol, for the given metric."""
+    protocols = results.protocols
+    width = max(8, max(len(p) for p in protocols) + 1)
+    header = f"{'MPL':>4} " + " ".join(f"{p:>{width}}" for p in protocols)
+    lines = [f"[{metric}]", header]
+    for mpl in results.mpls:
+        cells = []
+        for protocol in protocols:
+            value = results.points[(protocol, mpl)].metric(metric)
+            cells.append(f"{value:>{width}.{precision}f}")
+        lines.append(f"{mpl:>4} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def render_sparkline(values: typing.Sequence[float]) -> str:
+    """A one-line unicode sketch of a curve."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return _SPARK_LEVELS[0] * len(values)
+    scale = (len(_SPARK_LEVELS) - 1) / (high - low)
+    return "".join(_SPARK_LEVELS[round((v - low) * scale)] for v in values)
+
+
+def render_comparison(results: "ExperimentResults",
+                      metric: str = "throughput") -> str:
+    """Per-protocol peak values plus curve sparklines."""
+    lines = [f"[{metric}] peak value @ MPL, curve over "
+             f"MPL={list(results.mpls)}"]
+    for protocol in results.protocols:
+        series = results.series(protocol, metric)
+        values = [v for _, v in series]
+        peak_mpl, peak = results.peak(protocol, metric)
+        lines.append(f"{protocol:>8}: {peak:8.2f} @ {peak_mpl:<2d} "
+                     f"{render_sparkline(values)}")
+    return "\n".join(lines)

@@ -1,0 +1,148 @@
+"""Command-line interface.
+
+Examples::
+
+    repro-commit list
+    repro-commit run E1 --transactions 1000 --mpls 1,2,4,8
+    repro-commit run E5-DC
+    repro-commit tables --transactions 80
+    repro-commit simulate OPT --mpl 6 --transactions 2000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import typing
+
+import repro
+from repro.analysis.tables import render_comparison
+from repro.experiments import get_experiment
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.overheads import render_table
+
+
+def _parse_mpls(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--mpls wants comma-separated integers, got {text!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-commit",
+        description=("Commit-protocol performance study "
+                     "(Gupta/Haritsa/Ramamritham, SIGMOD 1997)"))
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list runnable experiments")
+
+    run = sub.add_parser("run", help="run one paper experiment")
+    run.add_argument("experiment", help="experiment id, e.g. E1")
+    run.add_argument("--transactions", type=int, default=1000,
+                     help="measured transactions per point")
+    run.add_argument("--mpls", type=_parse_mpls, default=None,
+                     help="comma-separated MPL values")
+    run.add_argument("--replications", type=int, default=1)
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress per-point progress output")
+    run.add_argument("--export", metavar="DIR", default=None,
+                     help="also write TSV/CSV series to this directory")
+
+    tables = sub.add_parser("tables",
+                            help="regenerate overhead Tables 3 and 4")
+    tables.add_argument("--transactions", type=int, default=60)
+
+    sim = sub.add_parser("simulate", help="run a single configuration")
+    sim.add_argument("protocol", help="protocol name, e.g. OPT")
+    sim.add_argument("--mpl", type=int, default=8)
+    sim.add_argument("--transactions", type=int, default=2000)
+    sim.add_argument("--dist-degree", type=int, default=3)
+    sim.add_argument("--cohort-size", type=int, default=6)
+    sim.add_argument("--update-prob", type=float, default=1.0)
+    sim.add_argument("--msg-cpu-ms", type=float, default=5.0)
+    sim.add_argument("--pure-dc", action="store_true",
+                     help="infinite physical resources")
+    sim.add_argument("--surprise-abort-prob", type=float, default=0.0)
+    sim.add_argument("--seed", type=int, default=None)
+    return parser
+
+
+def cmd_list(out: typing.TextIO) -> int:
+    out.write("Runnable experiments (repro-commit run <id>):\n")
+    for experiment_id, definition in EXPERIMENTS.items():
+        out.write(f"  {experiment_id:<12} {definition.title}\n")
+    out.write("  T3/T4        "
+              "Overhead tables (repro-commit tables)\n")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace, out: typing.TextIO) -> int:
+    definition = get_experiment(args.experiment)
+    progress = None if args.quiet else (
+        lambda text: out.write(f"  ... {text}\n"))
+    started = time.time()
+    results = definition.run(measured_transactions=args.transactions,
+                             mpls=args.mpls,
+                             replications=args.replications,
+                             progress=progress)
+    out.write(results.summary() + "\n")
+    for metric in definition.metrics[1:]:
+        out.write(results.table(metric) + "\n")
+    out.write(render_comparison(results) + "\n")
+    if args.export:
+        from repro.analysis.export import export_experiment
+        paths = export_experiment(results, definition.metrics, args.export)
+        for path in paths:
+            out.write(f"wrote {path}\n")
+    out.write(f"(completed in {time.time() - started:.1f}s wall time)\n")
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace, out: typing.TextIO) -> int:
+    out.write(render_table(3, 6, transactions=args.transactions) + "\n\n")
+    out.write(render_table(6, 3, transactions=args.transactions) + "\n")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace, out: typing.TextIO) -> int:
+    result = repro.simulate(
+        args.protocol,
+        measured_transactions=args.transactions,
+        seed=args.seed,
+        mpl=args.mpl,
+        dist_degree=args.dist_degree,
+        cohort_size=args.cohort_size,
+        update_prob=args.update_prob,
+        msg_cpu_ms=args.msg_cpu_ms,
+        infinite_resources=args.pure_dc,
+        surprise_abort_prob=args.surprise_abort_prob)
+    out.write(result.summary() + "\n")
+    out.write(f"overheads per committing txn: "
+              f"exec_msgs={result.overheads.execution_messages:.2f} "
+              f"forced={result.overheads.forced_writes:.2f} "
+              f"commit_msgs={result.overheads.commit_messages:.2f}\n")
+    if result.aborts_by_reason:
+        out.write(f"aborts by reason: {result.aborts_by_reason}\n")
+    return 0
+
+
+def main(argv: typing.Sequence[str] | None = None,
+         out: typing.TextIO = sys.stdout) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list(out)
+    if args.command == "run":
+        return cmd_run(args, out)
+    if args.command == "tables":
+        return cmd_tables(args, out)
+    if args.command == "simulate":
+        return cmd_simulate(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""The commit protocol interface.
+
+A protocol supplies two generator methods -- the master side and the
+cohort side of commit processing -- written against the agent primitives
+(:meth:`~repro.db.transaction.Agent.send`,
+:meth:`~repro.db.transaction.Agent.recv`,
+:meth:`~repro.db.transaction.Agent.force_log`,
+:meth:`~repro.db.transaction.Agent.log`).  Because message and log costs
+are charged inside those primitives, the per-protocol overhead counts of
+the paper's Tables 3 and 4 fall out of the implementation for free.
+"""
+
+from __future__ import annotations
+
+import abc
+import typing
+
+from repro.db.messages import MessageKind
+from repro.db.transaction import (
+    AbortReason,
+    CohortAgent,
+    CohortState,
+    MasterAgent,
+    TransactionOutcome,
+)
+from repro.db.wal import LogRecordKind
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.system import DistributedSystem
+
+MasterGenerator = typing.Generator[Event, typing.Any, TransactionOutcome]
+CohortGenerator = typing.Generator[Event, typing.Any, None]
+
+
+class CommitProtocol(abc.ABC):
+    """Base class for all commit protocols."""
+
+    #: registry name, e.g. ``"2PC"``.
+    name: str = "abstract"
+    #: True for OPT variants: prepared cohorts lend their update locks.
+    lending: bool = False
+    #: True for protocols with an extra (precommit) phase.
+    non_blocking: bool = False
+
+    def __init__(self) -> None:
+        self.system: "DistributedSystem | None" = None
+
+    def bind(self, system: "DistributedSystem") -> None:
+        """Attach to the system being simulated (called by the system)."""
+        self.system = system
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def master_commit(self, master: MasterAgent) -> MasterGenerator:
+        """The master's commit processing; returns the outcome."""
+
+    @abc.abstractmethod
+    def cohort_commit(self, cohort: CohortAgent) -> CohortGenerator:
+        """The cohort's commit processing (from awaiting PREPARE on)."""
+
+    def send_workdone(self, cohort: CohortAgent,
+                      ) -> typing.Generator[Event, typing.Any, None]:
+        """Report work completion to the master.
+
+        Protocols that piggyback information on the completion report
+        (e.g. Unsolicited Vote's YES votes) override this.
+        """
+        master = cohort.master
+        assert master is not None
+        yield from cohort.send(MessageKind.WORKDONE, master)
+
+    def master_begin(self, master: MasterAgent,
+                     ) -> typing.Generator[Event, typing.Any, None]:
+        """Work the master must do *before* starting its cohorts.
+
+        Early Prepare, for instance, must have its membership
+        (collecting) record stable before any cohort can unilaterally
+        prepare.  Default: nothing.
+        """
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    # ------------------------------------------------------------------
+    # Shared building blocks
+    # ------------------------------------------------------------------
+    def collect_votes(self, master: MasterAgent,
+                      ) -> typing.Generator[Event, typing.Any, bool]:
+        """Send PREPARE to every cohort and gather the votes.
+
+        Returns True iff every vote was YES.  YES-voters are recorded in
+        ``master.prepared_cohorts`` (the set phase two must talk to);
+        read-only voters (when the optimization is enabled) are recorded
+        in ``master.read_only_cohorts`` and excluded from phase two.
+        """
+        master.prepared_cohorts = []
+        master.read_only_cohorts: list[CohortAgent] = []
+        for cohort in master.cohorts:
+            yield from master.send(MessageKind.PREPARE, cohort)
+        all_yes = True
+        for _ in master.cohorts:
+            message = yield master.recv()
+            if message.kind is MessageKind.VOTE_YES:
+                master.prepared_cohorts.append(message.sender)
+            elif message.kind is MessageKind.VOTE_READ_ONLY:
+                master.read_only_cohorts.append(message.sender)
+            elif message.kind is MessageKind.VOTE_NO:
+                all_yes = False
+            else:  # pragma: no cover - protocol violation
+                raise RuntimeError(f"unexpected vote {message!r}")
+        return all_yes
+
+    def cohort_vote(self, cohort: CohortAgent,
+                    no_vote_forced: bool,
+                    ) -> typing.Generator[Event, typing.Any, str]:
+        """The cohort's voting step; returns ``"yes"``, ``"no"`` or
+        ``"read_only"``.
+
+        A NO vote is a unilateral abort: the cohort undoes locally and
+        never waits for a decision.  ``no_vote_forced`` controls whether
+        the abort record is forced (2PC/PC: yes; PA: presumed, so no).
+        """
+        assert self.system is not None
+        master = cohort.master
+        assert master is not None
+        message = yield cohort.recv()
+        assert message.kind is MessageKind.PREPARE, message
+        if self.system.surprise_no_vote():
+            if no_vote_forced:
+                yield from cohort.force_log(LogRecordKind.ABORT)
+            else:
+                cohort.log(LogRecordKind.ABORT)
+            cohort.implement_abort()
+            yield from cohort.send(MessageKind.VOTE_NO, master)
+            return "no"
+        if (self.system.params.read_only_optimization
+                and cohort.access.is_read_only):
+            # Read-only optimization: one-phase finish, no log records.
+            cohort.implement_commit()
+            yield from cohort.send(MessageKind.VOTE_READ_ONLY, master)
+            return "read_only"
+        yield from cohort.force_log(LogRecordKind.PREPARE)
+        cohort.state = CohortState.PREPARED
+        # Entering the prepared state releases read locks and -- for OPT
+        # protocols -- makes the update locks lendable.
+        cohort.site.lock_manager.prepare(cohort)
+        yield from cohort.send(MessageKind.VOTE_YES, master)
+        return "yes"
+
+    def abort_outcome(self, master: MasterAgent) -> TransactionOutcome:
+        """Record a protocol-level (surprise-vote) abort on the txn."""
+        master.txn.abort_reason = AbortReason.SURPRISE_VOTE
+        return TransactionOutcome.ABORTED
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

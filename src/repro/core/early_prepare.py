@@ -1,0 +1,84 @@
+"""Early Prepare (EP) -- paper Section 2.5 (Stamos & Cristian).
+
+Early Prepare combines Unsolicited Vote with Presumed Commit: cohorts
+prepare unilaterally and vote on their completion reports (UV), and the
+commit decision is presumed (PC), so commit needs neither cohort forced
+commit records nor acknowledgements.  The price is paid up front: the
+master must force its *collecting* (membership) record **before any
+cohort starts work**, because a cohort may enter the prepared state at
+any moment after that.
+
+Committing-transaction counts at ``DistDegree = 3``:
+
+- messages: 2 STARTWORK + 2 votes + 2 COMMIT = **6** on the wire
+  (half of 2PC's 12);
+- forced writes: collecting + 3 prepare + master commit = **5**.
+
+This is the message-minimal 2PC-family protocol in the library; the
+paper notes EP-style designs pay for it with a longer execution phase
+(the early collecting write) and longer prepared windows.  Like UV, it
+must not be combined with OPT (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from repro.core.unsolicited_vote import UnsolicitedVote
+from repro.db.messages import MessageKind
+from repro.db.transaction import (
+    CohortAgent,
+    CohortState,
+    MasterAgent,
+    TransactionOutcome,
+)
+from repro.db.wal import LogRecordKind
+
+
+class EarlyPrepare(UnsolicitedVote):
+    """Unsolicited votes + presumed commit."""
+
+    name = "EP"
+
+    def master_begin(self, master: MasterAgent):
+        # The membership record must be durable before any cohort can
+        # unilaterally enter the prepared state.
+        yield from master.force_log(LogRecordKind.COLLECTING)
+
+    def master_commit(self, master: MasterAgent):
+        master.prepared_cohorts = [
+            message.sender for message in master.early_votes
+            if message.kind is MessageKind.VOTE_YES]
+        no_votes = sum(1 for message in master.early_votes
+                       if message.kind is MessageKind.VOTE_NO)
+        all_yes = no_votes == 0 and (
+            len(master.prepared_cohorts) == len(master.cohorts))
+        if all_yes:
+            # Presumed commit: force the decision, tell the cohorts,
+            # expect no acknowledgements, write no end record.
+            yield from master.force_log(LogRecordKind.COMMIT)
+            for cohort in master.prepared_cohorts:
+                yield from master.send(MessageKind.COMMIT, cohort)
+            return TransactionOutcome.COMMITTED
+        # Aborts are presumed against: fully recorded and acknowledged.
+        yield from master.force_log(LogRecordKind.ABORT)
+        for cohort in master.prepared_cohorts:
+            yield from master.send(MessageKind.ABORT, cohort)
+        for _ in master.prepared_cohorts:
+            message = yield master.recv()
+            assert message.kind is MessageKind.ACK, message
+        master.log(LogRecordKind.END)
+        return self.abort_outcome(master)
+
+    def cohort_commit(self, cohort: CohortAgent):
+        if cohort.state is not CohortState.PREPARED:
+            return  # voted NO; aborted unilaterally already
+        master = cohort.master
+        assert master is not None
+        message = yield cohort.recv()
+        if message.kind is MessageKind.COMMIT:
+            cohort.log(LogRecordKind.COMMIT)   # not forced, no ACK
+            cohort.implement_commit()
+            return
+        assert message.kind is MessageKind.ABORT, message
+        yield from cohort.force_log(LogRecordKind.ABORT)
+        cohort.implement_abort()
+        yield from cohort.send(MessageKind.ACK, master)

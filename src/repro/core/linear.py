@@ -1,0 +1,132 @@
+"""Linear 2PC -- paper Sections 2.5 and 3.2 (Gray 1978).
+
+"Message overheads are reduced by ordering the sites in a linear chain
+for communication purposes."  The master talks only to the first
+cohort; PREPARE flows rightward along the chain, with each cohort
+preparing before forwarding; the *last* cohort holds every implicit YES
+vote, so it makes and logs the commit decision and sends COMMIT back
+leftward; each cohort commits as the decision passes through, and the
+first cohort reports to the master.
+
+Committing-transaction counts at ``DistDegree = 3`` (first cohort local
+to the master, so its two messages are free): 2 PREPARE rightward plus
+2 COMMIT leftward = **4** commit messages (half of 2PC's 8); forced
+writes: 2 chain prepares + the decider's commit + 2 chain commits =
+**5** (the master logs nothing durable -- the decision record lives at
+the chain's tail).
+
+The price is latency: the voting phase is fully serialized, so cohorts
+near the *head* of the chain sit in the prepared state for the whole
+round trip (about ``2(D-1)`` message hops) -- far longer than under
+parallel 2PC.  That is why the paper calls linear 2PC "especially
+attractive to integrate" with OPT: lending reclaims those long head
+windows.  ``OPT-LIN`` is that combination.  (Note one nuance of the
+classic chain: the *tail* cohort never enters the prepared state at all
+-- it decides and commits in one step -- so it never lends; total
+borrowing concentrates at the head of the chain.)
+
+Abort handling: a NO-voting cohort force-writes its abort and sends
+ABORT both leftward (prepared cohorts must roll back, master must be
+told) and rightward (cohorts still awaiting PREPARE are released).
+"""
+
+from __future__ import annotations
+
+from repro.core.base import CohortGenerator, CommitProtocol, MasterGenerator
+from repro.db.messages import MessageKind
+from repro.db.transaction import (
+    CohortAgent,
+    CohortState,
+    MasterAgent,
+    TransactionOutcome,
+)
+from repro.db.wal import LogRecordKind
+
+
+class LinearTwoPhaseCommit(CommitProtocol):
+    """2PC over a communication chain."""
+
+    name = "LIN-2PC"
+
+    # ------------------------------------------------------------------
+    # Chain helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _chain(cohort: CohortAgent):
+        """(index, left neighbour or master, right neighbour or None)."""
+        chain = cohort.txn.cohorts
+        index = chain.index(cohort)
+        left = cohort.master if index == 0 else chain[index - 1]
+        right = chain[index + 1] if index + 1 < len(chain) else None
+        return index, left, right
+
+    # ------------------------------------------------------------------
+    # Master side: one message out, one message in.
+    # ------------------------------------------------------------------
+    def master_commit(self, master: MasterAgent) -> MasterGenerator:
+        yield from master.send(MessageKind.PREPARE, master.cohorts[0])
+        message = yield master.recv()
+        if message.kind is MessageKind.COMMIT:
+            # The decision record is durable at the chain's tail; the
+            # master's own records are informational.
+            master.log(LogRecordKind.COMMIT)
+            master.log(LogRecordKind.END)
+            return TransactionOutcome.COMMITTED
+        assert message.kind is MessageKind.ABORT, message
+        master.log(LogRecordKind.ABORT)
+        master.log(LogRecordKind.END)
+        return self.abort_outcome(master)
+
+    # ------------------------------------------------------------------
+    # Cohort side.
+    # ------------------------------------------------------------------
+    def cohort_commit(self, cohort: CohortAgent) -> CohortGenerator:
+        assert self.system is not None
+        index, left, right = self._chain(cohort)
+        message = yield cohort.recv()
+        if message.kind is MessageKind.ABORT:
+            # A cohort to our left vetoed before we ever saw PREPARE.
+            cohort.implement_abort()
+            if right is not None:
+                yield from cohort.send(MessageKind.ABORT, right)
+            return
+        assert message.kind is MessageKind.PREPARE, message
+        if self.system.surprise_no_vote():
+            yield from cohort.force_log(LogRecordKind.ABORT)
+            cohort.implement_abort()
+            # Veto: roll back the prepared chain to our left and release
+            # the waiting chain to our right.
+            yield from cohort.send(MessageKind.ABORT, left)
+            if right is not None:
+                yield from cohort.send(MessageKind.ABORT, right)
+            return
+        if right is None:
+            # Chain tail: every earlier cohort voted YES by forwarding,
+            # so the decision is commit -- log it durably here.
+            yield from cohort.force_log(LogRecordKind.COMMIT)
+            cohort.implement_commit()
+            yield from cohort.send(MessageKind.COMMIT, left)
+            return
+        # Interior (or first) cohort: prepare, forward, await decision.
+        yield from cohort.force_log(LogRecordKind.PREPARE)
+        cohort.state = CohortState.PREPARED
+        cohort.site.lock_manager.prepare(cohort)
+        yield from cohort.send(MessageKind.PREPARE, right)
+        decision = yield cohort.recv()
+        if decision.kind is MessageKind.COMMIT:
+            yield from cohort.force_log(LogRecordKind.COMMIT)
+            cohort.implement_commit()
+        else:
+            assert decision.kind is MessageKind.ABORT, decision
+            yield from cohort.force_log(LogRecordKind.ABORT)
+            cohort.implement_abort()
+        yield from cohort.send(decision.kind, left)
+
+
+class OptimisticLinear(LinearTwoPhaseCommit):
+    """OPT on the linear chain -- the combination the paper singles out
+    as especially attractive (Section 3.2), because the serialized
+    voting phase maximizes the prepared window that lending reclaims."""
+
+    name = "OPT-LIN"
+    lending = True

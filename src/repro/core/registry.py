@@ -1,0 +1,63 @@
+"""Protocol registry: name -> protocol factory.
+
+The names match the labels used in the paper's figures.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.base import CommitProtocol
+from repro.core.centralized import CentralizedCommit
+from repro.core.optimistic import OptimisticCommit
+from repro.core.presumed_abort import PresumedAbort
+from repro.core.presumed_commit import PresumedCommit
+from repro.core.three_phase import ThreePhaseCommit
+from repro.core.early_prepare import EarlyPrepare
+from repro.core.linear import LinearTwoPhaseCommit, OptimisticLinear
+from repro.core.two_phase import TwoPhaseCommit
+from repro.core.unsolicited_vote import UnsolicitedVote
+from repro.core.variants import (
+    OptimisticPresumedAbort,
+    OptimisticPresumedCommit,
+    OptimisticThreePhase,
+)
+
+_FACTORIES: dict[str, typing.Callable[[], CommitProtocol]] = {
+    "2PC": TwoPhaseCommit,
+    "PA": PresumedAbort,
+    "PC": PresumedCommit,
+    "3PC": ThreePhaseCommit,
+    "OPT": OptimisticCommit,
+    "OPT-PA": OptimisticPresumedAbort,
+    "OPT-PC": OptimisticPresumedCommit,
+    "OPT-3PC": OptimisticThreePhase,
+    "UV": UnsolicitedVote,
+    "EP": EarlyPrepare,
+    "LIN-2PC": LinearTwoPhaseCommit,
+    "OPT-LIN": OptimisticLinear,
+    "DPCC": lambda: CentralizedCommit(name="DPCC"),
+    "CENT": lambda: CentralizedCommit(name="CENT"),
+}
+
+#: All registered protocol names, in the paper's customary order.
+PROTOCOL_NAMES: tuple[str, ...] = tuple(_FACTORIES)
+
+
+def create_protocol(name: str) -> CommitProtocol:
+    """Instantiate the protocol registered under ``name``.
+
+    Raises ``KeyError`` with the list of valid names on a miss.
+    """
+    try:
+        factory = _FACTORIES[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown protocol {name!r}; choose from {PROTOCOL_NAMES}"
+        ) from None
+    return factory()
+
+
+def protocol_requires_centralized_topology(name: str) -> bool:
+    """True only for the CENT baseline."""
+    return name.upper() == "CENT"

@@ -1,0 +1,46 @@
+"""OPT combined with other optimizations (paper Section 3.2).
+
+"An attractive feature of OPT is that it can be integrated, often
+synergistically, with most other optimizations proposed earlier."  The
+combinations evaluated by the paper:
+
+- **OPT-PC** (Experiment 4): best performer when the workload is heavily
+  CPU-bound (high distribution degree), where PC's message savings
+  matter;
+- **OPT-PA** (Experiment 6): inherits PA's cheap abort path under
+  surprise aborts;
+- **OPT-3PC** (Experiment 5): non-blocking *and* better peak throughput
+  than the blocking 2PC-based protocols under sufficient contention --
+  the paper's "win-win".
+"""
+
+from __future__ import annotations
+
+from repro.core.presumed_abort import PresumedAbort
+from repro.core.presumed_commit import PresumedCommit
+from repro.core.three_phase import ThreePhaseCommit
+
+
+class OptimisticPresumedAbort(PresumedAbort):
+    """OPT lending on top of presumed abort."""
+
+    name = "OPT-PA"
+    lending = True
+
+
+class OptimisticPresumedCommit(PresumedCommit):
+    """OPT lending on top of presumed commit."""
+
+    name = "OPT-PC"
+    lending = True
+
+
+class OptimisticThreePhase(ThreePhaseCommit):
+    """OPT lending on top of three-phase commit.
+
+    The prepared window spans both the precommit and the decision
+    phases, so lending has *more* opportunity than under OPT-2PC.
+    """
+
+    name = "OPT-3PC"
+    lending = True

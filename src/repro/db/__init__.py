@@ -1,0 +1,56 @@
+"""The distributed database system substrate.
+
+This subpackage implements the closed queueing model of a distributed
+DBMS from Section 4 of the paper: the partitioned database, per-site
+physical resources (CPUs, data disks, log disks), distributed strict
+two-phase locking with immediate global deadlock detection, write-ahead
+logging with forced writes, the message-switch network, the
+master/cohort transaction structure, and the closed workload generator.
+
+The commit protocols themselves live in :mod:`repro.core`; they plug into
+this substrate through the primitives exposed by
+:class:`repro.db.transaction.MasterAgent` and
+:class:`repro.db.transaction.CohortAgent`.
+"""
+
+from repro.db.deadlock import WaitForGraph
+from repro.db.locks import LockManager, LockMode
+from repro.db.messages import Message, MessageKind
+from repro.db.network import Network
+from repro.db.pages import PageDirectory
+from repro.db.site import Site
+from repro.db.system import DistributedSystem, SimulationResult
+from repro.db.transaction import (
+    AbortReason,
+    CohortAgent,
+    CohortState,
+    MasterAgent,
+    Transaction,
+    TransactionOutcome,
+    TransactionSpec,
+)
+from repro.db.wal import LogManager, LogRecordKind
+from repro.db.workload import WorkloadGenerator
+
+__all__ = [
+    "AbortReason",
+    "CohortAgent",
+    "CohortState",
+    "DistributedSystem",
+    "LockManager",
+    "LockMode",
+    "LogManager",
+    "LogRecordKind",
+    "MasterAgent",
+    "Message",
+    "MessageKind",
+    "Network",
+    "PageDirectory",
+    "SimulationResult",
+    "Site",
+    "Transaction",
+    "TransactionOutcome",
+    "TransactionSpec",
+    "WaitForGraph",
+    "WorkloadGenerator",
+]

@@ -1,0 +1,76 @@
+"""Messages exchanged between masters and cohorts.
+
+Message kinds cover the union of all implemented protocols.  Messages
+are classified as *execution* messages (transaction setup and WORKDONE)
+or *commit* messages (everything the commit protocol exchanges) so that
+the overhead accounting of the paper's Tables 3 and 4 can be reproduced
+exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.transaction import Agent
+
+
+class MessageKind(enum.Enum):
+    """All message types used by the implemented commit protocols."""
+
+    # Execution phase.
+    STARTWORK = "STARTWORK"
+    WORKDONE = "WORKDONE"
+    # Voting phase (2PC, PA, PC, 3PC and OPT variants).
+    PREPARE = "PREPARE"
+    VOTE_YES = "VOTE_YES"
+    VOTE_NO = "VOTE_NO"
+    #: Read-only optimization: cohort had no updates, finishes in one phase.
+    VOTE_READ_ONLY = "VOTE_READ_ONLY"
+    # Precommit phase (3PC only).
+    PRECOMMIT = "PRECOMMIT"
+    PRECOMMIT_ACK = "PRECOMMIT_ACK"
+    # Decision phase.
+    COMMIT = "COMMIT"
+    ABORT = "ABORT"
+    ACK = "ACK"
+
+    @property
+    def is_execution(self) -> bool:
+        """True for messages belonging to the execution phase."""
+        return self in (MessageKind.STARTWORK, MessageKind.WORKDONE)
+
+    @property
+    def is_commit(self) -> bool:
+        """True for messages belonging to the commit protocol."""
+        return not self.is_execution
+
+
+_message_ids = itertools.count()
+
+
+@dataclasses.dataclass
+class Message:
+    """One message between two transaction agents.
+
+    ``sender`` and ``receiver`` are agent objects (master or cohort); the
+    network resolves the receiver's site and inbox from them.  Messages
+    carry the sending incarnation so stale traffic can be recognised by
+    diagnostics (agents are per-incarnation objects, so correctness does
+    not depend on it).
+    """
+
+    kind: MessageKind
+    sender: "Agent"
+    receiver: "Agent"
+    txn_id: int
+    incarnation: int
+    payload: typing.Any = None
+    msg_id: int = dataclasses.field(default_factory=lambda: next(_message_ids))
+
+    def __repr__(self) -> str:
+        return (f"<Message {self.kind.value} txn={self.txn_id}."
+                f"{self.incarnation} #{self.msg_id}>")

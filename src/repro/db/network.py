@@ -1,0 +1,81 @@
+"""The communication network.
+
+Per the paper (Section 4): "The communication network is simply modeled
+as a switch that routes messages since we assume a local area network
+that has high bandwidth.  However, the CPU overheads of message transfer
+... are taken into account at both the sending and the receiving sites."
+
+Consequences implemented here:
+
+- wire latency is zero;
+- the *sender's process* is occupied while the send-side MsgCPU cost is
+  paid (at message priority);
+- the receive-side MsgCPU cost is paid by an independent delivery
+  process at the receiving site, after which the message lands in the
+  receiver's inbox;
+- messages between agents at the *same site* are free (they correspond
+  to the master talking to its local cohort) and are delivered
+  immediately.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.messages import Message
+    from repro.sim.engine import Environment
+
+
+class Network:
+    """Zero-latency switch with per-end CPU costs."""
+
+    def __init__(self, env: "Environment", msg_cpu_ms: float,
+                 on_message: typing.Callable[["Message"], None]
+                 | None = None) -> None:
+        self.env = env
+        self.msg_cpu_ms = msg_cpu_ms
+        #: metrics hook, called once per *remote* message.
+        self._on_message = on_message or (lambda message: None)
+        self.messages_sent = 0
+        self.local_messages = 0
+
+    def send(self, message: "Message",
+             ) -> typing.Generator[Event, typing.Any, None]:
+        """Coroutine run by the sender: pay the send cost, then route.
+
+        Local messages (sender and receiver on the same site) cost
+        nothing and are delivered synchronously.
+        """
+        sender_site = message.sender.site
+        receiver_site = message.receiver.site
+        if sender_site.site_id == receiver_site.site_id:
+            self.local_messages += 1
+            message.receiver.inbox.put(message)
+            return
+        self.messages_sent += 1
+        self._on_message(message)
+        self._count_for_transaction(message)
+        yield from sender_site.message_cpu(self.msg_cpu_ms)
+        # Receive side: an independent process so the sender is not
+        # blocked while the receiver's CPU works through its queue.
+        self.env.process(self._deliver(message),
+                         name=f"deliver-{message.kind.value}")
+
+    def _deliver(self, message: "Message",
+                 ) -> typing.Generator[Event, typing.Any, None]:
+        yield from message.receiver.site.message_cpu(self.msg_cpu_ms)
+        message.receiver.inbox.put(message)
+
+    @staticmethod
+    def _count_for_transaction(message: "Message") -> None:
+        txn = message.sender.txn
+        if message.kind.is_execution:
+            txn.messages_execution += 1
+        else:
+            txn.messages_commit += 1
+
+    def __repr__(self) -> str:
+        return f"<Network msg_cpu={self.msg_cpu_ms}ms sent={self.messages_sent}>"

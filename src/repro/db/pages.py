@@ -1,0 +1,58 @@
+"""Database pages and their placement.
+
+The database is a collection of ``DBSize`` pages uniformly distributed
+across all the sites (paper Section 4).  Placement is deterministic
+round-robin striping: page ``p`` lives at site ``p mod num_sites``, and
+within a site the pages are striped across the site's data disks.
+"""
+
+from __future__ import annotations
+
+
+class PageDirectory:
+    """Maps pages to sites and to data disks within a site."""
+
+    def __init__(self, db_size: int, num_sites: int,
+                 num_data_disks: int) -> None:
+        if db_size < num_sites:
+            raise ValueError("db_size must be >= num_sites")
+        if num_sites < 1 or num_data_disks < 1:
+            raise ValueError("num_sites and num_data_disks must be >= 1")
+        self.db_size = db_size
+        self.num_sites = num_sites
+        self.num_data_disks = num_data_disks
+
+    def site_of(self, page: int) -> int:
+        """The site holding ``page``."""
+        self._check(page)
+        return page % self.num_sites
+
+    def disk_of(self, page: int) -> int:
+        """The index of the data disk holding ``page`` at its site."""
+        self._check(page)
+        return (page // self.num_sites) % self.num_data_disks
+
+    def pages_at(self, site: int) -> range:
+        """All pages stored at ``site`` (as an iterable of page ids)."""
+        if not 0 <= site < self.num_sites:
+            raise ValueError(f"no such site {site}")
+        return range(site, self.db_size, self.num_sites)
+
+    def num_pages_at(self, site: int) -> int:
+        """How many pages ``site`` stores."""
+        return len(self.pages_at(site))
+
+    def page_at(self, site: int, index: int) -> int:
+        """The ``index``-th page stored at ``site``."""
+        pages = self.pages_at(site)
+        if not 0 <= index < len(pages):
+            raise ValueError(f"site {site} has no page index {index}")
+        return pages[index]
+
+    def _check(self, page: int) -> None:
+        if not 0 <= page < self.db_size:
+            raise ValueError(f"page {page} outside database [0, {self.db_size})")
+
+    def __repr__(self) -> str:
+        return (f"PageDirectory(db_size={self.db_size}, "
+                f"num_sites={self.num_sites})")

@@ -1,0 +1,338 @@
+"""The distributed database system: wiring and top-level control.
+
+:class:`DistributedSystem` assembles sites, network, deadlock detector,
+workload generator, and a commit protocol into the closed queueing model
+of the paper, runs it (warmup + measurement), and reports a
+:class:`SimulationResult`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.config import ModelParams, Topology
+from repro.db.deadlock import WaitForGraph
+from repro.db.network import Network
+from repro.db.pages import PageDirectory
+from repro.db.site import Site
+from repro.db.transaction import (
+    AbortReason,
+    CohortAgent,
+    MasterAgent,
+    Transaction,
+    TransactionOutcome,
+    TransactionSpec,
+)
+from repro.db.workload import WorkloadGenerator
+from repro.metrics import MetricsCollector, ProtocolOverheads
+from repro.sim.engine import Environment
+from repro.sim.events import Event
+from repro.sim.rng import RandomStreams
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.base import CommitProtocol
+
+
+@dataclasses.dataclass
+class SimulationResult:
+    """Everything a run reports (one point on one of the paper's curves)."""
+
+    protocol: str
+    mpl: int
+    committed: int
+    aborted: int
+    elapsed_ms: float
+    throughput: float          # transactions per second
+    response_time_ms: float    # mean over committed transactions
+    block_ratio: float
+    borrow_ratio: float
+    abort_ratio: float
+    overheads: ProtocolOverheads
+    aborts_by_reason: dict[str, int]
+    deadlocks: int
+    shelf_entries: int
+    #: 90% batch-means relative half-width of the response-time mean
+    #: (inf when too few batches -- use longer runs for tight CIs).
+    response_ci_rel_half_width: float = float("inf")
+    #: mean busy fraction per resource class over the measured period
+    #: (all zero under infinite resources).
+    utilization: dict[str, float] = dataclasses.field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (f"{self.protocol:>8}  mpl={self.mpl:<3d} "
+                f"thr={self.throughput:7.2f}/s  "
+                f"resp={self.response_time_ms:8.1f}ms  "
+                f"block={self.block_ratio:5.3f}  "
+                f"borrow={self.borrow_ratio:5.3f}  "
+                f"aborts={self.abort_ratio:5.3f}")
+
+
+class DistributedSystem:
+    """One configured instance of the simulated DBMS."""
+
+    def __init__(self, params: ModelParams, protocol: "CommitProtocol",
+                 seed: int | None = None) -> None:
+        params.validate()
+        self.params = params
+        self.protocol = protocol
+        protocol.bind(self)
+        self.env = Environment()
+        self.streams = RandomStreams(seed if seed is not None else params.seed)
+
+        total_slots = params.mpl * params.num_sites
+        self.metrics = MetricsCollector(
+            self.env, total_slots,
+            initial_response_estimate=params.initial_response_time_estimate())
+        self.admission = None
+        if params.admission_control:
+            from repro.admission import HalfAndHalfController
+            self.admission = HalfAndHalfController(
+                self.env,
+                blocked_fraction_limit=params.admission_blocked_limit,
+                cancel=self._on_load_control_cancel)
+        self.wfg = WaitForGraph(on_victim=self._on_deadlock_victim)
+        self.network = Network(self.env, params.msg_cpu_ms,
+                               on_message=self.metrics.message_sent)
+        self.directory = PageDirectory(params.db_size, params.num_sites,
+                                       params.num_data_disks)
+        self.sites = self._build_sites()
+        self.workload = WorkloadGenerator(params, self.directory, self.streams)
+        self._surprise_rng = self.streams.stream("surprise-aborts")
+        self.transactions_started = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_sites(self) -> list[Site]:
+        params = self.params
+        hooks = dict(
+            on_lender_abort=self._on_lender_abort,
+            on_borrow=self.metrics.borrow,
+            on_wait_change=self._on_wait_change,
+        )
+        if params.topology is Topology.CENTRALIZED:
+            # One physical site with the aggregate resources; logical
+            # sites keep their identity for page placement and workload.
+            site = Site(
+                self.env, 0, self.directory, self.wfg,
+                num_cpus=params.num_cpus * params.num_sites,
+                num_data_disks=params.num_data_disks * params.num_sites,
+                num_log_disks=params.num_log_disks * params.num_sites,
+                page_cpu_ms=params.page_cpu_ms,
+                page_disk_ms=params.page_disk_ms,
+                infinite_resources=params.infinite_resources,
+                lending_enabled=self.protocol.lending,
+                group_commit=params.group_commit,
+                **hooks)
+            # Stripe: logical site s, logical disk d -> physical disk
+            # s * num_data_disks + d, mirroring the distributed layout.
+            directory = self.directory
+            num_disks = params.num_data_disks
+            site.data_disk_for = (  # type: ignore[method-assign]
+                lambda page: site.data_disks[
+                    directory.site_of(page) * num_disks
+                    + directory.disk_of(page)])
+            return [site]
+        return [
+            Site(self.env, site_id, self.directory, self.wfg,
+                 num_cpus=params.num_cpus,
+                 num_data_disks=params.num_data_disks,
+                 num_log_disks=params.num_log_disks,
+                 page_cpu_ms=params.page_cpu_ms,
+                 page_disk_ms=params.page_disk_ms,
+                 infinite_resources=params.infinite_resources,
+                 lending_enabled=self.protocol.lending,
+                 group_commit=params.group_commit,
+                 **hooks)
+            for site_id in range(params.num_sites)]
+
+    def site_for(self, logical_site: int) -> Site:
+        """Physical site hosting a logical site's pages and cohorts."""
+        if self.params.topology is Topology.CENTRALIZED:
+            return self.sites[0]
+        return self.sites[logical_site]
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the closed-system workload slots (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for logical_site in range(self.params.num_sites):
+            for slot in range(self.params.mpl):
+                self.env.process(
+                    self._slot(logical_site),
+                    name=f"slot-{logical_site}.{slot}")
+
+    def _slot(self, origin_site: int):
+        """One multiprogramming slot: submit, run, restart or replace."""
+        env = self.env
+        while True:
+            spec = self.workload.generate(origin_site)
+            first_submit = env.now
+            incarnation = 0
+            while True:
+                if self.admission is not None:
+                    yield from self.admission.admit()
+                txn = self._launch(spec, incarnation, first_submit)
+                assert txn.master is not None
+                outcome = yield txn.master.process
+                if self.admission is not None:
+                    self.admission.release()
+                if outcome is TransactionOutcome.COMMITTED:
+                    self.metrics.transaction_committed(txn)
+                    break
+                reason = txn.abort_reason or AbortReason.SURPRISE_VOTE
+                self.metrics.transaction_aborted(txn, reason)
+                # "A transaction that is aborted is restarted after a
+                # delay ... equal to the average response time."
+                yield env.timeout(self.metrics.restart_delay())
+                incarnation += 1
+
+    def _launch(self, spec: TransactionSpec, incarnation: int,
+                first_submit: float) -> Transaction:
+        """Create agents and processes for one incarnation."""
+        env = self.env
+        txn = Transaction(spec, incarnation, first_submit, env.now)
+        self.transactions_started += 1
+        master = MasterAgent(self, txn, self.site_for(spec.origin_site))
+        txn.master = master
+        for access in spec.accesses:
+            cohort = CohortAgent(self, txn, self.site_for(access.site_id),
+                                 access)
+            cohort.master = master
+            txn.cohorts.append(cohort)
+            master.cohorts.append(cohort)
+        # Start cohort processes first so their inboxes are being read
+        # when the master's STARTWORK messages arrive.
+        for cohort in txn.cohorts:
+            cohort.process = env.process(
+                cohort.run(), name=f"{txn.name}-cohort@{cohort.site.site_id}")
+        master.process = env.process(master.run(), name=f"{txn.name}-master")
+        return txn
+
+    def abort_transaction(self, txn: Transaction, reason: AbortReason) -> None:
+        """Kill an incarnation (deadlock victim or lender-abort cascade).
+
+        Idempotent: repeated calls, and calls racing with normal
+        completion, are ignored.
+        """
+        if txn.aborting or txn.outcome is not None:
+            return
+        txn.aborting = True
+        txn.abort_reason = reason
+        for process in txn.live_processes():
+            process.interrupt(reason)
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def _on_wait_change(self, cohort: CohortAgent, waiting: bool) -> None:
+        """Lock-wait transitions feed the metrics and (when enabled)
+        the admission controller, in that order."""
+        self.metrics.wait_change(cohort, waiting)
+        if self.admission is not None:
+            self.admission.wait_change(cohort, waiting)
+
+    def _on_deadlock_victim(self, txn: Transaction) -> None:
+        self.abort_transaction(txn, AbortReason.DEADLOCK)
+
+    def _on_load_control_cancel(self, txn: Transaction) -> None:
+        self.abort_transaction(txn, AbortReason.LOAD_CONTROL)
+
+    def _on_lender_abort(self, borrower: CohortAgent) -> None:
+        self.abort_transaction(borrower.txn, AbortReason.LENDER_ABORT)
+
+    def surprise_no_vote(self) -> bool:
+        """Draw whether a cohort surprise-votes NO (Experiment 6)."""
+        prob = self.params.surprise_abort_prob
+        return prob > 0 and self._surprise_rng.random() < prob
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, measured_transactions: int = 2000,
+            warmup_transactions: int | None = None) -> SimulationResult:
+        """Run the model and report measured-period statistics.
+
+        ``warmup_transactions`` commits are discarded first (default:
+        one tenth of the measured count).
+        """
+        if measured_transactions < 1:
+            raise ValueError("measured_transactions must be >= 1")
+        if warmup_transactions is None:
+            warmup_transactions = max(measured_transactions // 10,
+                                      self.params.mpl * self.params.num_sites)
+        self.start()
+        if warmup_transactions:
+            self.env.run(until=self.metrics.when_committed(
+                warmup_transactions))
+        self.metrics.reset()
+        self._snapshot_utilization()
+        self.env.run(until=self.metrics.when_committed(
+            measured_transactions))
+        return self.result()
+
+    def _resource_groups(self):
+        cpus = [site.cpu for site in self.sites]
+        data_disks = [d for site in self.sites for d in site.data_disks]
+        log_disks = [d for site in self.sites
+                     for d in site.log_manager.log_disks]
+        return {"cpu": cpus, "data_disk": data_disks,
+                "log_disk": log_disks}
+
+    def _snapshot_utilization(self) -> None:
+        self._util_baseline = {
+            name: [r.busy_snapshot() for r in resources]
+            for name, resources in self._resource_groups().items()}
+
+    def _measured_utilization(self) -> dict[str, float]:
+        baseline = getattr(self, "_util_baseline", None)
+        elapsed = self.metrics.elapsed_ms
+        if baseline is None or elapsed <= 0:
+            return {}
+        out = {}
+        for name, resources in self._resource_groups().items():
+            busy = sum(r.busy_snapshot() - start for r, start
+                       in zip(resources, baseline[name]))
+            capacity = sum(getattr(r, "capacity", 1) for r in resources)
+            if capacity and capacity != float("inf"):
+                out[name] = busy / (elapsed * capacity)
+            else:
+                out[name] = 0.0
+        return out
+
+    def result(self) -> SimulationResult:
+        """Snapshot the measured-period statistics."""
+        metrics = self.metrics
+        overheads = ProtocolOverheads(
+            execution_messages=metrics.exec_messages.mean,
+            forced_writes=metrics.forced_writes.mean,
+            commit_messages=metrics.commit_messages.mean)
+        return SimulationResult(
+            protocol=self.protocol.name,
+            mpl=self.params.mpl,
+            committed=metrics.committed,
+            aborted=metrics.aborted,
+            elapsed_ms=metrics.elapsed_ms,
+            throughput=metrics.throughput_per_second(),
+            response_time_ms=metrics.response_times.mean,
+            block_ratio=metrics.block_ratio(),
+            borrow_ratio=metrics.borrow_ratio(),
+            abort_ratio=metrics.abort_ratio(),
+            overheads=overheads,
+            aborts_by_reason={reason.value: count for reason, count
+                              in metrics.aborts_by_reason.items()},
+            deadlocks=self.wfg.deadlocks_found,
+            shelf_entries=metrics.shelf_entries,
+            response_ci_rel_half_width=(
+                metrics.response_batches.relative_half_width(0.90)),
+            utilization=self._measured_utilization())
+
+    def __repr__(self) -> str:
+        return (f"<DistributedSystem {self.protocol.name} "
+                f"sites={len(self.sites)} mpl={self.params.mpl}>")

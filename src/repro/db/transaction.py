@@ -1,0 +1,395 @@
+"""Transactions, masters, and cohorts.
+
+The paper's transaction model (Section 2): one *master* process at the
+originating site plus ``DistDegree`` *cohort* processes, one per
+execution site (the master's site always hosts one cohort).  Cohorts
+perform the data accesses; the master coordinates startup and runs the
+commit protocol.
+
+Agents (:class:`MasterAgent`, :class:`CohortAgent`) are created fresh for
+every incarnation of a transaction, so messages and events can never leak
+across restarts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+from repro.db.messages import Message, MessageKind
+from repro.db.wal import LogRecordKind
+from repro.sim.events import Event
+from repro.sim.process import Interrupt, Process
+from repro.sim.resources import Store
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.locks import LockMode
+    from repro.db.site import Site
+    from repro.db.system import DistributedSystem
+
+
+class TransactionOutcome(enum.Enum):
+    """Terminal state of one incarnation."""
+
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class AbortReason(enum.Enum):
+    """Why an incarnation aborted."""
+
+    #: Chosen as deadlock victim (youngest in the cycle).
+    DEADLOCK = "deadlock"
+    #: A lender this transaction borrowed uncommitted data from aborted.
+    LENDER_ABORT = "lender_abort"
+    #: A cohort voted NO in the voting phase (Experiment 6).
+    SURPRISE_VOTE = "surprise_vote"
+    #: Cancelled by the Half-and-Half load controller (extension).
+    LOAD_CONTROL = "load_control"
+
+
+class CohortState(enum.Enum):
+    """Lifecycle of a cohort (paper Sections 2.1 and 3)."""
+
+    IDLE = "idle"                  # waiting for STARTWORK
+    EXECUTING = "executing"        # performing data accesses
+    ON_SHELF = "on_shelf"          # OPT: done, but lenders unresolved
+    EXECUTED = "executed"          # WORKDONE sent, awaiting PREPARE
+    PREPARED = "prepared"          # voted YES; update locks retained
+    PRECOMMITTED = "precommitted"  # 3PC only
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclasses.dataclass(frozen=True)
+class CohortAccess:
+    """The fixed access set of one cohort (stable across restarts)."""
+
+    site_id: int
+    pages: tuple[int, ...]
+    #: parallel to ``pages``: True where the page will be updated.
+    updates: tuple[bool, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.pages) != len(self.updates):
+            raise ValueError("pages and updates must have equal length")
+        if len(set(self.pages)) != len(self.pages):
+            raise ValueError("duplicate pages in a cohort access set")
+
+    @property
+    def updated_pages(self) -> tuple[int, ...]:
+        return tuple(p for p, u in zip(self.pages, self.updates) if u)
+
+    @property
+    def is_read_only(self) -> bool:
+        return not any(self.updates)
+
+
+@dataclasses.dataclass(frozen=True)
+class TransactionSpec:
+    """The immutable description of a transaction.
+
+    A restarted transaction "makes the same data accesses as its
+    original incarnation" (paper Section 4), so the spec survives
+    restarts while agents do not.
+    """
+
+    txn_id: int
+    origin_site: int
+    accesses: tuple[CohortAccess, ...]
+
+    def __post_init__(self) -> None:
+        if not self.accesses:
+            raise ValueError("a transaction needs at least one cohort")
+        if self.accesses[0].site_id != self.origin_site:
+            raise ValueError("first cohort must be at the origin site")
+        sites = [a.site_id for a in self.accesses]
+        if len(set(sites)) != len(sites):
+            raise ValueError("one cohort per site")
+
+    @property
+    def total_pages(self) -> int:
+        return sum(len(a.pages) for a in self.accesses)
+
+
+class Transaction:
+    """One incarnation of a transaction.
+
+    Identity is ``(spec.txn_id, incarnation)``; the workload slot keeps
+    the spec and bumps the incarnation on every restart.
+    """
+
+    def __init__(self, spec: TransactionSpec, incarnation: int,
+                 first_submit_time: float, submit_time: float) -> None:
+        self.spec = spec
+        self.incarnation = incarnation
+        #: submission time of incarnation 0 (response time baseline).
+        self.first_submit_time = first_submit_time
+        #: submission time of this incarnation (deadlock victim age).
+        self.submit_time = submit_time
+        self.master: MasterAgent | None = None
+        self.cohorts: list[CohortAgent] = []
+        self.outcome: TransactionOutcome | None = None
+        self.abort_reason: AbortReason | None = None
+        #: set synchronously when an abort is initiated so that deadlock
+        #: detection and lending never double-abort an incarnation.
+        self.aborting = False
+        # Per-incarnation counters (reported on completion).
+        self.pages_borrowed = 0
+        self.messages_execution = 0
+        self.messages_commit = 0
+        self.forced_writes = 0
+        #: number of this transaction's cohorts currently blocked on a lock.
+        self.blocked_cohorts = 0
+
+    @property
+    def txn_id(self) -> int:
+        return self.spec.txn_id
+
+    @property
+    def name(self) -> str:
+        return f"T{self.spec.txn_id}.{self.incarnation}"
+
+    def is_younger_than(self, other: "Transaction") -> bool:
+        """Deadlock victim ordering: later incarnation submit time wins."""
+        return (self.submit_time, self.txn_id) > (other.submit_time,
+                                                  other.txn_id)
+
+    def live_processes(self) -> list[Process]:
+        """All still-running agent processes of this incarnation."""
+        processes = []
+        if self.master is not None and self.master.process is not None \
+                and self.master.process.is_alive:
+            processes.append(self.master.process)
+        for cohort in self.cohorts:
+            if cohort.process is not None and cohort.process.is_alive:
+                processes.append(cohort.process)
+        return processes
+
+    def __repr__(self) -> str:
+        return f"<Transaction {self.name}>"
+
+
+class Agent:
+    """Common behaviour of masters and cohorts.
+
+    Exposes the primitives the commit protocols are written against:
+    ``send`` (charged message transfer), ``recv`` (inbox), ``force_log``
+    and ``log`` (WAL records).
+    """
+
+    def __init__(self, system: "DistributedSystem", txn: Transaction,
+                 site: "Site") -> None:
+        self.system = system
+        self.txn = txn
+        self.site = site
+        self.inbox = Store(system.env, name=f"{self!r}-inbox")
+        self.process: Process | None = None
+
+    # ------------------------------------------------------------------
+    # Protocol primitives
+    # ------------------------------------------------------------------
+    def send(self, kind: MessageKind, receiver: "Agent",
+             payload: typing.Any = None,
+             ) -> typing.Generator[Event, typing.Any, None]:
+        """Coroutine: send a message (pays MsgCPU at both ends)."""
+        message = Message(kind=kind, sender=self, receiver=receiver,
+                          txn_id=self.txn.txn_id,
+                          incarnation=self.txn.incarnation, payload=payload)
+        yield from self.system.network.send(message)
+
+    def recv(self) -> Event:
+        """Event yielding the next inbox message."""
+        return self.inbox.get()
+
+    def force_log(self, kind: LogRecordKind,
+                  ) -> typing.Generator[Event, typing.Any, None]:
+        """Coroutine: force-write a log record at this agent's site."""
+        self.txn.forced_writes += 1
+        self.system.metrics.forced_write(kind)
+        yield from self.site.log_manager.force_write(kind, self.txn.txn_id)
+
+    def log(self, kind: LogRecordKind) -> None:
+        """Write a non-forced log record (free, per the paper's model)."""
+        self.site.log_manager.write(kind, self.txn.txn_id)
+
+    @property
+    def env(self):
+        return self.system.env
+
+
+class CohortAgent(Agent):
+    """A cohort: executes data accesses at one site, then follows the
+    commit protocol's cohort side."""
+
+    def __init__(self, system: "DistributedSystem", txn: Transaction,
+                 site: "Site", access: CohortAccess) -> None:
+        super().__init__(system, txn, site)
+        self.access = access
+        self.state = CohortState.IDLE
+        self.master: MasterAgent | None = None
+        # Lock bookkeeping (maintained by the site's LockManager).
+        self.held_locks: dict[int, "LockMode"] = {}
+        self.lending_pages: set[int] = set()
+        #: prepared cohorts whose uncommitted data this cohort borrowed.
+        self.lenders: set["CohortAgent"] = set()
+        self._shelf_event: Event | None = None
+
+    # ------------------------------------------------------------------
+    # OPT lending bookkeeping (driven by the LockManager)
+    # ------------------------------------------------------------------
+    def add_lender(self, lender: "CohortAgent") -> None:
+        self.lenders.add(lender)
+
+    def remove_lender(self, lender: "CohortAgent") -> None:
+        """A lender committed; release the shelf if it was the last one."""
+        self.lenders.discard(lender)
+        if not self.lenders and self._shelf_event is not None \
+                and not self._shelf_event.triggered:
+            self._shelf_event.succeed()
+
+    def wait_off_shelf(self) -> typing.Generator[Event, typing.Any, None]:
+        """Coroutine: block until every lender has resolved (OPT shelf).
+
+        "The borrower is now put on the shelf ... it has to wait until
+        the lender receives its global decision." (paper Section 3)
+        """
+        if not self.lenders:
+            return
+        self.state = CohortState.ON_SHELF
+        self.system.metrics.shelf_entered()
+        self._shelf_event = Event(self.env)
+        try:
+            yield self._shelf_event
+        finally:
+            self._shelf_event = None
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> typing.Generator[Event, typing.Any, None]:
+        """The cohort's life: STARTWORK, data accesses, shelf, WORKDONE,
+        then the protocol's cohort commit phase."""
+        try:
+            message = yield self.recv()
+            assert message.kind is MessageKind.STARTWORK
+            self.state = CohortState.EXECUTING
+            yield from self._execute()
+            # OPT: a borrower may not report completion while any of its
+            # lenders is unresolved.
+            yield from self.wait_off_shelf()
+            self.state = CohortState.EXECUTED
+            assert self.master is not None
+            yield from self.system.protocol.send_workdone(self)
+            yield from self.system.protocol.cohort_commit(self)
+        except Interrupt:
+            self._cleanup_after_interrupt()
+
+    def _execute(self) -> typing.Generator[Event, typing.Any, None]:
+        """Perform the access sequence: lock, disk read, CPU, per page."""
+        from repro.db.locks import LockMode  # local import: cycle guard
+        for page, is_update in zip(self.access.pages, self.access.updates):
+            mode = LockMode.UPDATE if is_update else LockMode.READ
+            yield from self.site.lock_manager.acquire(self, page, mode)
+            yield from self.site.read_page(page)
+
+    # ------------------------------------------------------------------
+    # Decision implementation
+    # ------------------------------------------------------------------
+    def implement_commit(self) -> None:
+        """Release locks and schedule the deferred update writes."""
+        self.state = CohortState.COMMITTED
+        self.site.lock_manager.finalize(self, committed=True)
+        updated = self.access.updated_pages
+        if updated:
+            self.env.process(self._flush_updates(updated),
+                             name=f"{self.txn.name}-flush@{self.site.site_id}")
+
+    def implement_abort(self) -> None:
+        """Release locks; deferred updates are simply discarded."""
+        self.state = CohortState.ABORTED
+        self.site.lock_manager.finalize(self, committed=False)
+
+    def _flush_updates(self, pages: tuple[int, ...],
+                       ) -> typing.Generator[Event, typing.Any, None]:
+        """Asynchronously write updated pages back to the data disks.
+
+        These writes happen after commit, off the transaction's response
+        path, but they do consume data-disk capacity (paper Section 4.1).
+        """
+        for page in pages:
+            yield from self.site.write_page(page)
+
+    # ------------------------------------------------------------------
+    # Abort path
+    # ------------------------------------------------------------------
+    def _cleanup_after_interrupt(self) -> None:
+        """Undo local state when this incarnation is killed externally."""
+        self.state = CohortState.ABORTED
+        self.site.lock_manager.finalize(self, committed=False)
+
+    def __repr__(self) -> str:
+        return f"<Cohort {self.txn.name}@{self.site.site_id}>"
+
+
+class MasterAgent(Agent):
+    """The master: starts cohorts, gathers WORKDONEs, runs the commit
+    protocol's master side, and reports the outcome."""
+
+    def __init__(self, system: "DistributedSystem",
+                 txn: Transaction, site: "Site") -> None:
+        super().__init__(system, txn, site)
+        self.cohorts: list[CohortAgent] = []
+        #: cohorts that voted YES (set by protocols during voting).
+        self.prepared_cohorts: list[CohortAgent] = []
+        #: votes piggybacked on work-completion reports (Unsolicited
+        #: Vote style protocols); consumed by their master_commit.
+        self.early_votes: list[Message] = []
+
+    def run(self) -> typing.Generator[Event, typing.Any, TransactionOutcome]:
+        """Full life of one incarnation; returns the outcome."""
+        from repro.config import TransactionType
+        try:
+            yield from self.system.protocol.master_begin(self)
+            if self.system.params.trans_type is TransactionType.PARALLEL:
+                yield from self._start_and_await_parallel()
+            else:
+                yield from self._start_and_await_sequential()
+            outcome = yield from self.system.protocol.master_commit(self)
+            self.txn.outcome = outcome
+            return outcome
+        except Interrupt:
+            self.txn.outcome = TransactionOutcome.ABORTED
+            return TransactionOutcome.ABORTED
+
+    _WORK_REPORT_KINDS = (MessageKind.WORKDONE, MessageKind.VOTE_YES,
+                          MessageKind.VOTE_NO)
+
+    def _take_work_report(self, message: "Message") -> None:
+        assert message.kind in self._WORK_REPORT_KINDS, message
+        if message.kind is not MessageKind.WORKDONE:
+            # An unsolicited vote piggybacked on the completion report.
+            self.early_votes.append(message)
+
+    def _start_and_await_parallel(
+            self) -> typing.Generator[Event, typing.Any, None]:
+        """Start all cohorts together; wait for every completion report."""
+        for cohort in self.cohorts:
+            yield from self.send(MessageKind.STARTWORK, cohort)
+        pending = len(self.cohorts)
+        while pending:
+            message = yield self.recv()
+            self._take_work_report(message)
+            pending -= 1
+
+    def _start_and_await_sequential(
+            self) -> typing.Generator[Event, typing.Any, None]:
+        """Start cohorts one after another (paper Section 4.1)."""
+        for cohort in self.cohorts:
+            yield from self.send(MessageKind.STARTWORK, cohort)
+            message = yield self.recv()
+            self._take_work_report(message)
+
+    def __repr__(self) -> str:
+        return f"<Master {self.txn.name}@{self.site.site_id}>"

@@ -1,0 +1,164 @@
+"""Write-ahead logging.
+
+The paper's cost model (Section 4.3): only *forced* log writes are
+modeled explicitly, because they are synchronous and suspend the
+transaction until completion; the cost of each forced write equals one
+data-page disk write.  Non-forced records are recorded for bookkeeping
+but cost nothing.
+
+A :class:`LogManager` fronts a site's log disks.  An optional *group
+commit* mode (paper Section 3.2, "Group Commit") batches forced writes
+that arrive while the log disk is busy into a single disk write.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+from repro.sim.events import Event
+from repro.sim.resources import Server
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Environment
+
+
+class LogRecordKind(enum.Enum):
+    """Record types written by the implemented protocols."""
+
+    PREPARE = "prepare"
+    COLLECTING = "collecting"     # presumed commit: cohort roster
+    PRECOMMIT = "precommit"       # 3PC
+    COMMIT = "commit"
+    ABORT = "abort"
+    END = "end"
+
+
+@dataclasses.dataclass
+class LogRecord:
+    """One log record (bookkeeping only; contents are not simulated)."""
+
+    kind: LogRecordKind
+    txn_id: int
+    site_id: int
+    forced: bool
+    time: float
+
+
+class LogManager:
+    """The log at one site.
+
+    ``force_write`` is a coroutine: it occupies a log disk for one page
+    write.  ``write`` (non-forced) is free, matching the paper's model.
+    """
+
+    def __init__(self, env: "Environment", site_id: int,
+                 log_disks: typing.Sequence[Server],
+                 write_time_ms: float,
+                 group_commit: bool = False) -> None:
+        self.env = env
+        self.site_id = site_id
+        self.log_disks = list(log_disks)
+        self.write_time_ms = write_time_ms
+        self.group_commit = group_commit
+        self.records: list[LogRecord] = []
+        self.forced_count = 0
+        self.unforced_count = 0
+        self._next_disk = 0
+        # Group-commit state: whether a flush is in progress, and the
+        # event the *next* batch of writers is waiting on.
+        self._flushing = False
+        self._pending: Event | None = None
+        self.group_flushes = 0
+
+    # ------------------------------------------------------------------
+    def write(self, kind: LogRecordKind, txn_id: int) -> LogRecord:
+        """Append a non-forced record (no cost)."""
+        record = LogRecord(kind, txn_id, self.site_id, forced=False,
+                           time=self.env.now)
+        self.records.append(record)
+        self.unforced_count += 1
+        return record
+
+    def force_write(self, kind: LogRecordKind, txn_id: int,
+                    ) -> typing.Generator[Event, typing.Any, LogRecord]:
+        """Coroutine: append a record and flush it to a log disk.
+
+        The caller is suspended for the duration of the disk write (plus
+        any queueing at the log disk).
+        """
+        record = LogRecord(kind, txn_id, self.site_id, forced=True,
+                           time=self.env.now)
+        self.records.append(record)
+        self.forced_count += 1
+        if self.group_commit:
+            yield from self._group_commit_flush()
+        else:
+            disk = self._pick_disk()
+            yield from disk.serve(self.write_time_ms)
+        record.time = self.env.now
+        return record
+
+    # ------------------------------------------------------------------
+    def _pick_disk(self) -> Server:
+        disk = self.log_disks[self._next_disk]
+        self._next_disk = (self._next_disk + 1) % len(self.log_disks)
+        return disk
+
+    def _group_commit_flush(self) -> typing.Generator[Event, typing.Any, None]:
+        """Group commit: batch forced writes into shared disk writes.
+
+        If a flush is already in progress, the caller's record joins the
+        *next* batch and the caller waits for that batch's single disk
+        write.  Otherwise the caller becomes the flush leader: it writes
+        its own record, then keeps issuing one disk write per accumulated
+        batch until no writers are pending.
+        """
+        if self._flushing:
+            if self._pending is None:
+                self._pending = Event(self.env)
+            yield self._pending
+            return
+        self._flushing = True
+        try:
+            disk = self._pick_disk()
+            self.group_flushes += 1
+            yield from disk.serve(self.write_time_ms)
+        except BaseException:
+            self._flushing = False
+            raise
+        # The leader's record is durable now; stragglers that queued up
+        # during the write are flushed by a background batch process so
+        # the leader does not wait on their behalf.
+        if self._pending is not None:
+            self.env.process(self._flush_pending_batches(),
+                             name=f"group-commit@{self.site_id}")
+        else:
+            self._flushing = False
+
+    def _flush_pending_batches(
+            self) -> typing.Generator[Event, typing.Any, None]:
+        """One disk write per accumulated batch until none are pending."""
+        try:
+            while self._pending is not None:
+                batch = self._pending
+                self._pending = None
+                disk = self._pick_disk()
+                self.group_flushes += 1
+                yield from disk.serve(self.write_time_ms)
+                batch.succeed()
+        finally:
+            self._flushing = False
+
+    # ------------------------------------------------------------------
+    def counts_by_kind(self) -> dict[LogRecordKind, int]:
+        """Number of records of each kind (forced and non-forced)."""
+        counts: dict[LogRecordKind, int] = {}
+        for record in self.records:
+            counts[record.kind] = counts.get(record.kind, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:
+        return (f"<LogManager site={self.site_id} forced={self.forced_count} "
+                f"unforced={self.unforced_count}>")

@@ -1,0 +1,67 @@
+"""Closed-system workload generation.
+
+Per the paper (Section 4): the per-site multiprogramming level is fixed;
+each transaction executes at ``DistDegree`` sites -- the originating site
+plus ``DistDegree - 1`` others chosen at random; at each site the cohort
+accesses a uniformly random number of pages between 0.5 and 1.5 times
+``CohortSize``, chosen randomly from that site's pages; each page read is
+updated with probability ``UpdateProb``.  Aborted transactions retain
+their access sets across restarts.
+
+Sites here are *logical* partitions: under the CENT (centralized)
+topology every logical site maps to the single physical site, keeping the
+workload identical so that only the effect of distribution is removed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing
+
+from repro.db.transaction import CohortAccess, TransactionSpec
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config import ModelParams
+    from repro.db.pages import PageDirectory
+    from repro.sim.rng import RandomStreams
+
+
+class WorkloadGenerator:
+    """Draws :class:`TransactionSpec` objects for workload slots."""
+
+    def __init__(self, params: "ModelParams", directory: "PageDirectory",
+                 streams: "RandomStreams") -> None:
+        self.params = params
+        self.directory = directory
+        self._site_rng = streams.stream("workload-sites")
+        self._page_rng = streams.stream("workload-pages")
+        self._size_rng = streams.stream("workload-sizes")
+        self._update_rng = streams.stream("workload-updates")
+        self._txn_ids = itertools.count(1)
+
+    def generate(self, origin_site: int) -> TransactionSpec:
+        """A fresh transaction spec originating at ``origin_site``."""
+        params = self.params
+        sites = [origin_site]
+        if params.dist_degree > 1:
+            others = [s for s in range(params.num_sites) if s != origin_site]
+            sites.extend(self._site_rng.sample(
+                others, params.dist_degree - 1))
+        accesses = tuple(self._generate_access(site) for site in sites)
+        return TransactionSpec(txn_id=next(self._txn_ids),
+                               origin_site=origin_site,
+                               accesses=accesses)
+
+    def _generate_access(self, site: int) -> CohortAccess:
+        params = self.params
+        count = self._size_rng.randint(params.min_cohort_pages,
+                                       params.max_cohort_pages)
+        site_pages = self.directory.pages_at(site)
+        pages = tuple(self._page_rng.sample(range(len(site_pages)), count))
+        pages = tuple(site_pages[i] for i in pages)
+        updates = tuple(self._update_rng.random() < params.update_prob
+                        for _ in pages)
+        return CohortAccess(site_id=site, pages=pages, updates=updates)
+
+    def __repr__(self) -> str:
+        return f"<WorkloadGenerator dist_degree={self.params.dist_degree}>"

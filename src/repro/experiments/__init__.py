@@ -1,0 +1,30 @@
+"""The paper's experiment suite (Section 5), one module per experiment.
+
+Each experiment module exposes an :data:`EXPERIMENT` definition mapping
+a paper artifact (table or figure) to a parameter sweep; the shared
+runner in :mod:`repro.experiments.base` executes sweeps and collects
+series.  ``python -m repro.cli`` runs them from the command line; the
+``benchmarks/`` directory wraps them for pytest-benchmark.
+"""
+
+from repro.experiments.base import (
+    ExperimentDefinition,
+    ExperimentResults,
+    MplSweep,
+    SweepPoint,
+)
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    experiment_ids,
+    get_experiment,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentDefinition",
+    "ExperimentResults",
+    "MplSweep",
+    "SweepPoint",
+    "experiment_ids",
+    "get_experiment",
+]

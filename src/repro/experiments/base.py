@@ -1,0 +1,184 @@
+"""Shared experiment machinery: MPL sweeps, replications, series.
+
+The paper's figures plot a metric (throughput, block ratio, borrow
+ratio) against the per-site multiprogramming level, one curve per
+protocol.  :class:`MplSweep` runs that grid; :class:`ExperimentResults`
+holds it and renders the series as text tables.
+
+Replications: the paper uses one long run per point with batch-means
+confidence intervals; we support both one long run (default) and
+multiple independent replications (``replications > 1``) whose means are
+combined with a Student-t interval (:func:`repro.sim.stats.confidence_interval`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import repro
+from repro.config import ModelParams
+from repro.db.system import SimulationResult
+from repro.sim.stats import confidence_interval
+
+#: Builds the parameters for one sweep point.
+ParamsFactory = typing.Callable[[int], ModelParams]
+
+#: Extracts a plotted metric from a result.
+MetricFn = typing.Callable[[SimulationResult], float]
+
+METRICS: dict[str, MetricFn] = {
+    "throughput": lambda r: r.throughput,
+    "response_time": lambda r: r.response_time_ms,
+    "block_ratio": lambda r: r.block_ratio,
+    "borrow_ratio": lambda r: r.borrow_ratio,
+    "abort_ratio": lambda r: r.abort_ratio,
+}
+
+DEFAULT_MPLS: tuple[int, ...] = (1, 2, 3, 4, 6, 8, 10)
+
+
+@dataclasses.dataclass
+class SweepPoint:
+    """One (protocol, mpl) grid point, possibly replicated."""
+
+    protocol: str
+    mpl: int
+    results: list[SimulationResult]
+
+    @property
+    def result(self) -> SimulationResult:
+        """The first (or only) replication's full result."""
+        return self.results[0]
+
+    def metric(self, name: str) -> float:
+        """Mean of a metric across replications."""
+        fn = METRICS[name]
+        values = [fn(r) for r in self.results]
+        return sum(values) / len(values)
+
+    def metric_interval(self, name: str,
+                        confidence: float = 0.90) -> tuple[float, float]:
+        """(mean, half-width) across replications."""
+        fn = METRICS[name]
+        return confidence_interval([fn(r) for r in self.results],
+                                   confidence)
+
+
+@dataclasses.dataclass
+class ExperimentResults:
+    """All points of one experiment, with rendering helpers."""
+
+    experiment_id: str
+    title: str
+    points: dict[tuple[str, int], SweepPoint]
+    protocols: tuple[str, ...]
+    mpls: tuple[int, ...]
+
+    def point(self, protocol: str, mpl: int) -> SweepPoint:
+        return self.points[(protocol, mpl)]
+
+    def series(self, protocol: str, metric: str = "throughput",
+               ) -> list[tuple[int, float]]:
+        """[(mpl, value), ...] for one curve of a figure."""
+        return [(mpl, self.points[(protocol, mpl)].metric(metric))
+                for mpl in self.mpls]
+
+    def peak(self, protocol: str, metric: str = "throughput",
+             ) -> tuple[int, float]:
+        """(mpl, value) of the curve's maximum (peak throughput)."""
+        return max(self.series(protocol, metric), key=lambda p: p[1])
+
+    def table(self, metric: str = "throughput",
+              precision: int = 2) -> str:
+        """Text table: rows are MPLs, one column per protocol."""
+        from repro.analysis.tables import render_series_table
+        return render_series_table(self, metric, precision)
+
+    def summary(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append(self.table("throughput"))
+        return "\n".join(lines)
+
+
+class MplSweep:
+    """Runs a protocol x MPL grid of simulations."""
+
+    def __init__(self, protocols: typing.Sequence[str],
+                 params_factory: ParamsFactory,
+                 mpls: typing.Sequence[int] = DEFAULT_MPLS,
+                 measured_transactions: int = 1500,
+                 warmup_transactions: int | None = None,
+                 replications: int = 1,
+                 base_seed: int = 20250705) -> None:
+        if replications < 1:
+            raise ValueError("replications must be >= 1")
+        self.protocols = tuple(protocols)
+        self.params_factory = params_factory
+        self.mpls = tuple(mpls)
+        self.measured_transactions = measured_transactions
+        self.warmup_transactions = warmup_transactions
+        self.replications = replications
+        self.base_seed = base_seed
+
+    def run_point(self, protocol: str, mpl: int) -> SweepPoint:
+        """Run all replications of one grid point."""
+        params = self.params_factory(mpl)
+        results = []
+        for rep in range(self.replications):
+            results.append(repro.simulate(
+                protocol, params=params,
+                measured_transactions=self.measured_transactions,
+                warmup_transactions=self.warmup_transactions,
+                seed=self.base_seed + rep * 7919))
+        return SweepPoint(protocol, mpl, results)
+
+    def run(self, experiment_id: str = "sweep",
+            title: str = "",
+            progress: typing.Callable[[str], None] | None = None,
+            ) -> ExperimentResults:
+        """Run the whole grid."""
+        points: dict[tuple[str, int], SweepPoint] = {}
+        for protocol in self.protocols:
+            for mpl in self.mpls:
+                if progress is not None:
+                    progress(f"{experiment_id}: {protocol} @ MPL {mpl}")
+                points[(protocol, mpl)] = self.run_point(protocol, mpl)
+        return ExperimentResults(experiment_id, title, points,
+                                 self.protocols, self.mpls)
+
+
+@dataclasses.dataclass
+class ExperimentDefinition:
+    """Binds a paper artifact to a runnable sweep."""
+
+    experiment_id: str
+    title: str
+    paper_artifacts: tuple[str, ...]
+    protocols: tuple[str, ...]
+    params_factory: ParamsFactory
+    mpls: tuple[int, ...] = DEFAULT_MPLS
+    #: metrics worth reporting for this experiment.
+    metrics: tuple[str, ...] = ("throughput",)
+    description: str = ""
+
+    def sweep(self, measured_transactions: int = 1500,
+              warmup_transactions: int | None = None,
+              mpls: typing.Sequence[int] | None = None,
+              replications: int = 1,
+              base_seed: int = 20250705) -> MplSweep:
+        return MplSweep(self.protocols, self.params_factory,
+                        mpls=tuple(mpls) if mpls is not None else self.mpls,
+                        measured_transactions=measured_transactions,
+                        warmup_transactions=warmup_transactions,
+                        replications=replications,
+                        base_seed=base_seed)
+
+    def run(self, measured_transactions: int = 1500,
+            mpls: typing.Sequence[int] | None = None,
+            replications: int = 1,
+            progress: typing.Callable[[str], None] | None = None,
+            ) -> ExperimentResults:
+        sweep = self.sweep(measured_transactions=measured_transactions,
+                           mpls=mpls, replications=replications)
+        return sweep.run(self.experiment_id, self.title, progress=progress)

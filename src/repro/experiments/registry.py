@@ -1,0 +1,30 @@
+"""Experiment registry: id -> definition."""
+
+from __future__ import annotations
+
+from repro.experiments import definitions as d
+from repro.experiments.base import ExperimentDefinition
+
+EXPERIMENTS: dict[str, ExperimentDefinition] = {}
+
+for _definition in (
+        [d.EXP1, d.EXP2, d.EXP3_RCDC, d.EXP3_DC, d.EXP4_RCDC, d.EXP4_DC,
+         d.EXP5_RCDC, d.EXP5_DC]
+        + d.EXP6_RCDC + d.EXP6_DC
+        + [d.EXP7, d.EXP8_UPDATE_HALF, d.EXP8_SMALL_DB]):
+    EXPERIMENTS[_definition.experiment_id] = _definition
+
+
+def experiment_ids() -> tuple[str, ...]:
+    """All registered experiment ids (tables 3/4 are separate: see
+    :mod:`repro.experiments.overheads`)."""
+    return tuple(EXPERIMENTS)
+
+
+def get_experiment(experiment_id: str) -> ExperimentDefinition:
+    try:
+        return EXPERIMENTS[experiment_id.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"choose from {experiment_ids()}") from None

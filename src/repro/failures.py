@@ -1,0 +1,269 @@
+"""Failure injection: what "blocking" actually costs.
+
+The paper compares commit protocols under failure-free operation and
+argues (Section 2.4) that blocking protocols can bring transaction
+processing to a halt when a master fails at the wrong moment, while 3PC
+survives.  This module makes that argument measurable -- an extension
+beyond the paper's experiments (DESIGN.md section 6):
+
+- one designated transaction's master **crashes** immediately after its
+  cohorts enter their decision-wait (for 2PC/PA/PC: after all YES votes;
+  for 3PC: after all PRECOMMIT-ACKs);
+- under a **blocking** protocol, the prepared cohorts simply hold their
+  update locks until the master recovers (``crash_duration_ms`` later)
+  and completes the protocol;
+- under **3PC** the cohorts time out (``decision_timeout_ms``), run the
+  termination protocol among themselves -- paying an election round of
+  messages -- and commit from the precommitted state without the master;
+- everything else keeps running, piling up behind the crashed
+  transaction's locks.
+
+The report gives the cohorts' *unblock latency* (crash to last lock
+release) and the system throughput during the outage window.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.config import ModelParams
+from repro.core.presumed_abort import PresumedAbort
+from repro.core.presumed_commit import PresumedCommit
+from repro.core.three_phase import ThreePhaseCommit
+from repro.core.two_phase import TwoPhaseCommit
+from repro.db.messages import MessageKind
+from repro.db.system import DistributedSystem
+from repro.db.transaction import CohortState, TransactionOutcome
+from repro.db.wal import LogRecordKind
+
+BLOCKING_BASES = {
+    "2PC": TwoPhaseCommit,
+    "PA": PresumedAbort,
+    "PC": PresumedCommit,
+}
+
+
+@dataclasses.dataclass
+class BlockingReport:
+    """Outcome of one master-crash scenario."""
+
+    protocol: str
+    crash_time_ms: float
+    #: when each crashed-transaction cohort released its locks.
+    release_times_ms: list[float]
+    #: committed transactions during the outage window.
+    committed_during_outage: int
+    outage_window_ms: float
+
+    @property
+    def unblock_latency_ms(self) -> float:
+        """Crash to last lock release."""
+        if not self.release_times_ms:
+            return 0.0
+        return max(self.release_times_ms) - self.crash_time_ms
+
+    @property
+    def outage_throughput(self) -> float:
+        """Committed transactions per second during the outage."""
+        if self.outage_window_ms <= 0:
+            return 0.0
+        return self.committed_during_outage / (self.outage_window_ms / 1000)
+
+    def summary(self) -> str:
+        return (f"{self.protocol:>4}: cohorts blocked for "
+                f"{self.unblock_latency_ms:8.1f} ms after the crash; "
+                f"throughput during outage "
+                f"{self.outage_throughput:6.2f} txn/s")
+
+
+class _CrashingBlockingProtocol:
+    """Mixin: the target master crashes after collecting YES votes and
+    recovers ``crash_duration_ms`` later; cohorts stay blocked."""
+
+    def __init__(self, target_txn_id: int, crash_duration_ms: float):
+        super().__init__()
+        self.target_txn_id = target_txn_id
+        self.crash_duration_ms = crash_duration_ms
+        self.crash_time: float | None = None
+
+    def master_commit(self, master):
+        if master.txn.txn_id != self.target_txn_id:
+            return (yield from super().master_commit(master))
+        if isinstance(self, PresumedCommit):
+            yield from master.force_log(LogRecordKind.COLLECTING)
+        all_yes = yield from self.collect_votes(master)
+        assert all_yes, "crash scenario assumes a YES-voting transaction"
+        # CRASH: the master goes silent with every cohort prepared.
+        self.crash_time = master.env.now
+        yield master.env.timeout(self.crash_duration_ms)
+        # RECOVERY: complete the protocol normally.
+        yield from self.master_commit_phase(master)
+        return TransactionOutcome.COMMITTED
+
+
+class Crashing2PC(_CrashingBlockingProtocol, TwoPhaseCommit):
+    pass
+
+
+class CrashingPA(_CrashingBlockingProtocol, PresumedAbort):
+    pass
+
+
+class CrashingPC(_CrashingBlockingProtocol, PresumedCommit):
+    pass
+
+
+class Crashing3PC(ThreePhaseCommit):
+    """3PC with a master crash after the precommit round, and the
+    cohort-side termination protocol that makes 3PC non-blocking."""
+
+    def __init__(self, target_txn_id: int, crash_duration_ms: float,
+                 decision_timeout_ms: float):
+        super().__init__()
+        self.target_txn_id = target_txn_id
+        self.crash_duration_ms = crash_duration_ms
+        self.decision_timeout_ms = decision_timeout_ms
+        self.crash_time: float | None = None
+        self.terminations = 0
+
+    # ------------------------------------------------------------------
+    def master_commit(self, master):
+        if master.txn.txn_id != self.target_txn_id:
+            return (yield from super().master_commit(master))
+        all_yes = yield from self.collect_votes(master)
+        assert all_yes
+        yield from master.force_log(LogRecordKind.PRECOMMIT)
+        for cohort in master.prepared_cohorts:
+            yield from master.send(MessageKind.PRECOMMIT, cohort)
+        for _ in master.prepared_cohorts:
+            message = yield master.recv()
+            assert message.kind is MessageKind.PRECOMMIT_ACK
+        # CRASH: every cohort is precommitted; master goes silent.  The
+        # cohorts will decide among themselves; the recovered master
+        # simply forgets (its cohorts have already terminated).
+        self.crash_time = master.env.now
+        yield master.env.timeout(self.crash_duration_ms)
+        master.log(LogRecordKind.END)
+        return TransactionOutcome.COMMITTED
+
+    def cohort_commit(self, cohort):
+        if cohort.txn.txn_id != self.target_txn_id:
+            return (yield from super().cohort_commit(cohort))
+        vote = yield from self.cohort_vote(cohort, no_vote_forced=True)
+        if vote != "yes":
+            return
+        message = yield cohort.recv()
+        assert message.kind is MessageKind.PRECOMMIT
+        yield from cohort.force_log(LogRecordKind.PRECOMMIT)
+        cohort.state = CohortState.PRECOMMITTED
+        assert cohort.master is not None
+        yield from cohort.send(MessageKind.PRECOMMIT_ACK, cohort.master)
+        # Await the decision -- with a timeout, because masters fail.
+        env = cohort.env
+        decision = cohort.recv()
+        timeout = env.timeout(self.decision_timeout_ms)
+        yield env.any_of([decision, timeout])
+        if not decision.processed:
+            # Termination protocol: contact the peer cohorts (one round
+            # of messages each way), learn that every reachable peer is
+            # precommitted, and commit without the master.
+            self.terminations += 1
+            peers = len(cohort.txn.cohorts) - 1
+            for _ in range(2 * peers):
+                yield from cohort.site.message_cpu(
+                    self.system.params.msg_cpu_ms)
+        yield from cohort.force_log(LogRecordKind.COMMIT)
+        cohort.implement_commit()
+
+
+def run_crash_scenario(protocol: str,
+                       crash_duration_ms: float = 20_000.0,
+                       decision_timeout_ms: float = 500.0,
+                       target_txn_id: int = 40,
+                       params: ModelParams | None = None,
+                       measured_transactions: int = 600,
+                       seed: int | None = None) -> BlockingReport:
+    """Crash the designated transaction's master; report the damage.
+
+    ``protocol`` is one of ``2PC``, ``PA``, ``PC`` (blocking) or ``3PC``
+    (non-blocking).
+    """
+    if params is None:
+        params = ModelParams(mpl=4)
+    name = protocol.upper()
+    if name == "3PC":
+        instance: typing.Any = Crashing3PC(target_txn_id, crash_duration_ms,
+                                           decision_timeout_ms)
+    else:
+        try:
+            base = BLOCKING_BASES[name]
+        except KeyError:
+            raise KeyError(
+                f"no crash scenario for {protocol!r}; "
+                f"choose from {(*BLOCKING_BASES, '3PC')}") from None
+        instance = type(f"Crashing{name}", (type(
+            f"_{name}", (_CrashingBlockingProtocol, base), {}),), {})(
+            target_txn_id, crash_duration_ms)
+    system = DistributedSystem(params, instance, seed=seed)
+
+    # Record when the target transaction's cohorts release their locks.
+    release_times: list[float] = []
+    original_launch = system._launch
+
+    def launching(spec, incarnation, first_submit):
+        txn = original_launch(spec, incarnation, first_submit)
+        if txn.txn_id == target_txn_id:
+            for cohort in txn.cohorts:
+                original_commit = cohort.implement_commit
+
+                def recording(original=original_commit):
+                    release_times.append(system.env.now)
+                    original()
+
+                cohort.implement_commit = recording
+        return txn
+
+    system._launch = launching
+    system.run(measured_transactions=measured_transactions,
+               warmup_transactions=0)
+
+    crash_time = instance.crash_time
+    if crash_time is None:
+        raise RuntimeError(
+            "the target transaction never reached its commit phase; "
+            "increase measured_transactions or lower target_txn_id")
+    outage_end = crash_time + crash_duration_ms
+    committed_in_window = _commits_between(system, crash_time, outage_end)
+    return BlockingReport(
+        protocol=name,
+        crash_time_ms=crash_time,
+        release_times_ms=[t for t in release_times if t >= crash_time],
+        committed_during_outage=committed_in_window,
+        outage_window_ms=crash_duration_ms)
+
+
+def _commits_between(system: DistributedSystem, start: float,
+                     end: float) -> int:
+    """Commits that completed inside [start, end] (from the WAL)."""
+    count = 0
+    seen: set[int] = set()
+    for site in system.sites:
+        for record in site.log_manager.records:
+            if record.kind is LogRecordKind.COMMIT and record.forced \
+                    and start <= record.time <= end \
+                    and record.txn_id not in seen:
+                seen.add(record.txn_id)
+                count += 1
+    return count
+
+
+def compare_blocking(crash_duration_ms: float = 20_000.0,
+                     measured_transactions: int = 600,
+                     params: ModelParams | None = None,
+                     ) -> dict[str, BlockingReport]:
+    """Run the crash scenario under 2PC and 3PC and return both reports."""
+    return {name: run_crash_scenario(
+        name, crash_duration_ms=crash_duration_ms,
+        measured_transactions=measured_transactions, params=params)
+        for name in ("2PC", "3PC")}

@@ -1,0 +1,207 @@
+"""Performance metrics.
+
+Implements the paper's reported metrics:
+
+- **transaction throughput**: committed transactions per second (the
+  primary metric);
+- **block ratio** (Figs 1b, 2b): time-averaged fraction of transactions
+  in the blocked (lock-waiting) state;
+- **borrow ratio** (Figs 1c, 2c): average number of pages borrowed per
+  completed transaction (OPT only);
+- **protocol overheads** (Tables 3, 4): execution messages, commit
+  messages, and forced log writes per committing transaction;
+- response times, abort/restart counts, and the running mean response
+  time used as the restart delay ("the same heuristic as that used in
+  most transaction management studies").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.db.wal import LogRecordKind
+from repro.sim.events import Event
+from repro.sim.stats import BatchMeans, TimeWeightedAverage, WelfordAccumulator
+
+#: batch size for the single-run batch-means confidence interval on
+#: response times (the paper's 90%-CI methodology).
+RESPONSE_BATCH_SIZE = 32
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.messages import Message
+    from repro.db.transaction import AbortReason, CohortAgent, Transaction
+    from repro.sim.engine import Environment
+
+
+class MetricsCollector:
+    """Gathers statistics over one simulation run.
+
+    Warmup handling: :meth:`reset` discards everything collected so far;
+    results are computed from the post-reset ("measured") period only.
+    The running mean response time (restart delay heuristic) is *not*
+    reset -- it is part of the model, not of the measurement.
+    """
+
+    def __init__(self, env: "Environment", total_slots: int,
+                 initial_response_estimate: float) -> None:
+        self.env = env
+        self.total_slots = total_slots
+        self._initial_response_estimate = initial_response_estimate
+        self._measure_start = env.now
+
+        # Measured-period accumulators.
+        self.committed = 0
+        self.aborted = 0
+        self.aborts_by_reason: dict["AbortReason", int] = {}
+        self.response_times = WelfordAccumulator()
+        self.response_batches = BatchMeans(RESPONSE_BATCH_SIZE)
+        self.exec_messages = WelfordAccumulator()
+        self.commit_messages = WelfordAccumulator()
+        self.forced_writes = WelfordAccumulator()
+        self.borrowed_pages_total = 0
+        self.shelf_entries = 0
+        self.forced_by_kind: dict[LogRecordKind, int] = {}
+        self.blocked_txns = TimeWeightedAverage(initial_time=env.now)
+
+        # Model state (never reset): restart delay heuristic.
+        self._lifetime_response = WelfordAccumulator()
+
+        # Completion watchers: (commit-count threshold, event).
+        self._watchers: list[tuple[int, Event]] = []
+        self._committed_lifetime = 0
+
+    # ------------------------------------------------------------------
+    # Recording hooks
+    # ------------------------------------------------------------------
+    def transaction_committed(self, txn: "Transaction") -> None:
+        response = self.env.now - txn.first_submit_time
+        self._lifetime_response.add(response)
+        self._committed_lifetime += 1
+        self.committed += 1
+        self.response_times.add(response)
+        self.response_batches.add(response)
+        self.exec_messages.add(txn.messages_execution)
+        self.commit_messages.add(txn.messages_commit)
+        self.forced_writes.add(txn.forced_writes)
+        self._fire_watchers()
+
+    def transaction_aborted(self, txn: "Transaction",
+                            reason: "AbortReason") -> None:
+        self.aborted += 1
+        self.aborts_by_reason[reason] = self.aborts_by_reason.get(reason, 0) + 1
+
+    def borrow(self, cohort: "CohortAgent", page: int) -> None:
+        self.borrowed_pages_total += 1
+
+    def shelf_entered(self) -> None:
+        self.shelf_entries += 1
+
+    def forced_write(self, kind: LogRecordKind) -> None:
+        self.forced_by_kind[kind] = self.forced_by_kind.get(kind, 0) + 1
+
+    def message_sent(self, message: "Message") -> None:
+        # Per-message accounting currently derives from transaction
+        # counters; this hook exists for tracing extensions.
+        pass
+
+    def wait_change(self, cohort: "CohortAgent", waiting: bool) -> None:
+        """Lock-wait transition: maintain the blocked-transaction count."""
+        txn = cohort.txn
+        if waiting:
+            txn.blocked_cohorts += 1
+            if txn.blocked_cohorts == 1:
+                self.blocked_txns.increment(self.env.now)
+        else:
+            txn.blocked_cohorts -= 1
+            if txn.blocked_cohorts == 0:
+                self.blocked_txns.decrement(self.env.now)
+
+    # ------------------------------------------------------------------
+    # Restart delay heuristic (paper Section 4)
+    # ------------------------------------------------------------------
+    def restart_delay(self) -> float:
+        """Average response time so far, or a service-demand prior."""
+        if self._lifetime_response.count:
+            return self._lifetime_response.mean
+        return self._initial_response_estimate
+
+    # ------------------------------------------------------------------
+    # Warmup / completion control
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """End of warmup: discard all measured-period statistics."""
+        self.committed = 0
+        self.aborted = 0
+        self.aborts_by_reason = {}
+        self.response_times = WelfordAccumulator()
+        self.response_batches = BatchMeans(RESPONSE_BATCH_SIZE)
+        self.exec_messages = WelfordAccumulator()
+        self.commit_messages = WelfordAccumulator()
+        self.forced_writes = WelfordAccumulator()
+        self.borrowed_pages_total = 0
+        self.shelf_entries = 0
+        self.forced_by_kind = {}
+        self.blocked_txns.reset(self.env.now)
+        self._measure_start = self.env.now
+
+    def when_committed(self, count: int) -> Event:
+        """Event that triggers once ``count`` *further* commits happen."""
+        event = Event(self.env)
+        self._watchers.append((self._committed_lifetime + count, event))
+        return event
+
+    def _fire_watchers(self) -> None:
+        ready = [w for w in self._watchers
+                 if self._committed_lifetime >= w[0]]
+        if not ready:
+            return
+        self._watchers = [w for w in self._watchers
+                          if self._committed_lifetime < w[0]]
+        for _, event in ready:
+            event.succeed()
+
+    # ------------------------------------------------------------------
+    # Derived results
+    # ------------------------------------------------------------------
+    @property
+    def elapsed_ms(self) -> float:
+        return self.env.now - self._measure_start
+
+    def throughput_per_second(self) -> float:
+        if self.elapsed_ms <= 0:
+            return 0.0
+        return self.committed / (self.elapsed_ms / 1000.0)
+
+    def block_ratio(self) -> float:
+        """Average fraction of transactions in the blocked state."""
+        if self.total_slots == 0:
+            return 0.0
+        return self.blocked_txns.average(self.env.now) / self.total_slots
+
+    def borrow_ratio(self) -> float:
+        """Average pages borrowed per completed transaction."""
+        if self.committed == 0:
+            return 0.0
+        return self.borrowed_pages_total / self.committed
+
+    def abort_ratio(self) -> float:
+        """Aborts per (commit + abort) event in the measured period."""
+        total = self.committed + self.aborted
+        if total == 0:
+            return 0.0
+        return self.aborted / total
+
+
+@dataclasses.dataclass
+class ProtocolOverheads:
+    """Per-committing-transaction overheads (paper Tables 3 and 4)."""
+
+    execution_messages: float
+    forced_writes: float
+    commit_messages: float
+
+    def rounded(self) -> tuple[float, float, float]:
+        return (round(self.execution_messages, 2),
+                round(self.forced_writes, 2),
+                round(self.commit_messages, 2))

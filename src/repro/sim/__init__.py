@@ -1,0 +1,57 @@
+"""Discrete-event simulation kernel.
+
+This subpackage is a self-contained, SimPy-style discrete-event simulation
+library built for the commit-protocol study but usable on its own.  The
+paper's simulator was written on top of a closed queueing network model; this
+kernel provides the pieces such a model needs:
+
+- :mod:`repro.sim.events` -- events, timeouts, and condition events.
+- :mod:`repro.sim.engine` -- the :class:`~repro.sim.engine.Environment`
+  event loop.
+- :mod:`repro.sim.process` -- generator-based processes with interrupt
+  support.
+- :mod:`repro.sim.resources` -- FCFS and priority queueing resources, plus
+  an infinite-server mode used by the paper's "pure data contention"
+  experiments.
+- :mod:`repro.sim.rng` -- reproducible named random-number streams.
+- :mod:`repro.sim.stats` -- output statistics (means, time-weighted
+  averages, batch-means confidence intervals).
+"""
+
+from repro.sim.engine import Environment
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Interrupt, Process
+from repro.sim.resources import (
+    InfiniteServer,
+    PriorityResource,
+    Resource,
+    Server,
+    Store,
+)
+from repro.sim.rng import RandomStreams
+from repro.sim.stats import (
+    BatchMeans,
+    TimeWeightedAverage,
+    WelfordAccumulator,
+    confidence_interval,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "BatchMeans",
+    "Environment",
+    "Event",
+    "InfiniteServer",
+    "Interrupt",
+    "PriorityResource",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "Server",
+    "Store",
+    "TimeWeightedAverage",
+    "Timeout",
+    "WelfordAccumulator",
+    "confidence_interval",
+]

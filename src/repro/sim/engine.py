@@ -1,0 +1,142 @@
+"""The simulation environment: clock and event loop.
+
+The :class:`Environment` owns simulated time and the pending-event heap.
+Time is a float; the commit-protocol model measures it in **milliseconds**
+(matching the paper's parameter units), but the kernel itself is
+unit-agnostic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+ProcessGenerator = typing.Generator[Event, typing.Any, typing.Any]
+
+
+class EmptySchedule(Exception):
+    """Raised internally when the event queue runs dry."""
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    Usage mirrors SimPy::
+
+        env = Environment()
+
+        def clock(env):
+            while True:
+                yield env.timeout(1.0)
+
+        env.process(clock(env))
+        env.run(until=10.0)
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._eid = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Event construction helpers
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: typing.Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator,
+                name: str | None = None) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: typing.Sequence[Event]) -> AllOf:
+        """Event that triggers when all of ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: typing.Sequence[Event]) -> AnyOf:
+        """Event that triggers when any of ``events`` has triggered."""
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling and stepping
+    # ------------------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Put a triggered event on the queue ``delay`` units from now."""
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        try:
+            when, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event.defused:
+            raise typing.cast(BaseException, event._value)
+
+    def run(self, until: float | Event | None = None) -> typing.Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        - ``None``: run until no events remain.
+        - a number: run until simulated time reaches it.
+        - an :class:`Event`: run until that event is processed and return
+          its value.
+        """
+        if until is None:
+            stop_event: Event | None = None
+            stop_time = float("inf")
+        elif isinstance(until, Event):
+            stop_event = until
+            stop_time = float("inf")
+            if stop_event.processed:
+                return stop_event.value
+        else:
+            stop_event = None
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(
+                    f"until={stop_time} is in the past (now={self._now})")
+
+        while self._queue:
+            if self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+            if stop_event is not None and stop_event.processed:
+                if stop_event.ok:
+                    return stop_event.value
+                raise typing.cast(BaseException, stop_event.value)
+
+        if stop_event is not None:
+            raise RuntimeError(
+                "simulation ran out of events before `until` event triggered")
+        if stop_time != float("inf"):
+            self._now = stop_time
+        return None

@@ -1,0 +1,153 @@
+"""Generator-based simulation processes with interrupt support.
+
+A :class:`Process` drives a Python generator: each value the generator
+yields must be an :class:`~repro.sim.events.Event`; the process sleeps
+until that event triggers and then resumes with the event's value.
+
+Interrupts are the mechanism the transaction manager uses to abort
+transactions that are blocked (on a lock queue, a disk, or "on the
+shelf"): :meth:`Process.interrupt` throws an :class:`Interrupt` exception
+into the generator at its current yield point.
+"""
+
+from __future__ import annotations
+
+import types
+import typing
+
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Environment
+
+
+class Interrupt(Exception):
+    """Raised inside a process that has been interrupted.
+
+    The ``cause`` is whatever the interrupter supplied -- the commit
+    simulator passes an :class:`~repro.db.transaction.AbortReason`.
+    """
+
+    @property
+    def cause(self) -> typing.Any:
+        return self.args[0] if self.args else None
+
+    def __str__(self) -> str:
+        return f"Interrupt({self.cause!r})"
+
+
+class Process(Event):
+    """A running simulation process.
+
+    A process *is* an event: it triggers when the generator finishes
+    (successfully with its return value, or with the exception that
+    escaped it).  Other processes can therefore ``yield`` a process to
+    wait for its completion.
+    """
+
+    def __init__(self, env: "Environment",
+                 generator: typing.Generator[Event, typing.Any, typing.Any],
+                 name: str | None = None) -> None:
+        if not isinstance(generator, types.GeneratorType):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or generator.__name__
+        self._target: Event | None = None
+        # Bootstrap: resume the process at the current simulation time.
+        init = Event(env)
+        init.succeed()
+        init.callbacks.append(self._resume)  # type: ignore[union-attr]
+        self._target = init
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Event | None:
+        """The event this process is currently waiting on."""
+        return self._target
+
+    def interrupt(self, cause: typing.Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point.
+
+        Interrupting a finished process is an error; interrupting a
+        process that is waiting detaches it from its target event first
+        so the event's eventual trigger does not resume it twice.
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self.name} already terminated")
+        # Deliver asynchronously via a failed event so that the interrupt
+        # happens inside the event loop, in a deterministic order.
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event.defused = True
+        interrupt_event.callbacks.append(  # type: ignore[union-attr]
+            self._resume_interrupt)
+        self.env.schedule(interrupt_event)
+
+    # ------------------------------------------------------------------
+    # Internal resume machinery
+    # ------------------------------------------------------------------
+    def _resume_interrupt(self, event: Event) -> None:
+        if self.triggered:
+            # Process finished between scheduling and delivery; interrupt
+            # is moot.
+            return
+        # Detach from the current target so a later trigger of that event
+        # does not resume us a second time.
+        target = self._target
+        if target is not None and not target.processed:
+            callbacks = target.callbacks
+            if callbacks is not None and self._resume in callbacks:
+                callbacks.remove(self._resume)
+        self._step(event)
+
+    def _resume(self, event: Event) -> None:
+        self._step(event)
+
+    def _step(self, event: Event) -> None:
+        self._target = None
+        try:
+            if event._ok:
+                result = self._generator.send(event._value)
+            else:
+                # The exception is being delivered into the process, so
+                # it is handled from the event loop's perspective.
+                event.defused = True
+                result = self._generator.throw(
+                    typing.cast(BaseException, event._value))
+        except StopIteration as stop:
+            self._ok = True
+            self._value = stop.value
+            self.env.schedule(self)
+            return
+        except BaseException as error:  # noqa: BLE001 - deliberate resurface
+            self._ok = False
+            self._value = error
+            self.env.schedule(self)
+            return
+
+        if not isinstance(result, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded non-event {result!r}")
+        if result.processed:
+            # Already-processed events resume immediately (next step).
+            resume = Event(self.env)
+            resume._ok = result._ok
+            resume._value = result._value
+            if not result._ok:
+                resume.defused = True
+            resume.callbacks.append(self._resume)  # type: ignore[union-attr]
+            self.env.schedule(resume)
+            self._target = resume
+        else:
+            result.callbacks.append(self._resume)  # type: ignore[union-attr]
+            self._target = result
+
+    def __repr__(self) -> str:
+        state = "finished" if self.triggered else "alive"
+        return f"<Process {self.name!r} {state}>"

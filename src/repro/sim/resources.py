@@ -1,0 +1,308 @@
+"""Queueing resources for the closed queueing network model.
+
+The paper's model needs three kinds of service centers:
+
+- **FCFS resources** (data disks, log disks): single queue, one or more
+  servers, first-come first-served.
+- **Priority resources** (CPUs): a single common queue shared by all the
+  site's processors, where *message processing is given higher priority
+  than data processing* (Section 4 of the paper).  Priorities are
+  non-preemptive.
+- **Infinite servers**: Experiment 2 ("pure data contention") makes the
+  physical resources infinite -- no queueing, only service time.
+
+All three expose the same ``serve`` coroutine so call sites do not care
+which one they talk to.
+"""
+
+from __future__ import annotations
+
+import collections
+import heapq
+import typing
+
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Environment
+
+#: Priority for message handling at CPUs (served before data processing).
+PRIORITY_MESSAGE = 0
+#: Priority for local data processing at CPUs.
+PRIORITY_DATA = 1
+
+
+class Request(Event):
+    """A pending claim on a resource.
+
+    Triggered when the resource grants the claim.  Must be released with
+    :meth:`Resource.release` (directly or via ``serve``).
+    """
+
+    def __init__(self, env: "Environment", priority: int = PRIORITY_DATA):
+        super().__init__(env)
+        self.priority = priority
+
+
+class Resource:
+    """A multi-server FCFS resource.
+
+    Statistics: tracks busy time per server-slot so utilization can be
+    reported, and the time-integral of queue length.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1,
+                 name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._in_service = 0
+        self._queue: collections.deque[Request] = collections.deque()
+        # Statistics.
+        self._busy_integral = 0.0
+        self._queue_integral = 0.0
+        self._last_change = env.now
+        self._served = 0
+
+    # ------------------------------------------------------------------
+    # Claims
+    # ------------------------------------------------------------------
+    def request(self, priority: int = PRIORITY_DATA) -> Request:
+        """Claim a server slot; the returned event triggers when granted."""
+        self._account()
+        req = Request(self.env, priority)
+        if self._in_service < self.capacity:
+            self._in_service += 1
+            req.succeed()
+        else:
+            self._enqueue(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Release a previously granted claim."""
+        self._account()
+        if not request.triggered:
+            # Still waiting: withdraw from the queue (used when an
+            # interrupted process abandons its claim).
+            self._dequeue(request)
+            return
+        self._in_service -= 1
+        self._served += 1
+        self._grant_next()
+
+    def cancel(self, request: Request) -> None:
+        """Withdraw an ungranted request (no-op if already granted)."""
+        self._account()
+        if not request.triggered:
+            self._dequeue(request)
+
+    def serve(self, duration: float, priority: int = PRIORITY_DATA,
+              ) -> typing.Generator[Event, typing.Any, None]:
+        """Coroutine: wait for a server, hold it for ``duration``, release.
+
+        If the calling process is interrupted while queued or in service,
+        the claim is cleanly withdrawn/released before the interrupt
+        propagates.
+        """
+        req = self.request(priority)
+        try:
+            yield req
+            yield self.env.timeout(duration)
+        finally:
+            self.release(req)
+
+    # ------------------------------------------------------------------
+    # Queue discipline (overridden by PriorityResource)
+    # ------------------------------------------------------------------
+    def _enqueue(self, req: Request) -> None:
+        self._queue.append(req)
+
+    def _dequeue(self, req: Request) -> None:
+        try:
+            self._queue.remove(req)
+        except ValueError:
+            pass
+
+    def _pop_next(self) -> Request | None:
+        if self._queue:
+            return self._queue.popleft()
+        return None
+
+    def _grant_next(self) -> None:
+        nxt = self._pop_next()
+        if nxt is not None:
+            self._in_service += 1
+            nxt.succeed()
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def _account(self) -> None:
+        dt = self.env.now - self._last_change
+        if dt > 0:
+            self._busy_integral += dt * self._in_service
+            self._queue_integral += dt * len(self._queue)
+            self._last_change = self.env.now
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    @property
+    def in_service(self) -> int:
+        return self._in_service
+
+    def utilization(self, elapsed: float) -> float:
+        """Mean fraction of server capacity busy over ``elapsed`` time."""
+        self._account()
+        if elapsed <= 0:
+            return 0.0
+        return self._busy_integral / (elapsed * self.capacity)
+
+    def busy_snapshot(self) -> float:
+        """Cumulative busy server-time so far (for windowed utilization:
+        take a snapshot at window start and subtract)."""
+        self._account()
+        return self._busy_integral
+
+    def mean_queue_length(self, elapsed: float) -> float:
+        self._account()
+        if elapsed <= 0:
+            return 0.0
+        return self._queue_integral / elapsed
+
+
+class PriorityResource(Resource):
+    """FCFS within priority class; lower priority value served first.
+
+    Used for site CPUs: message processing (priority 0) overtakes queued
+    data processing (priority 1), but service is non-preemptive.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1,
+                 name: str = "priority-resource") -> None:
+        super().__init__(env, capacity, name)
+        self._pqueue: list[tuple[int, int, Request]] = []
+        self._seq = 0
+
+    def _enqueue(self, req: Request) -> None:
+        self._seq += 1
+        heapq.heappush(self._pqueue, (req.priority, self._seq, req))
+
+    def _dequeue(self, req: Request) -> None:
+        for i, (_, _, queued) in enumerate(self._pqueue):
+            if queued is req:
+                self._pqueue[i] = self._pqueue[-1]
+                self._pqueue.pop()
+                heapq.heapify(self._pqueue)
+                return
+
+    def _pop_next(self) -> Request | None:
+        if self._pqueue:
+            return heapq.heappop(self._pqueue)[2]
+        return None
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._pqueue)
+
+    def mean_queue_length(self, elapsed: float) -> float:
+        # _queue_integral in the base class tracks the deque; track the
+        # heap length instead via _account override below.
+        return super().mean_queue_length(elapsed)
+
+    def _account(self) -> None:
+        dt = self.env.now - self._last_change
+        if dt > 0:
+            self._busy_integral += dt * self._in_service
+            self._queue_integral += dt * len(self._pqueue)
+            self._last_change = self.env.now
+
+
+class InfiniteServer:
+    """A service center with unlimited parallel servers (no queueing).
+
+    Experiment 2 of the paper makes CPUs and disks "infinite": requests
+    never queue but still take their full service time.  Exposes the same
+    ``serve`` interface as :class:`Resource`.
+    """
+
+    def __init__(self, env: "Environment", name: str = "infinite") -> None:
+        self.env = env
+        self.name = name
+        self.capacity = float("inf")
+        self._served = 0
+        self._busy_integral = 0.0
+
+    def serve(self, duration: float, priority: int = PRIORITY_DATA,
+              ) -> typing.Generator[Event, typing.Any, None]:
+        yield self.env.timeout(duration)
+        self._served += 1
+        self._busy_integral += duration
+
+    @property
+    def queue_length(self) -> int:
+        return 0
+
+    @property
+    def in_service(self) -> int:
+        return 0
+
+    def utilization(self, elapsed: float) -> float:
+        return 0.0
+
+    def busy_snapshot(self) -> float:
+        return self._busy_integral
+
+    def mean_queue_length(self, elapsed: float) -> float:
+        return 0.0
+
+
+#: Anything a site can dispatch service requests to.
+Server = typing.Union[Resource, PriorityResource, InfiniteServer]
+
+
+class Store:
+    """An unbounded FIFO message store (mailbox).
+
+    ``put`` never blocks; ``get`` returns an event that triggers with the
+    oldest item as soon as one is available.  Used for inter-process
+    message delivery (master/cohort inboxes).
+
+    Semantics note: if a process that was waiting on ``get`` is
+    interrupted, a later ``put`` may still resolve its (now unread) get
+    event, consuming the item.  The commit simulator is immune by
+    construction -- inboxes belong to per-incarnation agents, and an
+    interrupted agent's messages are dead letters anyway -- but library
+    users with shared mailboxes should re-``get`` rather than reuse a
+    possibly-interrupted get event.
+    """
+
+    def __init__(self, env: "Environment", name: str = "store") -> None:
+        self.env = env
+        self.name = name
+        self._items: collections.deque[typing.Any] = collections.deque()
+        self._getters: collections.deque[Event] = collections.deque()
+
+    def put(self, item: typing.Any) -> None:
+        """Deposit an item, waking the oldest waiting getter if any."""
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                getter.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that triggers with the next available item."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._items)

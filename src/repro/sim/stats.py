@@ -1,0 +1,252 @@
+"""Output statistics for simulation experiments.
+
+The paper reports mean throughputs whose 90%-confidence half-widths are
+below 10% of the mean, with runs of at least 50,000 transactions.  This
+module supplies the pieces needed to reproduce that methodology:
+
+- :class:`WelfordAccumulator` -- numerically stable running mean/variance
+  for observational data (response times, counts per transaction).
+- :class:`TimeWeightedAverage` -- time-integrated averages for state
+  variables (number of blocked transactions, queue lengths).
+- :class:`BatchMeans` -- batch-means confidence intervals for steady-state
+  means from a single long run.
+- :func:`confidence_interval` -- Student-t interval on a sample of
+  replication means.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+
+class WelfordAccumulator:
+    """Running mean and variance via Welford's algorithm."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.total = 0.0
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "WelfordAccumulator") -> None:
+        """Fold another accumulator into this one (parallel Welford)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            self.total = other.total
+            return
+        total_count = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total_count
+        self._mean += delta * other.count / total_count
+        self.count = total_count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+
+class TimeWeightedAverage:
+    """Time-integral average of a piecewise-constant state variable.
+
+    Used for the paper's *block ratio* (average fraction of transactions
+    in the blocked state) and resource queue lengths.
+    """
+
+    def __init__(self, initial_value: float = 0.0,
+                 initial_time: float = 0.0) -> None:
+        self._value = initial_value
+        self._last_time = initial_time
+        self._integral = 0.0
+        self._start_time = initial_time
+
+    @property
+    def value(self) -> float:
+        """Current level of the state variable."""
+        return self._value
+
+    def update(self, value: float, now: float) -> None:
+        """Set a new level at simulated time ``now``."""
+        dt = now - self._last_time
+        if dt < 0:
+            raise ValueError("time moved backwards")
+        self._integral += self._value * dt
+        self._value = value
+        self._last_time = now
+
+    def increment(self, now: float, amount: float = 1.0) -> None:
+        self.update(self._value + amount, now)
+
+    def decrement(self, now: float, amount: float = 1.0) -> None:
+        self.update(self._value - amount, now)
+
+    def reset(self, now: float) -> None:
+        """Discard history (end of warmup); keep the current level."""
+        self._integral = 0.0
+        self._last_time = now
+        self._start_time = now
+
+    def average(self, now: float) -> float:
+        """Time-weighted mean from the last reset until ``now``."""
+        elapsed = now - self._start_time
+        if elapsed <= 0:
+            return self._value
+        return (self._integral + self._value * (now - self._last_time)) / elapsed
+
+
+class BatchMeans:
+    """Batch-means estimator for a steady-state mean.
+
+    Observations are grouped into fixed-size batches; the batch means are
+    treated as (approximately) i.i.d. and a Student-t interval is formed
+    on them.  This is the standard single-long-run methodology the paper's
+    "relative half-widths ... at the 90 percent confidence level" implies.
+    """
+
+    def __init__(self, batch_size: int) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = batch_size
+        self._current = WelfordAccumulator()
+        self.batch_means: list[float] = []
+        self._all = WelfordAccumulator()
+
+    def add(self, value: float) -> None:
+        self._current.add(value)
+        self._all.add(value)
+        if self._current.count >= self.batch_size:
+            self.batch_means.append(self._current.mean)
+            self._current = WelfordAccumulator()
+
+    @property
+    def count(self) -> int:
+        return self._all.count
+
+    @property
+    def mean(self) -> float:
+        return self._all.mean
+
+    def interval(self, confidence: float = 0.90) -> tuple[float, float]:
+        """(mean, half-width) from the completed batches."""
+        n = len(self.batch_means)
+        if n < 2:
+            return self.mean, math.inf
+        acc = WelfordAccumulator()
+        for m in self.batch_means:
+            acc.add(m)
+        t = student_t_quantile(1 - (1 - confidence) / 2, n - 1)
+        half = t * acc.stddev / math.sqrt(n)
+        return acc.mean, half
+
+    def relative_half_width(self, confidence: float = 0.90) -> float:
+        mean, half = self.interval(confidence)
+        if mean == 0:
+            return math.inf
+        return abs(half / mean)
+
+
+def confidence_interval(samples: typing.Sequence[float],
+                        confidence: float = 0.90) -> tuple[float, float]:
+    """(mean, half-width) Student-t interval over replication means."""
+    n = len(samples)
+    if n == 0:
+        return 0.0, math.inf
+    if n == 1:
+        return samples[0], math.inf
+    acc = WelfordAccumulator()
+    for s in samples:
+        acc.add(s)
+    t = student_t_quantile(1 - (1 - confidence) / 2, n - 1)
+    return acc.mean, t * acc.stddev / math.sqrt(n)
+
+
+def student_t_quantile(p: float, df: int) -> float:
+    """Quantile of the Student-t distribution.
+
+    Implemented from scratch (Hill's algorithm via the inverse incomplete
+    beta is overkill; we use the classic Abramowitz–Stegun normal-quantile
+    expansion plus the Cornish–Fisher-style t correction), accurate to a
+    few 1e-4 -- ample for confidence reporting.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be in (0, 1)")
+    if df < 1:
+        raise ValueError("df must be >= 1")
+    # Exact small-df values for the common tail probabilities would be
+    # nice, but the expansion below is already good to ~1e-3 for df >= 3;
+    # for df 1 and 2 closed forms exist.
+    if df == 1:
+        return math.tan(math.pi * (p - 0.5))
+    if df == 2:
+        return (2 * p - 1) * math.sqrt(2.0 / (4 * p * (1 - p)))
+    z = normal_quantile(p)
+    g1 = (z**3 + z) / 4.0
+    g2 = (5 * z**5 + 16 * z**3 + 3 * z) / 96.0
+    g3 = (3 * z**7 + 19 * z**5 + 17 * z**3 - 15 * z) / 384.0
+    g4 = (79 * z**9 + 776 * z**7 + 1482 * z**5 - 1920 * z**3 - 945 * z) / 92160.0
+    return z + g1 / df + g2 / df**2 + g3 / df**3 + g4 / df**4
+
+
+def normal_quantile(p: float) -> float:
+    """Inverse standard normal CDF (Acklam's rational approximation)."""
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be in (0, 1)")
+    # Coefficients for Acklam's approximation.
+    a = (-3.969683028665376e+01, 2.209460984245205e+02,
+         -2.759285104469687e+02, 1.383577518672690e+02,
+         -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02,
+         -1.556989798598866e+02, 6.680131188771972e+01,
+         -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e+00, -2.549732539343734e+00,
+         4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e+00, 3.754408661907416e+00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    if p > 1 - p_low:
+        q = math.sqrt(-2 * math.log(1 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / \
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1)

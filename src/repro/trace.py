@@ -1,0 +1,165 @@
+"""Structured tracing of transaction lifecycles.
+
+An optional facility (zero cost when unused) that records the simulated
+system's interesting events -- submissions, commits, aborts, borrow
+grants, deadlock victims, shelf entries -- as structured records.  Used
+for debugging the model, for the worked examples, and for assertions in
+tests that need to observe *sequences* of behaviour rather than end
+counts.
+
+Usage::
+
+    system = build_system("OPT", mpl=4)
+    tracer = Tracer.attach(system)
+    system.run(measured_transactions=100)
+    for record in tracer.of_kind(TraceKind.BORROW):
+        print(record)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.system import DistributedSystem
+
+
+class TraceKind(enum.Enum):
+    """Event categories recorded by the tracer."""
+
+    SUBMIT = "submit"            # a fresh transaction enters a slot
+    RESTART = "restart"          # an aborted incarnation is relaunched
+    COMMIT = "commit"            # master completed a commit
+    ABORT = "abort"              # incarnation aborted (any reason)
+    BORROW = "borrow"            # a page borrowed from a prepared lender
+    SHELF = "shelf"              # a borrower entered the shelf
+    DEADLOCK_VICTIM = "deadlock_victim"
+    LENDER_ABORT = "lender_abort"
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    time: float
+    kind: TraceKind
+    txn: str                      # transaction name, e.g. "T17.2"
+    detail: str = ""
+
+    def __str__(self) -> str:
+        detail = f" {self.detail}" if self.detail else ""
+        return f"[{self.time:10.1f}ms] {self.kind.value:<16} {self.txn}{detail}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects from a running system.
+
+    Attach *before* ``system.run()``.  The tracer wraps the system's
+    metric hooks and launch path; it never alters behaviour.
+    """
+
+    def __init__(self, system: "DistributedSystem",
+                 echo: typing.Callable[[str], None] | None = None,
+                 limit: int | None = None) -> None:
+        self.system = system
+        self.records: list[TraceRecord] = []
+        self._echo = echo
+        self._limit = limit
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, system: "DistributedSystem",
+               echo: typing.Callable[[str], None] | None = None,
+               limit: int | None = None) -> "Tracer":
+        """Instrument ``system`` and return the tracer."""
+        tracer = cls(system, echo=echo, limit=limit)
+        tracer._wrap_launch()
+        tracer._wrap_metrics()
+        tracer._wrap_lock_hooks()
+        return tracer
+
+    def _record(self, kind: TraceKind, txn_name: str,
+                detail: str = "") -> None:
+        if self._limit is not None and len(self.records) >= self._limit:
+            return
+        record = TraceRecord(self.system.env.now, kind, txn_name, detail)
+        self.records.append(record)
+        if self._echo is not None:
+            self._echo(str(record))
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+    def _wrap_launch(self) -> None:
+        original = self.system._launch
+
+        def launching(spec, incarnation, first_submit):
+            txn = original(spec, incarnation, first_submit)
+            kind = TraceKind.SUBMIT if incarnation == 0 else TraceKind.RESTART
+            sites = ",".join(str(a.site_id) for a in spec.accesses)
+            self._record(kind, txn.name, f"sites=[{sites}]")
+            return txn
+
+        self.system._launch = launching
+
+    def _wrap_metrics(self) -> None:
+        metrics = self.system.metrics
+        original_commit = metrics.transaction_committed
+        original_abort = metrics.transaction_aborted
+
+        def committed(txn):
+            self._record(TraceKind.COMMIT, txn.name,
+                         f"borrowed={txn.pages_borrowed}")
+            original_commit(txn)
+
+        def aborted(txn, reason):
+            from repro.db.transaction import AbortReason
+            self._record(TraceKind.ABORT, txn.name, reason.value)
+            if reason is AbortReason.DEADLOCK:
+                self._record(TraceKind.DEADLOCK_VICTIM, txn.name)
+            elif reason is AbortReason.LENDER_ABORT:
+                self._record(TraceKind.LENDER_ABORT, txn.name)
+            original_abort(txn, reason)
+
+        original_shelf = metrics.shelf_entered
+
+        def shelf():
+            self._record(TraceKind.SHELF, "-")
+            original_shelf()
+
+        metrics.transaction_committed = committed
+        metrics.transaction_aborted = aborted
+        metrics.shelf_entered = shelf
+
+    def _wrap_lock_hooks(self) -> None:
+        for site in self.system.sites:
+            lock_manager = site.lock_manager
+            original = lock_manager._on_borrow
+
+            def borrowing(cohort, page, _original=original,
+                          _site=site.site_id):
+                self._record(TraceKind.BORROW, cohort.txn.name,
+                             f"page={page}@site{_site}")
+                _original(cohort, page)
+
+            lock_manager._on_borrow = borrowing
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: TraceKind) -> list[TraceRecord]:
+        return [r for r in self.records if r.kind is kind]
+
+    def of_transaction(self, txn_name: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.txn == txn_name]
+
+    def counts(self) -> dict[TraceKind, int]:
+        out: dict[TraceKind, int] = {}
+        for record in self.records:
+            out[record.kind] = out.get(record.kind, 0) + 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,28 @@
+"""Fixtures for protocol tests: small, fast system configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.config import ModelParams
+
+
+def small_params(**overrides):
+    """A low-contention configuration that still exercises distribution."""
+    defaults = dict(num_sites=4, db_size=2000, mpl=1, dist_degree=3,
+                    cohort_size=4)
+    defaults.update(overrides)
+    return ModelParams(**defaults)
+
+
+def run_small(protocol, measured=120, warmup=20, **overrides):
+    """Run a small simulation and return its result."""
+    return repro.simulate(protocol, params=small_params(**overrides),
+                          measured_transactions=measured,
+                          warmup_transactions=warmup)
+
+
+@pytest.fixture
+def quick_result():
+    return run_small

@@ -1,0 +1,71 @@
+"""Focused tests for the CENT and DPCC baselines (paper Section 5.1)."""
+
+import pytest
+
+import repro
+from repro.config import ModelParams, Topology
+
+
+class TestDpccIsUpperBound:
+    """DPCC 'in a sense represents an upper bound on achievable
+    performance' for any distributed commit protocol."""
+
+    @pytest.mark.parametrize("protocol", ["2PC", "PC", "3PC", "OPT",
+                                          "UV", "EP", "LIN-2PC"])
+    def test_dpcc_dominates_under_light_load(self, protocol):
+        kwargs = dict(mpl=2, measured_transactions=300)
+        dpcc = repro.simulate("DPCC", **kwargs)
+        other = repro.simulate(protocol, **kwargs)
+        # Allow a little sampling noise, but DPCC must not be beaten
+        # materially: its commit phase is free.
+        assert dpcc.throughput >= 0.97 * other.throughput, protocol
+
+
+class TestCentEquivalence:
+    def test_cent_resources_equal_distributed_aggregate(self):
+        params = ModelParams(num_sites=8, num_cpus=2, num_data_disks=3,
+                             num_log_disks=2, db_size=4800)
+        cent = repro.build_system("CENT", params=params)
+        site = cent.sites[0]
+        assert site.cpu.capacity == 16
+        assert len(site.data_disks) == 24
+        assert len(site.log_manager.log_disks) == 16
+
+    def test_cent_workload_identical_to_distributed(self):
+        """Same seed -> the workload generator draws identical specs
+        under both topologies (logical sites are preserved)."""
+        cent = repro.build_system("CENT", seed=7)
+        dist = repro.build_system("2PC", seed=7)
+        for origin in range(4):
+            spec_c = cent.workload.generate(origin)
+            spec_d = dist.workload.generate(origin)
+            assert spec_c.accesses == spec_d.accesses
+
+    def test_cent_has_no_remote_messages(self):
+        result = repro.simulate("CENT", mpl=2, measured_transactions=200)
+        assert result.overheads.execution_messages == 0
+        assert result.overheads.commit_messages == 0
+
+    def test_cent_keeps_cohort_parallelism(self):
+        """CENT retains the cohort structure (the paper's definition
+        removes *distribution*, not intra-transaction parallelism): a
+        parallel CENT transaction responds much faster than the same
+        workload executed with sequential cohorts."""
+        parallel = repro.simulate("CENT", mpl=1,
+                                  measured_transactions=100)
+        sequential = repro.simulate(
+            "CENT", mpl=1, measured_transactions=100,
+            trans_type=repro.TransactionType.SEQUENTIAL)
+        assert parallel.response_time_ms < 0.7 * sequential.response_time_ms
+
+    def test_commit_effect_exceeds_distribution_effect(self):
+        """The paper's headline: (DPCC - 2PC) > (CENT - DPCC) under
+        data contention."""
+        kwargs = dict(mpl=4, infinite_resources=True,
+                      measured_transactions=400)
+        cent = repro.simulate("CENT", **kwargs).throughput
+        dpcc = repro.simulate("DPCC", **kwargs).throughput
+        two_pc = repro.simulate("2PC", **kwargs).throughput
+        commit_cost = dpcc - two_pc
+        distribution_cost = cent - dpcc
+        assert commit_cost > distribution_cost

@@ -1,0 +1,93 @@
+"""Degenerate configurations: single-cohort transactions, hybrid
+topologies.  These exercise boundary paths in every protocol."""
+
+import pytest
+
+import repro
+from repro.config import ModelParams, Topology
+
+
+def run_single_cohort(protocol, **overrides):
+    """dist_degree=1: the master's only cohort is local; every message
+    in the protocol is free."""
+    defaults = dict(num_sites=4, db_size=2000, mpl=1, dist_degree=1,
+                    cohort_size=3, measured_transactions=60,
+                    warmup_transactions=10)
+    defaults.update(overrides)
+    return repro.simulate(protocol, **defaults)
+
+
+class TestSingleCohortTransactions:
+    @pytest.mark.parametrize("protocol", repro.PROTOCOL_NAMES)
+    def test_all_protocols_handle_dist_degree_one(self, protocol):
+        result = run_single_cohort(protocol)
+        assert result.committed >= 60
+        # No remote messages whatsoever.
+        assert result.overheads.execution_messages == 0
+        assert result.overheads.commit_messages == 0
+
+    def test_2pc_forced_writes_shrink_with_one_cohort(self):
+        result = run_single_cohort("2PC")
+        # 1 prepare + master commit + cohort commit = 3.
+        assert result.overheads.forced_writes == 3
+
+    def test_linear_chain_of_one_decides_immediately(self):
+        """A one-cohort chain is all tail: one forced decision write."""
+        result = run_single_cohort("LIN-2PC")
+        assert result.overheads.forced_writes == 1
+
+    def test_ep_single_cohort(self):
+        # Collecting + prepare + master commit.
+        result = run_single_cohort("EP")
+        assert result.overheads.forced_writes == 3
+
+
+class TestHybridTopologies:
+    def test_opt_on_centralized_topology(self):
+        """Lending works within a single physical site too."""
+        params = ModelParams(num_sites=4, db_size=300, mpl=6,
+                             dist_degree=2, cohort_size=3,
+                             topology=Topology.CENTRALIZED)
+        result = repro.simulate("OPT", params=params,
+                                measured_transactions=300,
+                                warmup_transactions=30)
+        assert result.committed >= 300
+        assert result.borrow_ratio > 0
+
+    def test_3pc_on_centralized_topology(self):
+        params = ModelParams(num_sites=2, db_size=400, mpl=2,
+                             dist_degree=2, cohort_size=2,
+                             topology=Topology.CENTRALIZED)
+        result = repro.simulate("3PC", params=params,
+                                measured_transactions=100,
+                                warmup_transactions=10)
+        assert result.committed >= 100
+        # All messages local: only the forced writes remain.
+        assert result.overheads.commit_messages == 0
+        assert result.overheads.forced_writes == 8  # 3N + 2 with N=2
+
+    def test_dpcc_on_centralized_equals_cent(self):
+        """DPCC on the centralized topology *is* CENT by construction."""
+        params = ModelParams(num_sites=2, db_size=400, mpl=2,
+                             dist_degree=2, cohort_size=2,
+                             topology=Topology.CENTRALIZED)
+        dpcc = repro.simulate("DPCC", params=params,
+                              measured_transactions=150,
+                              warmup_transactions=10)
+        cent = repro.simulate("CENT", params=params,
+                              measured_transactions=150,
+                              warmup_transactions=10)
+        assert dpcc.throughput == cent.throughput
+        assert dpcc.response_time_ms == cent.response_time_ms
+
+
+class TestMaximumDistribution:
+    def test_dist_degree_equals_num_sites(self):
+        """A cohort at every site."""
+        result = repro.simulate("OPT", num_sites=4, db_size=2000,
+                                mpl=2, dist_degree=4, cohort_size=2,
+                                measured_transactions=100,
+                                warmup_transactions=10)
+        assert result.committed >= 100
+        # 2 x 3 remote cohorts execution messages.
+        assert result.overheads.execution_messages == 6

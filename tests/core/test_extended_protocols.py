@@ -1,0 +1,164 @@
+"""Tests for the Section 2.5 extension protocols: EP and linear 2PC."""
+
+import pytest
+
+import repro
+from repro.core.linear import LinearTwoPhaseCommit
+from repro.db.wal import LogRecordKind
+
+from tests.core.conftest import run_small
+
+
+def overheads(protocol, **overrides):
+    defaults = dict(mpl=1, db_size=48000, measured_transactions=60,
+                    warmup_transactions=10)
+    defaults.update(overrides)
+    result = repro.simulate(protocol, **defaults)
+    assert result.aborted == 0
+    return result.overheads.rounded()
+
+
+class TestEarlyPrepare:
+    def test_message_minimal_overheads(self):
+        """EP at DistDegree 3: 2 STARTWORK + 2 votes + 2 COMMIT = six
+        messages total; collecting + 3 prepares + master commit = five
+        forced writes."""
+        assert overheads("EP") == (2, 5, 4)
+
+    def test_fewest_messages_of_all_two_phase_protocols(self):
+        def total(name):
+            e, f, c = overheads(name)
+            return e + c
+
+        ep = total("EP")
+        for other in ("2PC", "PA", "PC", "3PC", "UV", "LIN-2PC"):
+            assert ep <= total(other)
+
+    def test_collecting_forced_before_any_work(self):
+        from repro.config import ModelParams
+        from repro.core import create_protocol
+        from repro.db.system import DistributedSystem
+        system = DistributedSystem(
+            ModelParams(num_sites=3, db_size=600, mpl=1, dist_degree=3,
+                        cohort_size=2), create_protocol("EP"))
+        spec = system.workload.generate(0)
+        txn = system._launch(spec, 0, 0.0)
+        system.env.run(until=txn.master.process)
+        system.env.run()
+        records = [r for site in system.sites
+                   for r in site.log_manager.records if r.forced]
+        collecting = [r.time for r in records
+                      if r.kind is LogRecordKind.COLLECTING]
+        prepares = [r.time for r in records
+                    if r.kind is LogRecordKind.PREPARE]
+        assert len(collecting) == 1
+        assert all(collecting[0] <= t for t in prepares)
+
+    def test_surprise_aborts(self):
+        result = run_small("EP", surprise_abort_prob=0.10, measured=200,
+                           warmup=30)
+        assert result.aborts_by_reason.get("surprise_vote", 0) > 0
+
+    def test_no_opt_variant(self):
+        from repro.core.early_prepare import EarlyPrepare
+
+        class OptimisticEP(EarlyPrepare):
+            lending = True
+
+        with pytest.raises(TypeError):
+            OptimisticEP()
+
+
+class TestLinear2PC:
+    def test_chain_halves_commit_messages(self):
+        """Linear chain at DistDegree 3: two PREPAREs rightward, two
+        COMMITs leftward; master<->first-cohort messages are local."""
+        assert overheads("LIN-2PC") == (4, 5, 4)
+
+    def test_opt_lin_same_overheads(self):
+        assert overheads("OPT-LIN") == overheads("LIN-2PC")
+
+    def test_decision_record_at_chain_tail(self):
+        from repro.config import ModelParams
+        from repro.core import create_protocol
+        from repro.db.system import DistributedSystem
+        system = DistributedSystem(
+            ModelParams(num_sites=3, db_size=600, mpl=1, dist_degree=3,
+                        cohort_size=2), create_protocol("LIN-2PC"))
+        spec = system.workload.generate(0)
+        txn = system._launch(spec, 0, 0.0)
+        system.env.run(until=txn.master.process)
+        system.env.run()
+        tail_site = txn.cohorts[-1].site
+        tail_commits = [r for r in tail_site.log_manager.records
+                        if r.kind is LogRecordKind.COMMIT and r.forced]
+        assert tail_commits, "the chain tail must log the decision"
+        # The tail's commit precedes every other forced commit record.
+        all_commits = [r for site in system.sites
+                       for r in site.log_manager.records
+                       if r.kind is LogRecordKind.COMMIT and r.forced]
+        assert min(r.time for r in all_commits) == \
+            min(r.time for r in tail_commits)
+
+    def test_serial_voting_lengthens_commit_phase(self):
+        """The chain serializes voting, so responses are longer than
+        parallel 2PC's at equal (low) contention."""
+        lin = run_small("LIN-2PC", db_size=40000, measured=100, warmup=10)
+        par = run_small("2PC", db_size=40000, measured=100, warmup=10)
+        assert lin.response_time_ms > par.response_time_ms
+
+    def test_opt_lin_lends_at_the_chain_head(self):
+        """Lending works on the chain; borrowing concentrates at the
+        head cohorts, whose prepared window spans the serialized round
+        trip (the tail never prepares, so it never lends)."""
+        contended = dict(mpl=8, db_size=400, measured=400, warmup=50)
+        opt_lin = run_small("OPT-LIN", **contended)
+        assert opt_lin.borrow_ratio > 0.5
+        assert opt_lin.shelf_entries >= 0
+
+    def test_lin_tail_never_prepares(self):
+        """Structural check of the nuance documented in linear.py."""
+        from repro.config import ModelParams
+        from repro.core import create_protocol
+        from repro.db.system import DistributedSystem
+        from repro.db.transaction import CohortState
+        system = DistributedSystem(
+            ModelParams(num_sites=3, db_size=600, mpl=1, dist_degree=3,
+                        cohort_size=2), create_protocol("OPT-LIN"))
+        states = []
+        spec = system.workload.generate(0)
+        txn = system._launch(spec, 0, 0.0)
+        tail = txn.cohorts[-1]
+        original = tail.site.lock_manager.prepare
+
+        def spying_prepare(cohort):
+            states.append(cohort)
+            original(cohort)
+
+        tail.site.lock_manager.prepare = spying_prepare
+        system.env.run(until=txn.master.process)
+        system.env.run()
+        assert tail not in states, "the chain tail decides, not prepares"
+        assert tail.state is CohortState.COMMITTED
+
+    def test_abort_released_in_both_directions(self):
+        """Every surprise-abort run must terminate with no cohort left
+        waiting for a PREPARE that never comes."""
+        result = run_small("LIN-2PC", surprise_abort_prob=0.15,
+                           mpl=4, measured=300, warmup=30)
+        assert result.committed >= 300  # no hangs
+
+    def test_chain_helper(self):
+        from repro.config import ModelParams
+        from repro.core import create_protocol
+        from repro.db.system import DistributedSystem
+        system = DistributedSystem(
+            ModelParams(num_sites=4, db_size=800, mpl=1, dist_degree=3,
+                        cohort_size=2), create_protocol("LIN-2PC"))
+        spec = system.workload.generate(0)
+        txn = system._launch(spec, 0, 0.0)
+        c0, c1, c2 = txn.cohorts
+        assert LinearTwoPhaseCommit._chain(c0) == (0, txn.master, c1)
+        assert LinearTwoPhaseCommit._chain(c1) == (1, c0, c2)
+        assert LinearTwoPhaseCommit._chain(c2) == (2, c1, None)
+        system.env.run(until=txn.master.process)

@@ -1,0 +1,118 @@
+"""Tests of the log *records* each protocol writes (kinds and forcing).
+
+The overhead tables check totals; these tests check the structure: which
+record kinds appear, which are forced, at master vs cohort sites.
+"""
+
+import pytest
+
+from repro.config import ModelParams
+from repro.core import create_protocol
+from repro.db.system import DistributedSystem
+from repro.db.transaction import TransactionOutcome
+from repro.db.wal import LogRecordKind
+
+
+def run_one(protocol, seed=None, **overrides):
+    """Run exactly one conflict-free transaction; return (system, txn)."""
+    defaults = dict(num_sites=3, db_size=600, mpl=1, dist_degree=3,
+                    cohort_size=2)
+    defaults.update(overrides)
+    system = DistributedSystem(ModelParams(**defaults),
+                               create_protocol(protocol), seed=seed)
+    spec = system.workload.generate(0)
+    txn = system._launch(spec, 0, 0.0)
+    outcome = system.env.run(until=txn.master.process)
+    system.env.run()  # drain cohort tails and async writes
+    return system, txn, outcome
+
+
+def records(system, forced=None):
+    out = []
+    for site in system.sites:
+        for record in site.log_manager.records:
+            if forced is None or record.forced == forced:
+                out.append(record)
+    return out
+
+
+def kinds(system, forced=None):
+    return [r.kind for r in records(system, forced)]
+
+
+class TestCommitPaths:
+    def test_2pc_record_structure(self):
+        system, txn, outcome = run_one("2PC")
+        assert outcome is TransactionOutcome.COMMITTED
+        forced = kinds(system, forced=True)
+        assert forced.count(LogRecordKind.PREPARE) == 3
+        assert forced.count(LogRecordKind.COMMIT) == 4  # master + 3 cohorts
+        unforced = kinds(system, forced=False)
+        assert unforced == [LogRecordKind.END]
+
+    def test_pc_collecting_record(self):
+        system, txn, outcome = run_one("PC")
+        forced = kinds(system, forced=True)
+        assert forced.count(LogRecordKind.COLLECTING) == 1
+        assert forced.count(LogRecordKind.PREPARE) == 3
+        assert forced.count(LogRecordKind.COMMIT) == 1  # master only
+        unforced = kinds(system, forced=False)
+        # Cohort commit records exist but are not forced; no end record.
+        assert unforced.count(LogRecordKind.COMMIT) == 3
+        assert LogRecordKind.END not in unforced
+
+    def test_3pc_precommit_records(self):
+        system, txn, outcome = run_one("3PC")
+        forced = kinds(system, forced=True)
+        assert forced.count(LogRecordKind.PRECOMMIT) == 4  # master + 3
+        assert forced.count(LogRecordKind.PREPARE) == 3
+        assert forced.count(LogRecordKind.COMMIT) == 4
+
+    def test_collecting_written_before_prepares(self):
+        system, txn, outcome = run_one("PC")
+        ordered = records(system, forced=True)
+        collecting_time = next(r.time for r in ordered
+                               if r.kind is LogRecordKind.COLLECTING)
+        prepare_times = [r.time for r in ordered
+                         if r.kind is LogRecordKind.PREPARE]
+        assert all(collecting_time <= t for t in prepare_times)
+
+
+class TestAbortPaths:
+    def test_2pc_abort_records_forced(self):
+        system, txn, outcome = run_one("2PC", surprise_abort_prob=1.0)
+        assert outcome is TransactionOutcome.ABORTED
+        forced = kinds(system, forced=True)
+        # All three cohorts vote NO and force abort records; the master
+        # forces its abort record too.
+        assert forced.count(LogRecordKind.ABORT) == 4
+        assert LogRecordKind.COMMIT not in forced
+
+    def test_pa_abort_records_not_forced(self):
+        system, txn, outcome = run_one("PA", surprise_abort_prob=1.0)
+        assert outcome is TransactionOutcome.ABORTED
+        forced = kinds(system, forced=True)
+        assert LogRecordKind.ABORT not in forced
+        unforced = kinds(system, forced=False)
+        # NO-voters and the master write unforced aborts; no end record.
+        assert unforced.count(LogRecordKind.ABORT) == 4
+        assert LogRecordKind.END not in unforced
+
+    def test_pa_commit_path_identical_to_2pc(self):
+        sys_pa, _, _ = run_one("PA")
+        sys_2pc, _, _ = run_one("2PC")
+        assert kinds(sys_pa, forced=True) == kinds(sys_2pc, forced=True)
+        assert kinds(sys_pa, forced=False) == kinds(sys_2pc, forced=False)
+
+    def test_partial_vote_abort_mixed_records(self):
+        """With p=0.5 some cohorts prepare before the abort decision:
+        prepared cohorts force abort records and ACK (2PC), NO-voters
+        force their own abort records."""
+        system, txn, outcome = run_one("2PC", surprise_abort_prob=0.5, seed=3)
+        if outcome is TransactionOutcome.ABORTED:
+            forced = kinds(system, forced=True)
+            aborts = forced.count(LogRecordKind.ABORT)
+            prepares = forced.count(LogRecordKind.PREPARE)
+            # Every cohort wrote either its own NO-abort or a prepare
+            # followed by a decision abort; the master adds one abort.
+            assert aborts + prepares >= 4

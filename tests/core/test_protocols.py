@@ -1,0 +1,193 @@
+"""Behavioural tests for the commit protocols (system level)."""
+
+import pytest
+
+import repro
+from repro.config import ModelParams, Topology, TransactionType
+
+from tests.core.conftest import run_small, small_params
+
+
+class TestBasicCommitment:
+    @pytest.mark.parametrize("protocol", repro.PROTOCOL_NAMES)
+    def test_every_protocol_commits_transactions(self, protocol):
+        result = run_small(protocol)
+        assert result.committed >= 120
+        assert result.throughput > 0
+        assert result.response_time_ms > 0
+
+    @pytest.mark.parametrize("protocol", ["2PC", "OPT", "3PC", "PC"])
+    def test_sequential_execution_commits(self, protocol):
+        result = run_small(protocol,
+                           trans_type=TransactionType.SEQUENTIAL,
+                           measured=60, warmup=10)
+        assert result.committed >= 60
+
+    def test_cent_runs_centralized(self):
+        system = repro.build_system("CENT", params=small_params())
+        assert system.params.topology is Topology.CENTRALIZED
+        assert len(system.sites) == 1
+        # Aggregate resources.
+        assert system.sites[0].cpu.capacity == 4  # 4 sites x 1 cpu
+        assert len(system.sites[0].data_disks) == 8
+        result = system.run(measured_transactions=80,
+                            warmup_transactions=10)
+        assert result.committed >= 80
+        assert result.overheads.rounded() == (0, 1, 0)
+
+    def test_dpcc_runs_distributed_with_free_commit(self):
+        system = repro.build_system("DPCC", params=small_params())
+        assert len(system.sites) == 4
+        result = system.run(measured_transactions=80,
+                            warmup_transactions=10)
+        assert result.overheads.rounded() == (4, 1, 0)
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(KeyError, match="unknown protocol"):
+            repro.create_protocol("4PC")
+
+    def test_protocol_names_case_insensitive(self):
+        assert repro.create_protocol("opt-3pc").name == "OPT-3PC"
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self):
+        a = run_small("OPT", mpl=4, db_size=400)
+        b = run_small("OPT", mpl=4, db_size=400)
+        assert a.throughput == b.throughput
+        assert a.response_time_ms == b.response_time_ms
+        assert a.aborted == b.aborted
+        assert a.borrow_ratio == b.borrow_ratio
+
+    def test_different_seeds_differ(self):
+        base = small_params(mpl=4, db_size=400)
+        a = repro.simulate("2PC", params=base, measured_transactions=120,
+                           warmup_transactions=20, seed=1)
+        b = repro.simulate("2PC", params=base, measured_transactions=120,
+                           warmup_transactions=20, seed=2)
+        assert a.throughput != b.throughput
+
+    def test_pa_identical_to_2pc_without_surprise_aborts(self):
+        """Paper Section 5.2: 'PA reduces to 2PC and performs
+        identically' when nothing aborts in the commit phase."""
+        contended = dict(mpl=6, db_size=400, measured=300, warmup=50)
+        a = run_small("2PC", **contended)
+        b = run_small("PA", **contended)
+        assert a.throughput == b.throughput
+        assert a.response_time_ms == b.response_time_ms
+
+
+class TestLending:
+    def test_opt_borrows_under_contention(self):
+        result = run_small("OPT", mpl=6, db_size=400, measured=300,
+                           warmup=50)
+        assert result.borrow_ratio > 0
+        assert result.shelf_entries >= 0
+
+    def test_2pc_never_borrows(self):
+        result = run_small("2PC", mpl=6, db_size=400, measured=300,
+                           warmup=50)
+        assert result.borrow_ratio == 0
+        assert result.shelf_entries == 0
+
+    def test_opt_blocks_less_than_2pc(self):
+        contended = dict(mpl=6, db_size=400, measured=300, warmup=50)
+        blocked_2pc = run_small("2PC", **contended).block_ratio
+        blocked_opt = run_small("OPT", **contended).block_ratio
+        assert blocked_opt < blocked_2pc
+
+    def test_opt_3pc_borrows_more_than_opt(self):
+        """The prepared window is longer under 3PC, so lending has more
+        opportunity (paper Section 5.6)."""
+        contended = dict(mpl=8, db_size=400, measured=400, warmup=50)
+        ratio_opt = run_small("OPT", **contended).borrow_ratio
+        ratio_opt3pc = run_small("OPT-3PC", **contended).borrow_ratio
+        assert ratio_opt3pc > ratio_opt
+
+    def test_no_lender_abort_cascades_without_surprise_aborts(self):
+        result = run_small("OPT", mpl=6, db_size=400, measured=300,
+                           warmup=50)
+        assert "lender_abort" not in result.aborts_by_reason
+
+
+class TestSurpriseAborts:
+    def test_surprise_aborts_produce_aborts(self):
+        result = run_small("2PC", surprise_abort_prob=0.10, measured=300,
+                           warmup=50)
+        assert result.aborts_by_reason.get("surprise_vote", 0) > 0
+
+    def test_cohort_abort_prob_translates_to_txn_prob(self):
+        """1 - (1-p)^3 at dist_degree 3: p=0.05 -> about 14%."""
+        result = run_small("2PC", surprise_abort_prob=0.05, measured=800,
+                           warmup=100)
+        surprise = result.aborts_by_reason.get("surprise_vote", 0)
+        total = result.committed + surprise
+        ratio = surprise / total
+        assert 0.09 < ratio < 0.20
+
+    def test_lender_abort_cascade_bounded(self):
+        """Lender aborts abort their borrowers (chain length one)."""
+        result = run_small("OPT", surprise_abort_prob=0.10, mpl=6,
+                           db_size=400, measured=400, warmup=50)
+        # With contention plus surprise aborts, some borrowers must die.
+        assert result.aborts_by_reason.get("lender_abort", 0) > 0
+
+    def test_committed_overheads_unchanged_by_surprise_aborts(self):
+        result = run_small("2PC", surprise_abort_prob=0.05,
+                           db_size=40000, measured=300, warmup=50)
+        # Committing transactions still pay exactly the Table 3 costs.
+        assert result.overheads.rounded() == (4, 7, 8)
+
+    def test_zero_probability_means_no_surprise_aborts(self):
+        result = run_small("2PC", surprise_abort_prob=0.0, measured=200,
+                           warmup=20)
+        assert "surprise_vote" not in result.aborts_by_reason
+
+
+class TestDeadlockHandling:
+    def test_deadlocks_detected_and_resolved_under_contention(self):
+        result = run_small("2PC", mpl=8, db_size=240, cohort_size=3,
+                           measured=400, warmup=50)
+        assert result.deadlocks > 0
+        assert result.aborts_by_reason.get("deadlock", 0) > 0
+        # Despite deadlocks, the run completed (no hang): sanity.
+        assert result.committed >= 400
+
+    def test_aborted_transactions_eventually_commit(self):
+        """Restarts must not starve: the closed system keeps going."""
+        result = run_small("OPT", mpl=8, db_size=240, cohort_size=3,
+                           measured=400, warmup=50)
+        assert result.committed >= 400
+
+
+class TestReadOnlyOptimization:
+    def test_read_only_cohorts_skip_phase_two(self):
+        params = small_params(update_prob=0.0, read_only_optimization=True,
+                              db_size=40000)
+        result = repro.simulate("2PC", params=params,
+                                measured_transactions=100,
+                                warmup_transactions=10)
+        # Fully read-only transactions: one forced decision write only
+        # (the master's), votes but no COMMIT/ACK round.
+        # PREPARE (2 remote) + READ vote (2 remote) = 4 commit messages.
+        exec_msgs, forced, commit_msgs = result.overheads.rounded()
+        assert exec_msgs == 4
+        assert commit_msgs == 4
+        assert forced <= 1
+
+    def test_read_only_optimization_off_by_default(self):
+        params = small_params(update_prob=0.0, db_size=40000)
+        result = repro.simulate("2PC", params=params,
+                                measured_transactions=100,
+                                warmup_transactions=10)
+        # Without the optimization, read-only transactions still run the
+        # full protocol: 7 forced writes, 8 messages.
+        assert result.overheads.rounded() == (4, 7, 8)
+
+    def test_mixed_workload_commits(self):
+        params = small_params(update_prob=0.5, read_only_optimization=True,
+                              mpl=4, db_size=400)
+        result = repro.simulate("2PC", params=params,
+                                measured_transactions=200,
+                                warmup_transactions=30)
+        assert result.committed >= 200

@@ -1,0 +1,294 @@
+"""Unit tests for the lock manager (strict 2PL plus OPT lending)."""
+
+import pytest
+
+from repro.db.locks import LockMode
+from repro.db.transaction import CohortState
+from repro.sim import Interrupt
+
+from tests.db.conftest import FakeCohort, acquire_async, acquire_now
+
+
+class TestLockModes:
+    def test_read_read_compatible(self):
+        assert LockMode.READ.compatible_with(LockMode.READ)
+
+    def test_update_conflicts_with_everything(self):
+        assert not LockMode.UPDATE.compatible_with(LockMode.READ)
+        assert not LockMode.READ.compatible_with(LockMode.UPDATE)
+        assert not LockMode.UPDATE.compatible_with(LockMode.UPDATE)
+
+    def test_covers(self):
+        assert LockMode.UPDATE.covers(LockMode.READ)
+        assert LockMode.UPDATE.covers(LockMode.UPDATE)
+        assert LockMode.READ.covers(LockMode.READ)
+        assert not LockMode.READ.covers(LockMode.UPDATE)
+
+
+class TestBasicLocking:
+    def test_uncontested_grant_is_immediate(self, env, lock_manager):
+        cohort = FakeCohort()
+        acquire_now(env, lock_manager, cohort, 1, LockMode.UPDATE)
+        assert cohort.held_locks == {1: LockMode.UPDATE}
+        assert lock_manager.holders_of(1) == {cohort: LockMode.UPDATE}
+
+    def test_shared_readers_coexist(self, env, lock_manager):
+        a, b, c = FakeCohort(), FakeCohort(), FakeCohort()
+        for cohort in (a, b, c):
+            acquire_now(env, lock_manager, cohort, 5, LockMode.READ)
+        assert len(lock_manager.holders_of(5)) == 3
+
+    def test_update_blocks_reader(self, env, lock_manager):
+        writer, reader = FakeCohort(), FakeCohort()
+        acquire_now(env, lock_manager, writer, 7, LockMode.UPDATE)
+        done, _ = acquire_async(env, lock_manager, reader, 7, LockMode.READ)
+        assert not done
+        assert lock_manager.waiters_of(7)[0].cohort is reader
+
+    def test_reader_blocks_update(self, env, lock_manager):
+        reader, writer = FakeCohort(), FakeCohort()
+        acquire_now(env, lock_manager, reader, 7, LockMode.READ)
+        done, _ = acquire_async(env, lock_manager, writer, 7, LockMode.UPDATE)
+        assert not done
+
+    def test_release_grants_next_waiter_fcfs(self, env, lock_manager):
+        first, second, third = FakeCohort(), FakeCohort(), FakeCohort()
+        acquire_now(env, lock_manager, first, 3, LockMode.UPDATE)
+        done2, _ = acquire_async(env, lock_manager, second, 3, LockMode.UPDATE)
+        done3, _ = acquire_async(env, lock_manager, third, 3, LockMode.UPDATE)
+        lock_manager.finalize(first, committed=True)
+        env.run(until=env.now)
+        assert done2 and not done3
+        lock_manager.finalize(second, committed=True)
+        env.run(until=env.now)
+        assert done3
+
+    def test_no_queue_jumping_by_compatible_request(self, env, lock_manager):
+        """A read request must not overtake a queued update request."""
+        holder, writer, reader = FakeCohort(), FakeCohort(), FakeCohort()
+        acquire_now(env, lock_manager, holder, 9, LockMode.READ)
+        done_w, _ = acquire_async(env, lock_manager, writer, 9, LockMode.UPDATE)
+        done_r, _ = acquire_async(env, lock_manager, reader, 9, LockMode.READ)
+        assert not done_w and not done_r  # reader queues behind writer
+
+    def test_reacquire_held_lock_is_noop(self, env, lock_manager):
+        cohort = FakeCohort()
+        acquire_now(env, lock_manager, cohort, 4, LockMode.UPDATE)
+        acquire_now(env, lock_manager, cohort, 4, LockMode.READ)
+        acquire_now(env, lock_manager, cohort, 4, LockMode.UPDATE)
+        assert lock_manager.grants == 1
+
+    def test_upgrade_as_sole_holder(self, env, lock_manager):
+        cohort = FakeCohort()
+        acquire_now(env, lock_manager, cohort, 4, LockMode.READ)
+        acquire_now(env, lock_manager, cohort, 4, LockMode.UPDATE)
+        assert cohort.held_locks[4] is LockMode.UPDATE
+
+    def test_upgrade_waits_for_other_readers(self, env, lock_manager):
+        a, b = FakeCohort(), FakeCohort()
+        acquire_now(env, lock_manager, a, 4, LockMode.READ)
+        acquire_now(env, lock_manager, b, 4, LockMode.READ)
+        done, _ = acquire_async(env, lock_manager, a, 4, LockMode.UPDATE)
+        assert not done
+        lock_manager.finalize(b, committed=True)
+        env.run(until=env.now)
+        assert done
+        assert a.held_locks[4] is LockMode.UPDATE
+
+    def test_finalize_withdraws_pending_request(self, env, lock_manager):
+        holder, waiter, third = FakeCohort(), FakeCohort(), FakeCohort()
+        acquire_now(env, lock_manager, holder, 2, LockMode.UPDATE)
+        done_w, process = acquire_async(env, lock_manager, waiter, 2,
+                                        LockMode.UPDATE)
+        done_t, _ = acquire_async(env, lock_manager, third, 2, LockMode.UPDATE)
+        # Abort the first waiter: its queued request must disappear.
+        process.interrupt("abort")
+        try:
+            env.run(until=env.now)
+        except Interrupt:
+            pass
+        lock_manager.finalize(waiter, committed=False)
+        lock_manager.finalize(holder, committed=True)
+        env.run(until=env.now)
+        assert done_t and not done_w
+
+    def test_wait_change_callbacks(self, env, lock_manager, recorder):
+        holder, waiter = FakeCohort(), FakeCohort()
+        acquire_now(env, lock_manager, holder, 2, LockMode.UPDATE)
+        acquire_async(env, lock_manager, waiter, 2, LockMode.UPDATE)
+        assert (waiter, True) in recorder.wait_changes
+        lock_manager.finalize(holder, committed=True)
+        env.run(until=env.now)
+        assert (waiter, False) in recorder.wait_changes
+
+    def test_entry_garbage_collected_when_free(self, env, lock_manager):
+        cohort = FakeCohort()
+        acquire_now(env, lock_manager, cohort, 11, LockMode.UPDATE)
+        assert 11 in lock_manager._entries
+        lock_manager.finalize(cohort, committed=True)
+        assert 11 not in lock_manager._entries
+
+
+class TestPreparedStateWithoutLending:
+    def test_prepare_releases_read_locks_only(self, env, lock_manager):
+        cohort = FakeCohort()
+        acquire_now(env, lock_manager, cohort, 1, LockMode.READ)
+        acquire_now(env, lock_manager, cohort, 2, LockMode.UPDATE)
+        cohort.state = CohortState.PREPARED
+        lock_manager.prepare(cohort)
+        assert 1 not in cohort.held_locks
+        assert cohort.held_locks[2] is LockMode.UPDATE
+        assert lock_manager.holders_of(1) == {}
+        assert lock_manager.holders_of(2) == {cohort: LockMode.UPDATE}
+
+    def test_prepare_wakes_reader_waiters(self, env, lock_manager):
+        holder, waiter = FakeCohort(), FakeCohort()
+        acquire_now(env, lock_manager, holder, 1, LockMode.READ)
+        done, _ = acquire_async(env, lock_manager, waiter, 1, LockMode.UPDATE)
+        assert not done
+        holder.state = CohortState.PREPARED
+        lock_manager.prepare(holder)
+        env.run(until=env.now)
+        assert done
+
+    def test_prepared_update_locks_still_block(self, env, lock_manager):
+        """Without OPT, prepared data stays locked (the problem OPT fixes)."""
+        holder, waiter = FakeCohort(), FakeCohort()
+        acquire_now(env, lock_manager, holder, 1, LockMode.UPDATE)
+        holder.state = CohortState.PREPARED
+        lock_manager.prepare(holder)
+        done, _ = acquire_async(env, lock_manager, waiter, 1, LockMode.READ)
+        assert not done
+        lock_manager.finalize(holder, committed=True)
+        env.run(until=env.now)
+        assert done
+
+
+class TestLending:
+    def _prepared_lender(self, env, lm, page=1):
+        lender = FakeCohort()
+        acquire_now(env, lm, lender, page, LockMode.UPDATE)
+        lender.state = CohortState.PREPARED
+        lm.prepare(lender)
+        return lender
+
+    def test_prepare_moves_update_locks_to_lenders(
+            self, env, lending_lock_manager):
+        lm = lending_lock_manager
+        lender = self._prepared_lender(env, lm)
+        assert lm.holders_of(1) == {}
+        assert lm.lenders_of(1) == {lender: LockMode.UPDATE}
+        assert 1 in lender.lending_pages
+
+    def test_borrow_granted_immediately(self, env, lending_lock_manager,
+                                        recorder):
+        lm = lending_lock_manager
+        lender = self._prepared_lender(env, lm)
+        borrower = FakeCohort()
+        acquire_now(env, lm, borrower, 1, LockMode.READ)
+        assert borrower.lenders == {lender}
+        assert lm.borrowers_of(lender) == {borrower}
+        assert borrower.txn.pages_borrowed == 1
+        assert recorder.borrows == [(borrower, 1)]
+
+    def test_update_borrow_also_granted(self, env, lending_lock_manager):
+        lm = lending_lock_manager
+        lender = self._prepared_lender(env, lm)
+        borrower = FakeCohort()
+        acquire_now(env, lm, borrower, 1, LockMode.UPDATE)
+        assert borrower.lenders == {lender}
+
+    def test_waiter_becomes_borrower_when_holder_prepares(
+            self, env, lending_lock_manager):
+        lm = lending_lock_manager
+        holder = FakeCohort()
+        acquire_now(env, lm, holder, 1, LockMode.UPDATE)
+        borrower = FakeCohort()
+        done, _ = acquire_async(env, lm, borrower, 1, LockMode.READ)
+        assert not done
+        holder.state = CohortState.PREPARED
+        lm.prepare(holder)
+        env.run(until=env.now)
+        assert done
+        assert borrower.lenders == {holder}
+
+    def test_borrowers_conflict_among_themselves(
+            self, env, lending_lock_manager):
+        """Borrowing bypasses the lender, not other active holders."""
+        lm = lending_lock_manager
+        self._prepared_lender(env, lm)
+        first = FakeCohort()
+        acquire_now(env, lm, first, 1, LockMode.UPDATE)   # borrows
+        second = FakeCohort()
+        done, _ = acquire_async(env, lm, second, 1, LockMode.READ)
+        assert not done  # blocked by the active borrower, not the lender
+
+    def test_two_read_borrowers_share(self, env, lending_lock_manager):
+        lm = lending_lock_manager
+        lender = self._prepared_lender(env, lm)
+        a, b = FakeCohort(), FakeCohort()
+        acquire_now(env, lm, a, 1, LockMode.READ)
+        acquire_now(env, lm, b, 1, LockMode.READ)
+        assert a.lenders == {lender} and b.lenders == {lender}
+        assert lm.borrowers_of(lender) == {a, b}
+
+    def test_lender_commit_releases_borrower(self, env, lending_lock_manager):
+        lm = lending_lock_manager
+        lender = self._prepared_lender(env, lm)
+        borrower = FakeCohort()
+        acquire_now(env, lm, borrower, 1, LockMode.UPDATE)
+        lm.finalize(lender, committed=True)
+        assert borrower.lenders == set()
+        assert borrower.off_shelf_calls == [lender]
+        # Borrower now owns the lock outright.
+        assert lm.lenders_of(1) == {}
+        assert lm.holders_of(1) == {borrower: LockMode.UPDATE}
+
+    def test_lender_abort_kills_borrowers(self, env, lending_lock_manager,
+                                          recorder):
+        lm = lending_lock_manager
+        lender = self._prepared_lender(env, lm)
+        a, b = FakeCohort(), FakeCohort()
+        acquire_now(env, lm, a, 1, LockMode.READ)
+        acquire_now(env, lm, b, 1, LockMode.READ)
+        lm.finalize(lender, committed=False)
+        assert set(recorder.lender_aborts) == {a, b}
+
+    def test_borrow_from_multiple_lenders(self, env, lending_lock_manager):
+        lm = lending_lock_manager
+        lender1 = self._prepared_lender(env, lm, page=1)
+        lender2 = self._prepared_lender(env, lm, page=2)
+        borrower = FakeCohort()
+        acquire_now(env, lm, borrower, 1, LockMode.READ)
+        acquire_now(env, lm, borrower, 2, LockMode.READ)
+        assert borrower.lenders == {lender1, lender2}
+        assert borrower.txn.pages_borrowed == 2
+        lm.finalize(lender1, committed=True)
+        assert borrower.lenders == {lender2}
+        lm.finalize(lender2, committed=True)
+        assert borrower.lenders == set()
+
+    def test_lending_disabled_never_borrows(self, env, lock_manager):
+        lender = FakeCohort()
+        acquire_now(env, lock_manager, lender, 1, LockMode.UPDATE)
+        lender.state = CohortState.PREPARED
+        lock_manager.prepare(lender)
+        borrower = FakeCohort()
+        done, _ = acquire_async(env, lock_manager, borrower, 1, LockMode.READ)
+        assert not done
+        assert borrower.lenders == set()
+
+    def test_consistency_check_passes(self, env, lending_lock_manager):
+        lm = lending_lock_manager
+        self._prepared_lender(env, lm)
+        borrower = FakeCohort()
+        acquire_now(env, lm, borrower, 1, LockMode.READ)
+        lm.assert_consistent()
+
+    def test_consistency_check_flags_non_prepared_lender(
+            self, env, lending_lock_manager):
+        lm = lending_lock_manager
+        lender = self._prepared_lender(env, lm)
+        lender.state = CohortState.EXECUTING  # corrupt the state
+        with pytest.raises(AssertionError):
+            lm.assert_consistent()

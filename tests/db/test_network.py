@@ -1,0 +1,139 @@
+"""Tests for the network model (switch with per-end CPU costs)."""
+
+import pytest
+
+from repro.config import ModelParams
+from repro.core import create_protocol
+from repro.db.messages import Message, MessageKind
+from repro.db.system import DistributedSystem
+from repro.sim.resources import Store
+
+from tests.db.conftest import FakeTransaction
+
+
+class FakeAgent:
+    """Just enough agent for the network: a site, an inbox, a txn."""
+
+    def __init__(self, system, site_id, txn):
+        self.site = system.sites[site_id]
+        self.inbox = Store(system.env)
+        self.txn = txn
+
+
+@pytest.fixture
+def system():
+    params = ModelParams(num_sites=2, dist_degree=1, mpl=1, db_size=200,
+                         cohort_size=2)
+    return DistributedSystem(params, create_protocol("2PC"))
+
+
+@pytest.fixture
+def txn():
+    return FakeTransaction()
+
+
+def _send(system, message):
+    done = []
+
+    def sender(env):
+        yield from system.network.send(message)
+        done.append(env.now)
+
+    system.env.process(sender(system.env))
+    return done
+
+
+def test_local_message_is_free_and_instant(system, txn):
+    env = system.env
+    sender = FakeAgent(system, 0, txn)
+    receiver = FakeAgent(system, 0, txn)
+    done = _send(system, Message(MessageKind.PREPARE, sender, receiver,
+                                 txn.txn_id, 0))
+    env.run()
+    assert done == [0.0]
+    assert len(receiver.inbox) == 1
+    assert system.network.local_messages == 1
+    assert system.network.messages_sent == 0
+    assert txn.messages_commit == 0  # local messages are free
+
+
+def test_remote_message_costs_cpu_both_ends(system, txn):
+    env = system.env
+    sender = FakeAgent(system, 0, txn)
+    receiver = FakeAgent(system, 1, txn)
+    done = _send(system, Message(MessageKind.PREPARE, sender, receiver,
+                                 txn.txn_id, 0))
+    arrived = []
+
+    def consumer(env):
+        yield receiver.inbox.get()
+        arrived.append(env.now)
+
+    env.process(consumer(env))
+    env.run()
+    # 5ms at the sender CPU; delivery costs another 5ms at the receiver.
+    assert done == [5.0]
+    assert arrived == [10.0]
+    assert system.network.messages_sent == 1
+
+
+def test_receive_cost_does_not_block_sender(system, txn):
+    """The sender must be free as soon as its own CPU work is done."""
+    env = system.env
+    sender = FakeAgent(system, 0, txn)
+    receivers = [FakeAgent(system, 1, txn) for _ in range(3)]
+    finished = []
+
+    def burst(env):
+        for receiver in receivers:
+            yield from system.network.send(Message(
+                MessageKind.PREPARE, sender, receiver, txn.txn_id, 0))
+        finished.append(env.now)
+
+    env.process(burst(env))
+    env.run()
+    # Three sends at 5ms each on the sender's CPU; receiver-side costs
+    # (serialized on the receiver's one CPU) happen in parallel with them.
+    assert finished == [15.0]
+
+
+def test_remote_messages_counted_by_phase(system, txn):
+    env = system.env
+    sender = FakeAgent(system, 0, txn)
+    receiver = FakeAgent(system, 1, txn)
+    _send(system, Message(MessageKind.STARTWORK, sender, receiver,
+                          txn.txn_id, 0))
+    _send(system, Message(MessageKind.COMMIT, sender, receiver,
+                          txn.txn_id, 0))
+    env.run()
+    assert txn.messages_execution == 1
+    assert txn.messages_commit == 1
+
+
+def test_message_kind_phase_classification():
+    assert MessageKind.STARTWORK.is_execution
+    assert MessageKind.WORKDONE.is_execution
+    for kind in (MessageKind.PREPARE, MessageKind.VOTE_YES,
+                 MessageKind.VOTE_NO, MessageKind.COMMIT, MessageKind.ABORT,
+                 MessageKind.ACK, MessageKind.PRECOMMIT,
+                 MessageKind.PRECOMMIT_ACK, MessageKind.VOTE_READ_ONLY):
+        assert kind.is_commit
+        assert not kind.is_execution
+
+
+def test_message_ids_unique():
+    a = Message(MessageKind.ACK, None, None, 1, 0)
+    b = Message(MessageKind.ACK, None, None, 1, 0)
+    assert a.msg_id != b.msg_id
+
+
+def test_fast_network_parameter(txn):
+    params = ModelParams(num_sites=2, dist_degree=1, mpl=1, db_size=200,
+                         cohort_size=2, msg_cpu_ms=1.0)
+    system = DistributedSystem(params, create_protocol("2PC"))
+    sender = FakeAgent(system, 0, txn)
+    receiver = FakeAgent(system, 1, txn)
+    done = _send(system, Message(MessageKind.PREPARE, sender, receiver,
+                                 txn.txn_id, 0))
+    system.env.run()
+    assert done == [1.0]

@@ -1,0 +1,73 @@
+"""Tests for page placement."""
+
+import pytest
+
+from repro.db.pages import PageDirectory
+
+
+def test_every_page_has_exactly_one_site():
+    directory = PageDirectory(db_size=100, num_sites=7, num_data_disks=2)
+    for page in range(100):
+        assert 0 <= directory.site_of(page) < 7
+
+
+def test_striping_is_uniform():
+    directory = PageDirectory(db_size=2400, num_sites=8, num_data_disks=2)
+    counts = [directory.num_pages_at(s) for s in range(8)]
+    assert counts == [300] * 8
+
+
+def test_uneven_db_size_distributes_remainder():
+    directory = PageDirectory(db_size=10, num_sites=3, num_data_disks=1)
+    counts = [directory.num_pages_at(s) for s in range(3)]
+    assert sum(counts) == 10
+    assert max(counts) - min(counts) <= 1
+
+
+def test_pages_at_site_match_site_of():
+    directory = PageDirectory(db_size=60, num_sites=4, num_data_disks=2)
+    for site in range(4):
+        for page in directory.pages_at(site):
+            assert directory.site_of(page) == site
+
+
+def test_disk_striping_within_site():
+    directory = PageDirectory(db_size=64, num_sites=4, num_data_disks=2)
+    pages = list(directory.pages_at(0))
+    disks = [directory.disk_of(p) for p in pages]
+    # Alternates between the site's disks.
+    assert set(disks) == {0, 1}
+    assert disks == [0, 1] * (len(pages) // 2)
+
+
+def test_page_at_index():
+    directory = PageDirectory(db_size=20, num_sites=4, num_data_disks=1)
+    assert directory.page_at(1, 0) == 1
+    assert directory.page_at(1, 2) == 9
+
+
+def test_page_at_bad_index_rejected():
+    directory = PageDirectory(db_size=20, num_sites=4, num_data_disks=1)
+    with pytest.raises(ValueError):
+        directory.page_at(0, 99)
+
+
+def test_out_of_range_page_rejected():
+    directory = PageDirectory(db_size=10, num_sites=2, num_data_disks=1)
+    with pytest.raises(ValueError):
+        directory.site_of(10)
+    with pytest.raises(ValueError):
+        directory.site_of(-1)
+    with pytest.raises(ValueError):
+        directory.disk_of(11)
+
+
+def test_bad_site_rejected():
+    directory = PageDirectory(db_size=10, num_sites=2, num_data_disks=1)
+    with pytest.raises(ValueError):
+        directory.pages_at(5)
+
+
+def test_too_small_db_rejected():
+    with pytest.raises(ValueError):
+        PageDirectory(db_size=3, num_sites=8, num_data_disks=1)

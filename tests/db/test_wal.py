@@ -1,0 +1,155 @@
+"""Tests for the write-ahead log cost model."""
+
+import pytest
+
+from repro.db.wal import LogManager, LogRecordKind
+from repro.sim import Environment, Resource
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_log(env, num_disks=1, write_time=20.0, group_commit=False):
+    disks = [Resource(env, capacity=1, name=f"log{i}")
+             for i in range(num_disks)]
+    return LogManager(env, site_id=0, log_disks=disks,
+                      write_time_ms=write_time, group_commit=group_commit)
+
+
+def test_unforced_write_is_free_and_counted(env):
+    log = make_log(env)
+    record = log.write(LogRecordKind.END, txn_id=1)
+    assert not record.forced
+    assert log.unforced_count == 1
+    assert log.forced_count == 0
+    assert env.peek() == float("inf")  # no disk activity scheduled
+
+
+def test_forced_write_takes_one_disk_write(env):
+    log = make_log(env, write_time=20.0)
+    times = []
+
+    def writer(env):
+        yield from log.force_write(LogRecordKind.PREPARE, txn_id=1)
+        times.append(env.now)
+
+    env.process(writer(env))
+    env.run()
+    assert times == [20.0]
+    assert log.forced_count == 1
+
+
+def test_forced_writes_queue_at_the_log_disk(env):
+    log = make_log(env, write_time=20.0)
+    times = []
+
+    def writer(env, tag):
+        yield from log.force_write(LogRecordKind.COMMIT, txn_id=tag)
+        times.append((tag, env.now))
+
+    env.process(writer(env, 1))
+    env.process(writer(env, 2))
+    env.run()
+    assert times == [(1, 20.0), (2, 40.0)]
+
+
+def test_multiple_log_disks_round_robin(env):
+    log = make_log(env, num_disks=2, write_time=20.0)
+    times = []
+
+    def writer(env, tag):
+        yield from log.force_write(LogRecordKind.COMMIT, txn_id=tag)
+        times.append((tag, env.now))
+
+    env.process(writer(env, 1))
+    env.process(writer(env, 2))
+    env.run()
+    # Different disks: both complete at t=20.
+    assert times == [(1, 20.0), (2, 20.0)]
+
+
+def test_records_carry_metadata(env):
+    log = make_log(env)
+
+    def writer(env):
+        yield from log.force_write(LogRecordKind.ABORT, txn_id=7)
+
+    env.process(writer(env))
+    env.run()
+    record = log.records[-1]
+    assert record.kind is LogRecordKind.ABORT
+    assert record.txn_id == 7
+    assert record.site_id == 0
+    assert record.forced
+    assert record.time == 20.0
+
+
+def test_counts_by_kind(env):
+    log = make_log(env)
+    log.write(LogRecordKind.END, 1)
+    log.write(LogRecordKind.END, 2)
+
+    def writer(env):
+        yield from log.force_write(LogRecordKind.COMMIT, txn_id=1)
+
+    env.process(writer(env))
+    env.run()
+    counts = log.counts_by_kind()
+    assert counts[LogRecordKind.END] == 2
+    assert counts[LogRecordKind.COMMIT] == 1
+
+
+class TestGroupCommit:
+    def test_single_writer_same_as_plain(self, env):
+        log = make_log(env, group_commit=True)
+        times = []
+
+        def writer(env):
+            yield from log.force_write(LogRecordKind.COMMIT, txn_id=1)
+            times.append(env.now)
+
+        env.process(writer(env))
+        env.run()
+        assert times == [20.0]
+        assert log.group_flushes == 1
+
+    def test_concurrent_writers_batched(self, env):
+        """Writers arriving during a flush share the next disk write."""
+        log = make_log(env, group_commit=True, write_time=20.0)
+        times = []
+
+        def leader(env):
+            yield from log.force_write(LogRecordKind.COMMIT, txn_id=1)
+            times.append(("leader", env.now))
+
+        def follower(env, tag, delay):
+            yield env.timeout(delay)
+            yield from log.force_write(LogRecordKind.COMMIT, txn_id=tag)
+            times.append((tag, env.now))
+
+        env.process(leader(env))
+        env.process(follower(env, 2, 5.0))
+        env.process(follower(env, 3, 10.0))
+        env.run()
+        # Leader flushes at 20; both followers share one batch write
+        # completing at 40 (instead of 40 and 60 unbatched).
+        assert times == [("leader", 20.0), (2, 40.0), (3, 40.0)]
+        assert log.group_flushes == 2
+        assert log.forced_count == 3
+
+    def test_batching_reduces_disk_writes(self, env):
+        log = make_log(env, group_commit=True, write_time=20.0)
+        finished = []
+
+        def writer(env, tag):
+            yield from log.force_write(LogRecordKind.COMMIT, txn_id=tag)
+            finished.append(tag)
+
+        for tag in range(10):
+            env.process(writer(env, tag))
+        env.run()
+        assert len(finished) == 10
+        # 1 leader flush + 1 batch flush for the 9 others.
+        assert log.group_flushes == 2

@@ -1,0 +1,119 @@
+"""Tests for the closed-system workload generator."""
+
+import pytest
+
+from repro.config import ModelParams
+from repro.db.pages import PageDirectory
+from repro.db.workload import WorkloadGenerator
+from repro.sim import RandomStreams
+
+
+def make_generator(**overrides):
+    params = ModelParams(**overrides)
+    directory = PageDirectory(params.db_size, params.num_sites,
+                              params.num_data_disks)
+    return params, WorkloadGenerator(params, directory, RandomStreams(1))
+
+
+def test_first_cohort_at_origin():
+    _, gen = make_generator()
+    for origin in range(8):
+        spec = gen.generate(origin)
+        assert spec.origin_site == origin
+        assert spec.accesses[0].site_id == origin
+
+
+def test_dist_degree_distinct_sites():
+    params, gen = make_generator(dist_degree=3)
+    for _ in range(50):
+        spec = gen.generate(0)
+        sites = [a.site_id for a in spec.accesses]
+        assert len(sites) == 3
+        assert len(set(sites)) == 3
+        assert all(0 <= s < params.num_sites for s in sites)
+
+
+def test_cohort_pages_local_to_site():
+    params, gen = make_generator()
+    directory = gen.directory
+    for _ in range(20):
+        spec = gen.generate(2)
+        for access in spec.accesses:
+            for page in access.pages:
+                assert directory.site_of(page) == access.site_id
+
+
+def test_cohort_size_within_bounds():
+    params, gen = make_generator(cohort_size=6)
+    sizes = []
+    for _ in range(200):
+        spec = gen.generate(0)
+        sizes.extend(len(a.pages) for a in spec.accesses)
+    assert min(sizes) >= 3          # 0.5 x 6
+    assert max(sizes) <= 9          # 1.5 x 6
+    # Mean should be near CohortSize.
+    assert 5.0 < sum(sizes) / len(sizes) < 7.0
+
+
+def test_pages_unique_within_cohort():
+    _, gen = make_generator()
+    for _ in range(50):
+        spec = gen.generate(0)
+        for access in spec.accesses:
+            assert len(set(access.pages)) == len(access.pages)
+
+
+def test_update_probability_one_marks_everything():
+    _, gen = make_generator(update_prob=1.0)
+    spec = gen.generate(0)
+    for access in spec.accesses:
+        assert all(access.updates)
+        assert not access.is_read_only
+
+
+def test_update_probability_zero_marks_nothing():
+    _, gen = make_generator(update_prob=0.0)
+    spec = gen.generate(0)
+    for access in spec.accesses:
+        assert not any(access.updates)
+        assert access.is_read_only
+
+
+def test_intermediate_update_probability():
+    _, gen = make_generator(update_prob=0.5)
+    flags = []
+    for _ in range(100):
+        spec = gen.generate(0)
+        for access in spec.accesses:
+            flags.extend(access.updates)
+    ratio = sum(flags) / len(flags)
+    assert 0.4 < ratio < 0.6
+
+
+def test_txn_ids_monotonically_increase():
+    _, gen = make_generator()
+    ids = [gen.generate(0).txn_id for _ in range(10)]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == 10
+
+
+def test_same_seed_same_workload():
+    _, gen_a = make_generator()
+    _, gen_b = make_generator()
+    for _ in range(10):
+        spec_a = gen_a.generate(3)
+        spec_b = gen_b.generate(3)
+        assert spec_a.accesses == spec_b.accesses
+
+
+def test_dist_degree_one_stays_at_origin():
+    _, gen = make_generator(dist_degree=1)
+    spec = gen.generate(5)
+    assert len(spec.accesses) == 1
+    assert spec.accesses[0].site_id == 5
+
+
+def test_total_pages_property():
+    _, gen = make_generator()
+    spec = gen.generate(0)
+    assert spec.total_pages == sum(len(a.pages) for a in spec.accesses)

@@ -1,0 +1,146 @@
+"""Tests for the experiment harness (sweeps, registry, definitions)."""
+
+import pytest
+
+from repro.config import ModelParams, Topology, TransactionType
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentDefinition,
+    MplSweep,
+    experiment_ids,
+    get_experiment,
+)
+from repro.experiments.base import DEFAULT_MPLS, METRICS
+
+
+def tiny_factory(mpl):
+    return ModelParams(num_sites=2, db_size=400, mpl=mpl, dist_degree=2,
+                       cohort_size=2)
+
+
+class TestMplSweep:
+    def test_grid_complete(self):
+        sweep = MplSweep(["2PC", "OPT"], tiny_factory, mpls=(1, 2),
+                         measured_transactions=60, warmup_transactions=10)
+        results = sweep.run("TEST", "tiny grid")
+        assert set(results.points) == {("2PC", 1), ("2PC", 2),
+                                       ("OPT", 1), ("OPT", 2)}
+        for point in results.points.values():
+            assert point.result.committed >= 60
+
+    def test_series_ordering(self):
+        sweep = MplSweep(["2PC"], tiny_factory, mpls=(1, 2, 4),
+                         measured_transactions=40, warmup_transactions=5)
+        results = sweep.run()
+        series = results.series("2PC", "throughput")
+        assert [mpl for mpl, _ in series] == [1, 2, 4]
+        assert all(v > 0 for _, v in series)
+
+    def test_peak(self):
+        sweep = MplSweep(["2PC"], tiny_factory, mpls=(1, 2),
+                         measured_transactions=40, warmup_transactions=5)
+        results = sweep.run()
+        mpl, value = results.peak("2PC")
+        assert mpl in (1, 2)
+        assert value == max(v for _, v in results.series("2PC"))
+
+    def test_replications_aggregate(self):
+        sweep = MplSweep(["2PC"], tiny_factory, mpls=(1,),
+                         measured_transactions=40, warmup_transactions=5,
+                         replications=2)
+        results = sweep.run()
+        point = results.point("2PC", 1)
+        assert len(point.results) == 2
+        mean, half = point.metric_interval("throughput")
+        assert mean > 0
+        # Two replications give a finite (if wide) interval.
+        assert half > 0
+
+    def test_replication_seeds_differ(self):
+        sweep = MplSweep(["2PC"], tiny_factory, mpls=(1,),
+                         measured_transactions=60, warmup_transactions=5,
+                         replications=2)
+        point = sweep.run().point("2PC", 1)
+        assert (point.results[0].throughput
+                != point.results[1].throughput)
+
+    def test_invalid_replications(self):
+        with pytest.raises(ValueError):
+            MplSweep(["2PC"], tiny_factory, replications=0)
+
+    def test_progress_callback(self):
+        seen = []
+        sweep = MplSweep(["2PC"], tiny_factory, mpls=(1,),
+                         measured_transactions=30, warmup_transactions=5)
+        sweep.run("X", progress=seen.append)
+        assert seen == ["X: 2PC @ MPL 1"]
+
+    def test_metric_registry_complete(self):
+        for name in ("throughput", "response_time", "block_ratio",
+                     "borrow_ratio", "abort_ratio"):
+            assert name in METRICS
+
+
+class TestRegistry:
+    def test_all_paper_experiments_registered(self):
+        ids = experiment_ids()
+        for required in ("E1", "E2", "E3-RCDC", "E3-DC", "E4-RCDC",
+                         "E4-DC", "E5-RCDC", "E5-DC", "E6-RCDC-3",
+                         "E6-RCDC-15", "E6-RCDC-27", "E6-DC-3",
+                         "E6-DC-15", "E6-DC-27", "E7", "E8-UP50",
+                         "E8-SMALLDB"):
+            assert required in ids
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("e1") is EXPERIMENTS["E1"]
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("E99")
+
+    def test_definitions_are_well_formed(self):
+        for definition in EXPERIMENTS.values():
+            assert definition.protocols
+            assert definition.paper_artifacts
+            assert definition.mpls == DEFAULT_MPLS
+            for metric in definition.metrics:
+                assert metric in METRICS
+            # The factory must build valid params for every MPL.
+            for mpl in (1, 10):
+                params = definition.params_factory(mpl)
+                assert params.mpl == mpl
+
+    def test_e2_is_pure_dc(self):
+        params = get_experiment("E2").params_factory(4)
+        assert params.infinite_resources
+
+    def test_e3_fast_network(self):
+        assert get_experiment("E3-RCDC").params_factory(1).msg_cpu_ms == 1.0
+        assert get_experiment("E3-DC").params_factory(1).infinite_resources
+
+    def test_e4_constant_transaction_length(self):
+        params = get_experiment("E4-RCDC").params_factory(2)
+        assert params.dist_degree == 6
+        assert params.cohort_size == 3
+
+    def test_e6_abort_levels(self):
+        assert (get_experiment("E6-RCDC-3").params_factory(1)
+                .surprise_abort_prob == 0.01)
+        assert (get_experiment("E6-DC-27").params_factory(1)
+                .surprise_abort_prob == 0.10)
+        assert get_experiment("E6-DC-15").params_factory(1).infinite_resources
+
+    def test_e7_sequential(self):
+        assert (get_experiment("E7").params_factory(1).trans_type
+                is TransactionType.SEQUENTIAL)
+
+    def test_e8_variants(self):
+        assert get_experiment("E8-UP50").params_factory(1).update_prob == 0.5
+        assert get_experiment("E8-SMALLDB").params_factory(1).db_size == 1200
+
+    def test_definition_run_end_to_end(self):
+        definition = ExperimentDefinition(
+            experiment_id="TEST", title="test", paper_artifacts=("none",),
+            protocols=("2PC",), params_factory=tiny_factory, mpls=(1,))
+        results = definition.run(measured_transactions=30)
+        assert results.point("2PC", 1).result.committed >= 30

@@ -1,0 +1,144 @@
+"""Stateful property tests for the lock manager.
+
+A random interleaving of lock-manager operations must preserve the
+structural invariants of strict 2PL with lending:
+
+- active holders of a page are mutually compatible (at most one
+  UPDATE, or any number of READs plus borrowers per the lending rules);
+- lenders are always in the prepared (or precommitted) state;
+- no cohort both holds and lends the same page;
+- a cohort is never simultaneously granted and waiting for the same
+  page;
+- every borrower's lender set matches the lock manager's borrow edges.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.db.deadlock import WaitForGraph
+from repro.db.locks import LockManager, LockMode
+from repro.db.transaction import CohortState
+from repro.sim import Environment
+
+from tests.db.conftest import FakeCohort
+
+PAGES = st.integers(min_value=0, max_value=5)
+MODES = st.sampled_from([LockMode.READ, LockMode.UPDATE])
+
+
+class LockManagerMachine(RuleBasedStateMachine):
+    @initialize(lending=st.booleans())
+    def setup(self, lending):
+        self.env = Environment()
+        self.aborted = []
+        self.wfg = WaitForGraph(on_victim=self._on_victim)
+        self.lm = LockManager(
+            self.env, 0, self.wfg, lending_enabled=lending,
+            on_lender_abort=self._on_lender_abort)
+        self.cohorts = [FakeCohort(submit_time=float(i)) for i in range(6)]
+        self.finished = set()
+
+    def _on_victim(self, txn):
+        txn.aborting = True
+        for cohort in self.cohorts:
+            if cohort.txn is txn:
+                self._finish(cohort, committed=False)
+
+    def _on_lender_abort(self, borrower):
+        if borrower not in self.finished:
+            borrower.txn.aborting = True
+            self._finish(borrower, committed=False)
+
+    def _finish(self, cohort, committed):
+        if cohort in self.finished:
+            return
+        self.finished.add(cohort)
+        cohort.state = (CohortState.COMMITTED if committed
+                        else CohortState.ABORTED)
+        self.lm.finalize(cohort, committed=committed)
+
+    # ------------------------------------------------------------------
+    @rule(idx=st.integers(0, 5), page=PAGES, mode=MODES)
+    def acquire(self, idx, page, mode):
+        cohort = self.cohorts[idx]
+        if cohort in self.finished:
+            return
+        if cohort in self.lm._waiting_requests:
+            return  # one outstanding request per cohort, like the system
+        if cohort.state in (CohortState.PREPARED, CohortState.PRECOMMITTED):
+            return  # prepared cohorts make no new requests
+
+        def proc():
+            yield from self.lm.acquire(cohort, page, mode)
+
+        self.env.process(proc())
+        self.env.run(until=self.env.now)
+
+    @rule(idx=st.integers(0, 5))
+    def prepare(self, idx):
+        cohort = self.cohorts[idx]
+        if cohort in self.finished or cohort.lenders:
+            return  # the shelf rule: borrowers cannot prepare
+        if cohort in self.lm._waiting_requests:
+            return  # still executing (blocked)
+        if cohort.state is not CohortState.EXECUTING:
+            return
+        cohort.state = CohortState.PREPARED
+        self.lm.prepare(cohort)
+
+    @rule(idx=st.integers(0, 5), committed=st.booleans())
+    def finish(self, idx, committed):
+        cohort = self.cohorts[idx]
+        if cohort in self.finished:
+            return
+        self._finish(cohort, committed)
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def holders_mutually_compatible(self):
+        for page, entry in self.lm._entries.items():
+            updates = [c for c, m in entry.holders.items()
+                       if m is LockMode.UPDATE]
+            assert len(updates) <= 1, (
+                f"page {page}: two active UPDATE holders {updates}")
+
+    @invariant()
+    def lenders_are_prepared(self):
+        self.lm.assert_consistent()
+
+    @invariant()
+    def waiting_cohorts_not_holding_their_page(self):
+        for cohort, request in self.lm._waiting_requests.items():
+            held = cohort.held_locks.get(request.page)
+            if held is not None:
+                # Only legal while upgrading READ -> UPDATE.
+                assert held is LockMode.READ
+                assert request.mode is LockMode.UPDATE
+
+    @invariant()
+    def borrow_edges_symmetric(self):
+        for lender, borrowers in self.lm._borrows.items():
+            for borrower in borrowers:
+                assert lender in borrower.lenders, (
+                    f"{borrower} missing lender edge to {lender}")
+
+    @invariant()
+    def finished_cohorts_hold_nothing(self):
+        for cohort in self.finished:
+            assert not cohort.held_locks
+            assert not cohort.lending_pages
+            for entry in self.lm._entries.values():
+                assert cohort not in entry.holders
+                assert cohort not in entry.lenders
+
+
+TestLockManagerStateful = LockManagerMachine.TestCase
+TestLockManagerStateful.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None)

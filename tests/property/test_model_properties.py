@@ -1,0 +1,136 @@
+"""Property tests over substrate components and small end-to-end runs."""
+
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.config import ModelParams
+from repro.db.pages import PageDirectory
+from repro.db.workload import WorkloadGenerator
+from repro.sim import Environment, RandomStreams
+
+
+class TestPagePlacement:
+    @given(db_size=st.integers(8, 5000), num_sites=st.integers(1, 16),
+           num_disks=st.integers(1, 4))
+    def test_pages_partition_exactly(self, db_size, num_sites, num_disks):
+        if db_size < num_sites:
+            return
+        directory = PageDirectory(db_size, num_sites, num_disks)
+        seen = []
+        for site in range(num_sites):
+            pages = list(directory.pages_at(site))
+            assert all(directory.site_of(p) == site for p in pages)
+            seen.extend(pages)
+        assert sorted(seen) == list(range(db_size))
+
+    @given(db_size=st.integers(8, 5000), num_sites=st.integers(1, 16))
+    def test_disks_within_range(self, db_size, num_sites):
+        if db_size < num_sites:
+            return
+        directory = PageDirectory(db_size, num_sites, 3)
+        for page in range(0, db_size, max(1, db_size // 50)):
+            assert 0 <= directory.disk_of(page) < 3
+
+
+class TestWorkloadProperties:
+    @given(dist_degree=st.integers(1, 8), cohort_size=st.integers(1, 20),
+           update_prob=st.floats(0.0, 1.0), seed=st.integers(0, 2**30))
+    @settings(max_examples=50, deadline=None)
+    def test_generated_specs_always_valid(self, dist_degree, cohort_size,
+                                          update_prob, seed):
+        params = ModelParams(dist_degree=dist_degree,
+                             cohort_size=cohort_size,
+                             update_prob=update_prob)
+        directory = PageDirectory(params.db_size, params.num_sites,
+                                  params.num_data_disks)
+        generator = WorkloadGenerator(params, directory,
+                                      RandomStreams(seed))
+        for origin in (0, params.num_sites - 1):
+            spec = generator.generate(origin)
+            assert len(spec.accesses) == dist_degree
+            sites = [a.site_id for a in spec.accesses]
+            assert len(set(sites)) == dist_degree
+            for access in spec.accesses:
+                assert (params.min_cohort_pages <= len(access.pages)
+                        <= params.max_cohort_pages)
+                for page in access.pages:
+                    assert directory.site_of(page) == access.site_id
+
+
+class TestEngineOrdering:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1000.0,
+                              allow_nan=False), min_size=1, max_size=50))
+    def test_timeouts_fire_in_time_order(self, delays):
+        env = Environment()
+        fired = []
+
+        def waiter(env, delay):
+            yield env.timeout(delay)
+            fired.append(delay)
+
+        for delay in delays:
+            env.process(waiter(env, delay))
+        env.run()
+        assert fired == sorted(delays)
+        assert env.now == max(delays)
+
+
+class TestEndToEndProperties:
+    @given(protocol=st.sampled_from(["2PC", "PC", "3PC", "OPT", "OPT-3PC",
+                                     "DPCC", "CENT"]),
+           mpl=st.integers(1, 4),
+           dist_degree=st.integers(1, 4),
+           seed=st.integers(0, 2**20))
+    @settings(max_examples=12, deadline=None)
+    def test_small_random_configs_complete(self, protocol, mpl,
+                                           dist_degree, seed):
+        """Any small configuration must run to completion (no hangs,
+        no crashes) and leave no aborted holders behind."""
+        params = ModelParams(num_sites=4, db_size=800, mpl=mpl,
+                             dist_degree=dist_degree, cohort_size=3)
+        system = repro.build_system(protocol, params=params, seed=seed)
+        result = system.run(measured_transactions=40,
+                            warmup_transactions=5)
+        assert result.committed >= 40
+        assert result.throughput > 0
+        for site in system.sites:
+            site.lock_manager.assert_consistent()
+            for entry in site.lock_manager._entries.values():
+                for holder in entry.holders:
+                    assert holder.txn.outcome is None or \
+                        not holder.txn.aborting
+
+    @given(seed=st.integers(0, 2**20))
+    @settings(max_examples=8, deadline=None)
+    def test_opt_abort_chain_bounded(self, seed):
+        """Under lending plus surprise aborts, every lender abort kills
+        only direct borrowers: lender-abort victims must never
+        themselves have lent (they were never prepared)."""
+        params = ModelParams(num_sites=4, db_size=300, mpl=4,
+                             dist_degree=2, cohort_size=3,
+                             surprise_abort_prob=0.08)
+        system = repro.build_system("OPT", params=params, seed=seed)
+        # Intercept every lender-abort: at that instant, the borrower
+        # being killed must not itself be lending anything (it was never
+        # prepared), which is exactly what bounds the chain at one.
+        victims = []
+        for site in system.sites:
+            lm = site.lock_manager
+            original = lm._on_lender_abort
+
+            def checking_hook(borrower, _original=original):
+                victims.append(borrower.txn.name)
+                for cohort in borrower.txn.cohorts:
+                    assert not cohort.lending_pages, (
+                        f"{borrower} was lending while borrowing: "
+                        "abort chain would cascade")
+                    assert cohort.state.value not in ("prepared",
+                                                      "precommitted")
+                _original(borrower)
+
+            lm._on_lender_abort = checking_hook
+        result = system.run(measured_transactions=60,
+                            warmup_transactions=5)
+        assert result.committed >= 60
+        for site in system.sites:
+            site.lock_manager.assert_consistent()

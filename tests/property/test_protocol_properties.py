@@ -1,0 +1,64 @@
+"""Property tests across the whole protocol family.
+
+Each random configuration must satisfy the cross-protocol invariants
+that follow from the protocols' definitions, independent of workload.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.config import ModelParams
+
+PROTOCOLS = ["2PC", "PA", "PC", "3PC", "OPT", "OPT-PC", "OPT-3PC",
+             "UV", "EP", "LIN-2PC", "OPT-LIN"]
+
+
+@given(dist_degree=st.integers(1, 6), seed=st.integers(0, 2**20))
+@settings(max_examples=10, deadline=None)
+def test_conflict_free_overheads_are_integral(dist_degree, seed):
+    """On a conflict-free run, every protocol's measured overheads are
+    exact integers (each committing transaction does identical work)."""
+    params = ModelParams(num_sites=8, db_size=48000, mpl=1,
+                         dist_degree=dist_degree, cohort_size=2)
+    for protocol in ("2PC", "PC", "UV", "EP", "LIN-2PC"):
+        result = repro.simulate(protocol, params=params, seed=seed,
+                                measured_transactions=25,
+                                warmup_transactions=5)
+        assert result.aborted == 0
+        for value in result.overheads.rounded():
+            assert value == int(value), (protocol, result.overheads)
+
+
+@given(protocol=st.sampled_from(PROTOCOLS), seed=st.integers(0, 2**20))
+@settings(max_examples=15, deadline=None)
+def test_lending_flag_controls_borrowing(protocol, seed):
+    """Only lending protocols may ever report borrows."""
+    params = ModelParams(num_sites=4, db_size=300, mpl=4,
+                         dist_degree=2, cohort_size=3)
+    result = repro.simulate(protocol, params=params, seed=seed,
+                            measured_transactions=80,
+                            warmup_transactions=10)
+    lending = repro.create_protocol(protocol).lending
+    if not lending:
+        assert result.borrow_ratio == 0
+        assert result.shelf_entries == 0
+        assert "lender_abort" not in result.aborts_by_reason
+
+
+@given(seed=st.integers(0, 2**20))
+@settings(max_examples=6, deadline=None)
+def test_forced_writes_ordering_invariant(seed):
+    """Across the 2PC family, per-commit forced writes are ordered
+    EP = PC <= 2PC <= 3PC regardless of seed."""
+    params = ModelParams(num_sites=4, db_size=24000, mpl=1,
+                         dist_degree=3, cohort_size=2)
+
+    def forced(protocol):
+        result = repro.simulate(protocol, params=params, seed=seed,
+                                measured_transactions=30,
+                                warmup_transactions=5)
+        return result.overheads.forced_writes
+
+    ep, pc, two_pc, three_pc = (forced(p) for p in
+                                ("EP", "PC", "2PC", "3PC"))
+    assert ep == pc <= two_pc <= three_pc

@@ -1,0 +1,117 @@
+"""Property-based tests for the statistics accumulators."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import (
+    BatchMeans,
+    TimeWeightedAverage,
+    WelfordAccumulator,
+    confidence_interval,
+    normal_quantile,
+    student_t_quantile,
+)
+
+finite_floats = st.floats(min_value=-1e9, max_value=1e9,
+                          allow_nan=False, allow_infinity=False)
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=200))
+def test_welford_mean_matches_arithmetic_mean(values):
+    acc = WelfordAccumulator()
+    for v in values:
+        acc.add(v)
+    assert acc.count == len(values)
+    assert math.isclose(acc.mean, sum(values) / len(values),
+                        rel_tol=1e-9, abs_tol=1e-6)
+    assert acc.minimum == min(values)
+    assert acc.maximum == max(values)
+
+
+@given(st.lists(finite_floats, min_size=2, max_size=200))
+def test_welford_variance_nonnegative_and_exact(values):
+    acc = WelfordAccumulator()
+    for v in values:
+        acc.add(v)
+    mean = sum(values) / len(values)
+    expected = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    assert acc.variance >= 0
+    assert math.isclose(acc.variance, expected, rel_tol=1e-6, abs_tol=1e-3)
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=100),
+       st.lists(finite_floats, min_size=1, max_size=100))
+def test_welford_merge_equals_concatenation(left_values, right_values):
+    merged = WelfordAccumulator()
+    for v in left_values:
+        merged.add(v)
+    other = WelfordAccumulator()
+    for v in right_values:
+        other.add(v)
+    merged.merge(other)
+
+    combined = WelfordAccumulator()
+    for v in left_values + right_values:
+        combined.add(v)
+    assert merged.count == combined.count
+    assert math.isclose(merged.mean, combined.mean,
+                        rel_tol=1e-9, abs_tol=1e-6)
+    assert math.isclose(merged.variance, combined.variance,
+                        rel_tol=1e-6, abs_tol=1e-3)
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0.001, max_value=100.0),
+                          st.floats(min_value=-100, max_value=100)),
+                min_size=1, max_size=50))
+def test_time_weighted_average_matches_bruteforce(steps):
+    """Random step function: TWA must equal the integral by hand."""
+    twa = TimeWeightedAverage()
+    now = 0.0
+    integral = 0.0
+    level = 0.0
+    for duration, new_level in steps:
+        integral += level * duration
+        now += duration
+        twa.update(new_level, now)
+        level = new_level
+    # Extend one more unit so the final level counts.
+    integral += level * 1.0
+    now += 1.0
+    assert math.isclose(twa.average(now), integral / now,
+                        rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=300),
+       st.integers(min_value=1, max_value=20))
+def test_batch_means_overall_mean_is_exact(values, batch_size):
+    bm = BatchMeans(batch_size)
+    for v in values:
+        bm.add(v)
+    assert math.isclose(bm.mean, sum(values) / len(values),
+                        rel_tol=1e-9, abs_tol=1e-6)
+    assert len(bm.batch_means) == len(values) // batch_size
+
+
+@given(st.lists(finite_floats, min_size=2, max_size=50))
+def test_confidence_interval_contains_mean(samples):
+    mean, half = confidence_interval(samples, 0.90)
+    assert math.isclose(mean, sum(samples) / len(samples),
+                        rel_tol=1e-9, abs_tol=1e-6)
+    assert half >= 0
+
+
+@given(st.floats(min_value=0.001, max_value=0.999))
+def test_normal_quantile_antisymmetric(p):
+    assert math.isclose(normal_quantile(p), -normal_quantile(1 - p),
+                        rel_tol=1e-6, abs_tol=1e-6)
+
+
+@given(st.floats(min_value=0.5, max_value=0.999),
+       st.integers(min_value=1, max_value=200))
+def test_t_quantile_monotone_in_p_and_above_normal(p, df):
+    t = student_t_quantile(p, df)
+    assert t >= 0
+    if p > 0.5 and df >= 3:
+        # The t distribution has heavier tails than the normal.
+        assert t >= normal_quantile(p) - 1e-3

@@ -1,0 +1,291 @@
+"""Unit tests for the simulation environment and event loop."""
+
+import pytest
+
+from repro.sim import Environment, Event
+
+
+def test_initial_time_defaults_to_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_initial_time_can_be_set():
+    env = Environment(initial_time=5.0)
+    assert env.now == 5.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    times = []
+
+    def proc(env):
+        yield env.timeout(3.0)
+        times.append(env.now)
+        yield env.timeout(2.0)
+        times.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert times == [3.0, 5.0]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_run_until_time_stops_exactly():
+    env = Environment()
+
+    def proc(env):
+        while True:
+            yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run(until=4.5)
+    assert env.now == 4.5
+
+
+def test_run_until_time_in_past_rejected():
+    env = Environment(initial_time=10.0)
+    with pytest.raises(ValueError):
+        env.run(until=5.0)
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.0)
+        return "done"
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == "done"
+    assert env.now == 2.0
+
+
+def test_run_without_events_returns_immediately():
+    env = Environment()
+    env.run()
+    assert env.now == 0.0
+
+
+def test_events_at_same_time_fire_in_schedule_order():
+    env = Environment()
+    order = []
+
+    def proc(env, tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    env.process(proc(env, "a"))
+    env.process(proc(env, "b"))
+    env.process(proc(env, "c"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_event_succeed_delivers_value():
+    env = Environment()
+    got = []
+
+    def waiter(env, event):
+        value = yield event
+        got.append(value)
+
+    def trigger(env, event):
+        yield env.timeout(1.0)
+        event.succeed(42)
+
+    event = env.event()
+    env.process(waiter(env, event))
+    env.process(trigger(env, event))
+    env.run()
+    assert got == [42]
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(RuntimeError):
+        event.succeed(2)
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    seen = []
+
+    def waiter(env, event):
+        try:
+            yield event
+        except ValueError as error:
+            seen.append(str(error))
+
+    event = env.event()
+    env.process(waiter(env, event))
+    event.fail(ValueError("boom"))
+    env.run()
+    assert seen == ["boom"]
+
+
+def test_unhandled_failed_event_surfaces_from_run():
+    env = Environment()
+    event = env.event()
+    event.fail(RuntimeError("unhandled"))
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_event_value_before_trigger_is_error():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(RuntimeError):
+        _ = event.value
+    with pytest.raises(RuntimeError):
+        _ = event.ok
+
+
+def test_fail_requires_exception_instance():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(TypeError):
+        event.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_process_can_wait_on_already_processed_event():
+    env = Environment()
+    results = []
+
+    def late_waiter(env, event):
+        yield env.timeout(5.0)
+        value = yield event
+        results.append((env.now, value))
+
+    event = env.event()
+    event.succeed("early")
+    env.process(late_waiter(env, event))
+    env.run()
+    assert results == [(5.0, "early")]
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(7.0)
+    assert env.peek() == 7.0
+
+
+def test_peek_empty_queue_is_infinite():
+    env = Environment()
+    assert env.peek() == float("inf")
+
+
+def test_run_until_event_that_never_fires_raises():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(RuntimeError, match="ran out of events"):
+        env.run(until=event)
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    results = []
+
+    def proc(env):
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(3.0, value="b")
+        values = yield env.all_of([t1, t2])
+        results.append((env.now, sorted(values.values())))
+
+    env.process(proc(env))
+    env.run()
+    assert results == [(3.0, ["a", "b"])]
+
+
+def test_any_of_fires_on_first_event():
+    env = Environment()
+    results = []
+
+    def proc(env):
+        t1 = env.timeout(1.0, value="fast")
+        t2 = env.timeout(3.0, value="slow")
+        values = yield env.any_of([t1, t2])
+        results.append((env.now, list(values.values())))
+
+    env.process(proc(env))
+    env.run()
+    assert results == [(1.0, ["fast"])]
+
+
+def test_all_of_empty_list_triggers_immediately():
+    env = Environment()
+    results = []
+
+    def proc(env):
+        yield env.all_of([])
+        results.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert results == [0.0]
+
+
+def test_nested_processes_wait_for_child_return():
+    env = Environment()
+    results = []
+
+    def child(env):
+        yield env.timeout(2.0)
+        return "child-result"
+
+    def parent(env):
+        value = yield env.process(child(env))
+        results.append((env.now, value))
+
+    env.process(parent(env))
+    env.run()
+    assert results == [(2.0, "child-result")]
+
+
+def test_yielding_non_event_raises_type_error():
+    env = Environment()
+
+    def bad(env):
+        yield 42  # not an event
+
+    env.process(bad(env))
+    with pytest.raises(TypeError):
+        env.run()
+
+
+def test_exception_in_process_propagates_if_unwaited():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise KeyError("oops")
+
+    env.process(bad(env))
+    with pytest.raises(KeyError):
+        env.run()
+
+
+def test_exception_in_child_delivered_to_waiting_parent():
+    env = Environment()
+    seen = []
+
+    def child(env):
+        yield env.timeout(1.0)
+        raise ValueError("child failed")
+
+    def parent(env):
+        try:
+            yield env.process(child(env))
+        except ValueError as error:
+            seen.append(str(error))
+
+    env.process(parent(env))
+    env.run()
+    assert seen == ["child failed"]

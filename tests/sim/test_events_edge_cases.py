@@ -1,0 +1,106 @@
+"""Edge-case tests for events and condition events."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment
+from repro.sim.events import Condition
+
+
+def test_all_of_failure_propagates():
+    env = Environment()
+    seen = []
+
+    def failer(env):
+        yield env.timeout(1.0)
+        raise ValueError("child exploded")
+
+    def waiter(env):
+        ok = env.timeout(5.0)
+        bad = env.process(failer(env))
+        try:
+            yield env.all_of([ok, bad])
+        except ValueError as error:
+            seen.append(str(error))
+
+    env.process(waiter(env))
+    env.run()
+    assert seen == ["child exploded"]
+
+
+def test_any_of_with_already_processed_event():
+    env = Environment()
+    results = []
+
+    def proc(env):
+        early = env.event()
+        early.succeed("early")
+        yield env.timeout(1.0)  # let `early` be processed
+        got = yield env.any_of([early, env.timeout(100.0)])
+        results.append(list(got.values()))
+
+    env.process(proc(env))
+    env.run(until=5.0)
+    assert results == [["early"]]
+
+
+def test_condition_rejects_mixed_environments():
+    env_a = Environment()
+    env_b = Environment()
+    with pytest.raises(ValueError, match="multiple environments"):
+        AllOf(env_a, [env_a.event(), env_b.event()])
+
+
+def test_all_of_values_keyed_by_event():
+    env = Environment()
+    results = []
+
+    def proc(env):
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(2.0, value="b")
+        values = yield env.all_of([t1, t2])
+        results.append((values[t1], values[t2]))
+
+    env.process(proc(env))
+    env.run()
+    assert results == [("a", "b")]
+
+
+def test_condition_check_is_abstract():
+    env = Environment()
+    condition = Condition.__new__(Condition)
+    with pytest.raises(NotImplementedError):
+        condition._check()
+
+
+def test_event_repr_states():
+    env = Environment()
+    event = env.event()
+    assert "pending" in repr(event)
+    event.succeed()
+    assert "triggered" in repr(event)
+    env.run()
+    assert "processed" in repr(event)
+
+
+def test_trigger_copies_state():
+    env = Environment()
+    source = env.event()
+    target = env.event()
+    source.succeed(42)
+    target.trigger(source)
+    env.run()
+    assert target.ok
+    assert target.value == 42
+
+
+def test_timeout_carries_value():
+    env = Environment()
+    got = []
+
+    def proc(env):
+        value = yield env.timeout(1.0, value="payload")
+        got.append(value)
+
+    env.process(proc(env))
+    env.run()
+    assert got == ["payload"]

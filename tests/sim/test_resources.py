@@ -1,0 +1,320 @@
+"""Tests for FCFS, priority, and infinite resources, and the Store."""
+
+import pytest
+
+from repro.sim import (
+    Environment,
+    InfiniteServer,
+    Interrupt,
+    PriorityResource,
+    Resource,
+    Store,
+)
+from repro.sim.resources import PRIORITY_DATA, PRIORITY_MESSAGE
+
+
+def test_resource_capacity_must_be_positive():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_single_server_serializes_requests():
+    env = Environment()
+    disk = Resource(env, capacity=1, name="disk")
+    finish = []
+
+    def job(env, tag):
+        yield from disk.serve(10.0)
+        finish.append((tag, env.now))
+
+    env.process(job(env, "a"))
+    env.process(job(env, "b"))
+    env.process(job(env, "c"))
+    env.run()
+    assert finish == [("a", 10.0), ("b", 20.0), ("c", 30.0)]
+
+
+def test_multi_server_runs_in_parallel():
+    env = Environment()
+    cpu = Resource(env, capacity=2)
+    finish = []
+
+    def job(env, tag):
+        yield from cpu.serve(10.0)
+        finish.append((tag, env.now))
+
+    for tag in "abc":
+        env.process(job(env, tag))
+    env.run()
+    assert finish == [("a", 10.0), ("b", 10.0), ("c", 20.0)]
+
+
+def test_fcfs_order_preserved():
+    env = Environment()
+    disk = Resource(env, capacity=1)
+    order = []
+
+    def job(env, tag, arrival):
+        yield env.timeout(arrival)
+        yield from disk.serve(5.0)
+        order.append(tag)
+
+    env.process(job(env, "late", 2.0))
+    env.process(job(env, "early", 1.0))
+    env.process(job(env, "first", 0.0))
+    env.run()
+    assert order == ["first", "early", "late"]
+
+
+def test_priority_resource_serves_messages_first():
+    env = Environment()
+    cpu = PriorityResource(env, capacity=1)
+    order = []
+
+    def data_job(env, tag, arrival):
+        yield env.timeout(arrival)
+        yield from cpu.serve(10.0, priority=PRIORITY_DATA)
+        order.append(tag)
+
+    def message_job(env, tag, arrival):
+        yield env.timeout(arrival)
+        yield from cpu.serve(1.0, priority=PRIORITY_MESSAGE)
+        order.append(tag)
+
+    # d1 occupies the CPU at t=0; d2 and m1 queue while d1 runs.
+    env.process(data_job(env, "d1", 0.0))
+    env.process(data_job(env, "d2", 1.0))
+    env.process(message_job(env, "m1", 2.0))
+    env.run()
+    assert order == ["d1", "m1", "d2"]
+
+
+def test_priority_resource_is_non_preemptive():
+    env = Environment()
+    cpu = PriorityResource(env, capacity=1)
+    log = []
+
+    def data_job(env):
+        yield from cpu.serve(10.0, priority=PRIORITY_DATA)
+        log.append(("data-done", env.now))
+
+    def message_job(env):
+        yield env.timeout(1.0)
+        yield from cpu.serve(1.0, priority=PRIORITY_MESSAGE)
+        log.append(("msg-done", env.now))
+
+    env.process(data_job(env))
+    env.process(message_job(env))
+    env.run()
+    # Message arrives at t=1 but data job runs to completion at t=10.
+    assert log == [("data-done", 10.0), ("msg-done", 11.0)]
+
+
+def test_priority_fcfs_within_class():
+    env = Environment()
+    cpu = PriorityResource(env, capacity=1)
+    order = []
+
+    def msg(env, tag, arrival):
+        yield env.timeout(arrival)
+        yield from cpu.serve(1.0, priority=PRIORITY_MESSAGE)
+        order.append(tag)
+
+    def blocker(env):
+        yield from cpu.serve(5.0, priority=PRIORITY_DATA)
+
+    env.process(blocker(env))
+    env.process(msg(env, "m1", 1.0))
+    env.process(msg(env, "m2", 2.0))
+    env.process(msg(env, "m3", 3.0))
+    env.run()
+    assert order == ["m1", "m2", "m3"]
+
+
+def test_release_of_waiting_request_withdraws_it():
+    env = Environment()
+    disk = Resource(env, capacity=1)
+    log = []
+
+    def holder(env):
+        yield from disk.serve(10.0)
+        log.append(("holder-done", env.now))
+
+    def canceller(env):
+        yield env.timeout(1.0)
+        req = disk.request()
+        yield env.timeout(1.0)
+        disk.release(req)  # withdraw while still queued
+        log.append(("cancelled", env.now))
+
+    def other(env):
+        yield env.timeout(2.0)
+        yield from disk.serve(5.0)
+        log.append(("other-done", env.now))
+
+    env.process(holder(env))
+    env.process(canceller(env))
+    env.process(other(env))
+    env.run()
+    # "other" must get the server at t=10 (canceller stepped aside).
+    assert ("other-done", 15.0) in log
+
+
+def test_interrupt_while_queued_releases_claim():
+    env = Environment()
+    disk = Resource(env, capacity=1)
+    log = []
+
+    def holder(env):
+        yield from disk.serve(10.0)
+
+    def victim(env):
+        try:
+            yield from disk.serve(5.0)
+        except Interrupt:
+            log.append("victim-interrupted")
+
+    def other(env):
+        yield env.timeout(2.0)
+        yield from disk.serve(5.0)
+        log.append(("other-done", env.now))
+
+    env.process(holder(env))
+    v = env.process(victim(env))
+
+    def attacker(env):
+        yield env.timeout(3.0)
+        v.interrupt()
+
+    env.process(attacker(env))
+    env.process(other(env))
+    env.run()
+    assert "victim-interrupted" in log
+    assert ("other-done", 15.0) in log
+
+
+def test_interrupt_while_in_service_frees_server():
+    env = Environment()
+    disk = Resource(env, capacity=1)
+    log = []
+
+    def victim(env):
+        try:
+            yield from disk.serve(100.0)
+        except Interrupt:
+            log.append(("victim-out", env.now))
+
+    def other(env):
+        yield env.timeout(1.0)
+        yield from disk.serve(5.0)
+        log.append(("other-done", env.now))
+
+    v = env.process(victim(env))
+
+    def attacker(env):
+        yield env.timeout(2.0)
+        v.interrupt()
+
+    env.process(attacker(env))
+    env.process(other(env))
+    env.run()
+    assert log == [("victim-out", 2.0), ("other-done", 7.0)]
+
+
+def test_utilization_accounting():
+    env = Environment()
+    disk = Resource(env, capacity=1)
+
+    def job(env):
+        yield from disk.serve(5.0)
+
+    env.process(job(env))
+    env.run(until=10.0)
+    assert disk.utilization(10.0) == pytest.approx(0.5)
+
+
+def test_infinite_server_never_queues():
+    env = Environment()
+    server = InfiniteServer(env)
+    finish = []
+
+    def job(env, tag):
+        yield from server.serve(10.0)
+        finish.append((tag, env.now))
+
+    for tag in "abcde":
+        env.process(job(env, tag))
+    env.run()
+    assert all(t == 10.0 for _, t in finish)
+    assert len(finish) == 5
+    assert server.queue_length == 0
+    assert server.utilization(10.0) == 0.0
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    store.put("x")
+    store.put("y")
+    store.put("z")
+    env.process(consumer(env))
+    env.run()
+    assert got == ["x", "y", "z"]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env):
+        item = yield store.get()
+        got.append((item, env.now))
+
+    def producer(env):
+        yield env.timeout(4.0)
+        store.put("late-item")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got == [("late-item", 4.0)]
+
+
+def test_store_len_counts_buffered_items():
+    env = Environment()
+    store = Store(env)
+    assert len(store) == 0
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+
+
+def test_store_multiple_getters_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env, tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    env.process(consumer(env, "first"))
+    env.process(consumer(env, "second"))
+
+    def producer(env):
+        yield env.timeout(1.0)
+        store.put("a")
+        store.put("b")
+
+    env.process(producer(env))
+    env.run()
+    assert got == [("first", "a"), ("second", "b")]

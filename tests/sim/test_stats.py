@@ -1,0 +1,213 @@
+"""Tests for statistics accumulators and confidence intervals."""
+
+import math
+import random
+
+import pytest
+
+from repro.sim import (
+    BatchMeans,
+    TimeWeightedAverage,
+    WelfordAccumulator,
+    confidence_interval,
+)
+from repro.sim.stats import normal_quantile, student_t_quantile
+
+
+class TestWelford:
+    def test_empty(self):
+        acc = WelfordAccumulator()
+        assert acc.count == 0
+        assert acc.mean == 0.0
+        assert acc.variance == 0.0
+
+    def test_single_value(self):
+        acc = WelfordAccumulator()
+        acc.add(5.0)
+        assert acc.mean == 5.0
+        assert acc.variance == 0.0
+        assert acc.minimum == 5.0
+        assert acc.maximum == 5.0
+
+    def test_mean_and_variance_match_formula(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        acc = WelfordAccumulator()
+        for v in values:
+            acc.add(v)
+        n = len(values)
+        mean = sum(values) / n
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+        assert acc.mean == pytest.approx(mean)
+        assert acc.variance == pytest.approx(var)
+        assert acc.stddev == pytest.approx(math.sqrt(var))
+        assert acc.total == pytest.approx(sum(values))
+
+    def test_min_max(self):
+        acc = WelfordAccumulator()
+        for v in [3.0, -1.0, 7.0, 2.0]:
+            acc.add(v)
+        assert acc.minimum == -1.0
+        assert acc.maximum == 7.0
+
+    def test_merge_equals_sequential(self):
+        rng = random.Random(42)
+        values = [rng.gauss(10, 3) for _ in range(200)]
+        combined = WelfordAccumulator()
+        for v in values:
+            combined.add(v)
+        left = WelfordAccumulator()
+        right = WelfordAccumulator()
+        for v in values[:77]:
+            left.add(v)
+        for v in values[77:]:
+            right.add(v)
+        left.merge(right)
+        assert left.count == combined.count
+        assert left.mean == pytest.approx(combined.mean)
+        assert left.variance == pytest.approx(combined.variance)
+        assert left.minimum == combined.minimum
+        assert left.maximum == combined.maximum
+
+    def test_merge_into_empty(self):
+        src = WelfordAccumulator()
+        src.add(1.0)
+        src.add(3.0)
+        dst = WelfordAccumulator()
+        dst.merge(src)
+        assert dst.count == 2
+        assert dst.mean == 2.0
+
+    def test_merge_empty_is_noop(self):
+        dst = WelfordAccumulator()
+        dst.add(5.0)
+        dst.merge(WelfordAccumulator())
+        assert dst.count == 1
+        assert dst.mean == 5.0
+
+
+class TestTimeWeightedAverage:
+    def test_constant_value(self):
+        twa = TimeWeightedAverage(initial_value=3.0)
+        assert twa.average(10.0) == pytest.approx(3.0)
+
+    def test_step_function(self):
+        twa = TimeWeightedAverage()
+        twa.update(2.0, now=0.0)
+        twa.update(4.0, now=5.0)
+        # value 2 for 5 units, value 4 for 5 units -> mean 3
+        assert twa.average(10.0) == pytest.approx(3.0)
+
+    def test_increment_decrement(self):
+        twa = TimeWeightedAverage()
+        twa.increment(now=0.0)       # 1 from t=0
+        twa.increment(now=4.0)       # 2 from t=4
+        twa.decrement(now=8.0)       # 1 from t=8
+        # integral = 1*4 + 2*4 + 1*2 = 14 over 10
+        assert twa.average(10.0) == pytest.approx(1.4)
+        assert twa.value == 1.0
+
+    def test_reset_discards_history(self):
+        twa = TimeWeightedAverage()
+        twa.update(100.0, now=0.0)
+        twa.reset(now=10.0)
+        twa.update(2.0, now=10.0)
+        assert twa.average(20.0) == pytest.approx(2.0)
+
+    def test_time_backwards_rejected(self):
+        twa = TimeWeightedAverage()
+        twa.update(1.0, now=5.0)
+        with pytest.raises(ValueError):
+            twa.update(2.0, now=4.0)
+
+    def test_zero_elapsed_returns_current_value(self):
+        twa = TimeWeightedAverage(initial_value=7.0)
+        assert twa.average(0.0) == 7.0
+
+
+class TestBatchMeans:
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            BatchMeans(0)
+
+    def test_batch_means_formed(self):
+        bm = BatchMeans(batch_size=2)
+        for v in [1.0, 3.0, 5.0, 7.0, 9.0]:
+            bm.add(v)
+        assert bm.batch_means == [2.0, 6.0]
+        assert bm.count == 5
+        assert bm.mean == pytest.approx(5.0)
+
+    def test_interval_narrows_with_data(self):
+        rng = random.Random(7)
+        bm = BatchMeans(batch_size=50)
+        for _ in range(5000):
+            bm.add(rng.gauss(100.0, 10.0))
+        mean, half = bm.interval(0.90)
+        assert mean == pytest.approx(100.0, abs=1.0)
+        assert half < 2.0
+        assert bm.relative_half_width(0.90) < 0.02
+
+    def test_interval_with_too_few_batches_is_infinite(self):
+        bm = BatchMeans(batch_size=10)
+        bm.add(1.0)
+        mean, half = bm.interval()
+        assert half == math.inf
+
+
+class TestConfidenceInterval:
+    def test_empty_sample(self):
+        mean, half = confidence_interval([])
+        assert mean == 0.0
+        assert half == math.inf
+
+    def test_single_sample(self):
+        mean, half = confidence_interval([4.0])
+        assert mean == 4.0
+        assert half == math.inf
+
+    def test_known_interval(self):
+        # Sample of 4 values with known stats.
+        samples = [10.0, 12.0, 8.0, 10.0]
+        mean, half = confidence_interval(samples, confidence=0.90)
+        assert mean == pytest.approx(10.0)
+        # s = sqrt(8/3); t_{0.95,3} = 2.3534
+        expected_half = 2.3534 * math.sqrt(8.0 / 3.0) / 2.0
+        assert half == pytest.approx(expected_half, rel=0.01)
+
+
+class TestQuantiles:
+    def test_normal_quantile_symmetry(self):
+        assert normal_quantile(0.5) == pytest.approx(0.0, abs=1e-9)
+        assert normal_quantile(0.975) == pytest.approx(1.959964, abs=1e-4)
+        assert normal_quantile(0.95) == pytest.approx(1.644854, abs=1e-4)
+        assert normal_quantile(0.025) == pytest.approx(-1.959964, abs=1e-4)
+
+    def test_normal_quantile_tails(self):
+        assert normal_quantile(1e-6) == pytest.approx(-4.7534, abs=1e-2)
+        assert normal_quantile(1 - 1e-6) == pytest.approx(4.7534, abs=1e-2)
+
+    def test_normal_quantile_domain(self):
+        with pytest.raises(ValueError):
+            normal_quantile(0.0)
+        with pytest.raises(ValueError):
+            normal_quantile(1.0)
+
+    @pytest.mark.parametrize("df,expected", [
+        (1, 6.3138),
+        (2, 2.9200),
+        (5, 2.0150),
+        (10, 1.8125),
+        (30, 1.6973),
+        (100, 1.6602),
+    ])
+    def test_t_quantile_95_percent(self, df, expected):
+        assert student_t_quantile(0.95, df) == pytest.approx(expected, rel=5e-3)
+
+    def test_t_quantile_median_is_zero(self):
+        assert student_t_quantile(0.5, 10) == pytest.approx(0.0, abs=1e-9)
+
+    def test_t_quantile_domain(self):
+        with pytest.raises(ValueError):
+            student_t_quantile(1.5, 10)
+        with pytest.raises(ValueError):
+            student_t_quantile(0.95, 0)

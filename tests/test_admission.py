@@ -1,0 +1,147 @@
+"""Tests for the Half-and-Half admission controller."""
+
+import pytest
+
+import repro
+from repro.admission import HalfAndHalfController
+from repro.sim import Environment
+
+from tests.db.conftest import FakeCohort
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def drive(env, generator):
+    done = []
+
+    def proc():
+        yield from generator
+        done.append(True)
+
+    env.process(proc())
+    env.run(until=env.now)
+    return done
+
+
+class TestControllerUnit:
+    def test_first_admission_immediate(self, env):
+        controller = HalfAndHalfController(env)
+        assert drive(env, controller.admit())
+        assert controller.running == 1
+
+    def test_gate_closes_at_blocked_fraction(self, env):
+        controller = HalfAndHalfController(env, blocked_fraction_limit=0.5)
+        for _ in range(2):
+            drive(env, controller.admit())
+        cohort = FakeCohort()
+        cohort.txn.blocked_cohorts = 1
+        controller.wait_change(cohort, True)
+        assert controller.blocked_fraction == 0.5
+        assert not controller.gate_open()
+        waiting = drive(env, controller.admit())
+        assert not waiting
+        assert controller.waiting_at_gate == 1
+
+    def test_unblock_reopens_gate(self, env):
+        controller = HalfAndHalfController(env, blocked_fraction_limit=0.5)
+        for _ in range(2):
+            drive(env, controller.admit())
+        cohort = FakeCohort()
+        cohort.txn.blocked_cohorts = 1
+        controller.wait_change(cohort, True)
+        waiting = drive(env, controller.admit())
+        assert not waiting
+        cohort.txn.blocked_cohorts = 0
+        controller.wait_change(cohort, False)
+        env.run(until=env.now)
+        assert waiting  # ticket granted
+        assert controller.running == 3
+
+    def test_release_reopens_gate(self, env):
+        controller = HalfAndHalfController(env, blocked_fraction_limit=0.5)
+        for _ in range(2):
+            drive(env, controller.admit())
+        cohort = FakeCohort()
+        cohort.txn.blocked_cohorts = 1
+        controller.wait_change(cohort, True)
+        waiting = drive(env, controller.admit())
+        assert not waiting
+        # The blocked transaction finishes (its wait ended via abort
+        # cleanup, then it released).
+        cohort.txn.blocked_cohorts = 0
+        controller.wait_change(cohort, False)
+        controller.release()
+        env.run(until=env.now)
+        assert waiting
+
+    def test_cancellation_fires_beyond_limit(self, env):
+        cancelled = []
+        controller = HalfAndHalfController(
+            env, blocked_fraction_limit=0.5,
+            cancel=lambda txn: cancelled.append(txn))
+        for _ in range(2):
+            drive(env, controller.admit())
+        first = FakeCohort()
+        first.txn.blocked_cohorts = 1
+        controller.wait_change(first, True)   # 1/2 = limit: no cancel
+        assert cancelled == []
+        second = FakeCohort()
+        second.txn.blocked_cohorts = 1
+        controller.wait_change(second, True)  # 2/2 > limit: cancel
+        assert cancelled == [second.txn]
+        assert controller.cancelled == 1
+
+    def test_release_without_admit_rejected(self, env):
+        controller = HalfAndHalfController(env)
+        with pytest.raises(RuntimeError):
+            controller.release()
+
+    def test_bad_limit_rejected(self, env):
+        with pytest.raises(ValueError):
+            HalfAndHalfController(env, blocked_fraction_limit=0.0)
+
+    def test_fifo_admission_order(self, env):
+        controller = HalfAndHalfController(env, blocked_fraction_limit=0.5)
+        for _ in range(2):
+            drive(env, controller.admit())
+        blocker = FakeCohort()
+        blocker.txn.blocked_cohorts = 1
+        controller.wait_change(blocker, True)
+        first = drive(env, controller.admit())
+        second = drive(env, controller.admit())
+        blocker.txn.blocked_cohorts = 0
+        controller.wait_change(blocker, False)
+        env.run(until=env.now)
+        assert first
+        # Second admit may or may not pass depending on the fraction
+        # after the first grant; the order requirement is only that the
+        # first ticket went first.
+
+
+class TestEndToEnd:
+    def test_admission_control_recovers_thrashing_throughput(self):
+        plain = repro.simulate("2PC", mpl=10, measured_transactions=400)
+        controlled = repro.simulate("2PC", mpl=10, admission_control=True,
+                                    measured_transactions=400)
+        assert controlled.throughput > 1.15 * plain.throughput
+
+    def test_load_control_cancellations_recorded(self):
+        result = repro.simulate("2PC", mpl=10, admission_control=True,
+                                measured_transactions=300)
+        assert result.aborts_by_reason.get("load_control", 0) > 0
+
+    def test_no_effect_at_low_mpl(self):
+        plain = repro.simulate("2PC", mpl=1, measured_transactions=150)
+        controlled = repro.simulate("2PC", mpl=1, admission_control=True,
+                                    measured_transactions=150)
+        # With one transaction per site there is little to gate (the
+        # occasional cancellation still perturbs the trajectory).
+        assert controlled.throughput == pytest.approx(plain.throughput,
+                                                      rel=0.12)
+
+    def test_validation_of_config_limit(self):
+        with pytest.raises(ValueError):
+            repro.ModelParams(admission_blocked_limit=1.5)

@@ -1,0 +1,64 @@
+"""Tests for result rendering (tables, sparklines)."""
+
+from repro.analysis.tables import (
+    render_comparison,
+    render_series_table,
+    render_sparkline,
+)
+from repro.config import ModelParams
+from repro.experiments import MplSweep
+
+
+def tiny_results():
+    sweep = MplSweep(
+        ["2PC", "OPT"],
+        lambda mpl: ModelParams(num_sites=2, db_size=400, mpl=mpl,
+                                dist_degree=2, cohort_size=2),
+        mpls=(1, 2), measured_transactions=40, warmup_transactions=5)
+    return sweep.run("T", "tiny")
+
+
+class TestSeriesTable:
+    def test_contains_all_protocols_and_mpls(self):
+        results = tiny_results()
+        text = render_series_table(results, "throughput")
+        assert "2PC" in text and "OPT" in text
+        lines = text.splitlines()
+        assert lines[0] == "[throughput]"
+        assert len(lines) == 2 + len(results.mpls)
+
+    def test_respects_precision(self):
+        results = tiny_results()
+        text = render_series_table(results, "throughput", precision=0)
+        # No decimal points in the data cells.
+        for line in text.splitlines()[2:]:
+            assert "." not in line
+
+    def test_experiment_results_table_delegates(self):
+        results = tiny_results()
+        assert results.table("throughput") == render_series_table(
+            results, "throughput", 2)
+
+    def test_summary_includes_title(self):
+        results = tiny_results()
+        assert "tiny" in results.summary()
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert render_sparkline([]) == ""
+
+    def test_flat_series(self):
+        assert render_sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_monotone_series_uses_full_range(self):
+        spark = render_sparkline([0.0, 1.0, 2.0, 3.0])
+        assert spark[0] == "▁"
+        assert spark[-1] == "█"
+        assert len(spark) == 4
+
+    def test_comparison_output(self):
+        results = tiny_results()
+        text = render_comparison(results)
+        assert "2PC" in text and "OPT" in text
+        assert "@" in text

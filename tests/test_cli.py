@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestList:
+    def test_lists_experiments(self):
+        code, text = run_cli("list")
+        assert code == 0
+        for experiment_id in ("E1", "E2", "E5-DC", "E6-RCDC-15", "E7"):
+            assert experiment_id in text
+
+
+class TestSimulate:
+    def test_basic_run(self):
+        code, text = run_cli("simulate", "2PC", "--mpl", "1",
+                             "--transactions", "60")
+        assert code == 0
+        assert "2PC" in text
+        assert "overheads per committing txn" in text
+        assert "exec_msgs=4.00" in text
+
+    def test_pure_dc_flag(self):
+        code, text = run_cli("simulate", "OPT", "--mpl", "2",
+                             "--transactions", "60", "--pure-dc")
+        assert code == 0
+        assert "OPT" in text
+
+    def test_surprise_aborts_reported(self):
+        code, text = run_cli("simulate", "2PC", "--mpl", "1",
+                             "--transactions", "150",
+                             "--surprise-abort-prob", "0.1")
+        assert code == 0
+        assert "surprise_vote" in text
+
+    def test_unknown_protocol_raises(self):
+        with pytest.raises(KeyError):
+            run_cli("simulate", "9PC", "--transactions", "10")
+
+
+class TestRun:
+    def test_run_experiment_small(self):
+        code, text = run_cli("run", "E1", "--transactions", "40",
+                             "--mpls", "1", "--quiet")
+        assert code == 0
+        assert "Experiment 1" in text
+        assert "[throughput]" in text
+        assert "[block_ratio]" in text
+        assert "[borrow_ratio]" in text
+        assert "peak value" in text
+
+    def test_run_progress_output(self):
+        code, text = run_cli("run", "E7", "--transactions", "30",
+                             "--mpls", "1")
+        assert code == 0
+        assert "... E7" in text
+
+    def test_bad_mpls_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "E1", "--mpls", "abc"])
+
+    def test_run_with_export(self, tmp_path):
+        code, text = run_cli("run", "E7", "--transactions", "25",
+                             "--mpls", "1", "--quiet",
+                             "--export", str(tmp_path / "out"))
+        assert code == 0
+        assert "wrote" in text
+        assert (tmp_path / "out" / "E7.throughput.tsv").exists()
+        assert (tmp_path / "out" / "E7.long.csv").exists()
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_cli("run", "E99", "--transactions", "10")
+
+
+class TestTables:
+    def test_tables_render_and_match(self):
+        code, text = run_cli("tables", "--transactions", "30")
+        assert code == 0
+        assert "DistDegree = 3" in text
+        assert "DistDegree = 6" in text
+        assert "NO" not in text  # every row matches the analytic counts
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_python_dash_m_repro_entry_point():
+    import subprocess
+    import sys
+    proc = subprocess.run([sys.executable, "-m", "repro", "list"],
+                          capture_output=True, text=True, timeout=60)
+    assert proc.returncode == 0
+    assert "E1" in proc.stdout

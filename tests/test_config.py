@@ -1,0 +1,128 @@
+"""Tests for model parameters and experiment presets."""
+
+import pytest
+
+from repro.config import (
+    ModelParams,
+    Topology,
+    TransactionType,
+    baseline_rc_dc,
+    fast_network,
+    high_distribution,
+    pure_data_contention,
+    sequential_transactions,
+    surprise_aborts,
+)
+
+
+class TestDefaults:
+    def test_baseline_matches_design_doc(self):
+        p = ModelParams()
+        assert p.num_sites == 8
+        assert p.db_size == 4800
+        assert p.dist_degree == 3
+        assert p.cohort_size == 6
+        assert p.update_prob == 1.0
+        assert p.num_cpus == 1
+        assert p.num_data_disks == 2
+        assert p.num_log_disks == 1
+        assert p.page_cpu_ms == 5.0
+        assert p.page_disk_ms == 20.0
+        assert p.msg_cpu_ms == 5.0
+        assert p.trans_type is TransactionType.PARALLEL
+        assert p.topology is Topology.DISTRIBUTED
+        assert not p.infinite_resources
+
+    def test_pages_per_site(self):
+        assert ModelParams().pages_per_site == 600
+
+    def test_cohort_page_bounds(self):
+        p = ModelParams(cohort_size=6)
+        assert p.min_cohort_pages == 3
+        assert p.max_cohort_pages == 9
+        p3 = p.replace(cohort_size=3)
+        assert p3.min_cohort_pages == 2
+        assert p3.max_cohort_pages == 4
+
+    def test_mean_transaction_pages(self):
+        assert ModelParams().mean_transaction_pages == 18
+        assert high_distribution().mean_transaction_pages == 18
+
+    def test_initial_response_estimate_positive(self):
+        assert ModelParams().initial_response_time_estimate() > 0
+        seq = sequential_transactions()
+        par = ModelParams()
+        assert (seq.initial_response_time_estimate()
+                > par.initial_response_time_estimate())
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("num_sites", 0),
+        ("mpl", 0),
+        ("dist_degree", 0),
+        ("dist_degree", 9),
+        ("cohort_size", 0),
+        ("update_prob", 1.5),
+        ("update_prob", -0.1),
+        ("surprise_abort_prob", 2.0),
+        ("num_cpus", 0),
+        ("num_data_disks", 0),
+        ("num_log_disks", 0),
+        ("page_cpu_ms", -1.0),
+    ])
+    def test_bad_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            ModelParams(**{field: value})
+
+    def test_db_smaller_than_sites_rejected(self):
+        with pytest.raises(ValueError):
+            ModelParams(db_size=4)
+
+    def test_site_must_hold_max_cohort(self):
+        # 1.5 x 400 = 600 pages needed; exactly 4800/8 = 600 per site: ok
+        ModelParams(cohort_size=400)
+        with pytest.raises(ValueError):
+            ModelParams(cohort_size=401)
+
+    def test_replace_revalidates(self):
+        p = ModelParams()
+        with pytest.raises(ValueError):
+            p.replace(mpl=-1)
+
+    def test_replace_produces_new_object(self):
+        p = ModelParams()
+        q = p.replace(mpl=4)
+        assert p.mpl == 8 and q.mpl == 4
+
+
+class TestPresets:
+    def test_pure_dc_infinite_resources(self):
+        p = pure_data_contention()
+        assert p.infinite_resources
+
+    def test_fast_network(self):
+        assert fast_network().msg_cpu_ms == 1.0
+        assert not fast_network().infinite_resources
+        assert fast_network(pure_dc=True).infinite_resources
+
+    def test_high_distribution_keeps_transaction_length(self):
+        p = high_distribution()
+        assert p.dist_degree == 6
+        assert p.cohort_size == 3
+        assert p.mean_transaction_pages == ModelParams().mean_transaction_pages
+
+    def test_surprise_aborts(self):
+        p = surprise_aborts(0.05)
+        assert p.surprise_abort_prob == 0.05
+        assert surprise_aborts(0.1, pure_dc=True).infinite_resources
+
+    def test_sequential(self):
+        assert (sequential_transactions().trans_type
+                is TransactionType.SEQUENTIAL)
+
+    def test_presets_accept_overrides(self):
+        p = baseline_rc_dc(mpl=4)
+        assert p.mpl == 4
+        q = pure_data_contention(mpl=6, dist_degree=6, cohort_size=3)
+        assert q.mpl == 6 and q.dist_degree == 6

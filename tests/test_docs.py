@@ -1,0 +1,44 @@
+"""Documentation consistency checks."""
+
+import pathlib
+import re
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_model_doc_exists_and_matches_defaults():
+    """docs/MODEL.md quotes baseline arithmetic; keep it honest."""
+    from repro.config import ModelParams
+    text = (ROOT / "docs" / "MODEL.md").read_text()
+    params = ModelParams()
+    # The per-transaction page count the arithmetic uses.
+    assert f"{int(params.mean_transaction_pages)}" in text
+    # Disk and CPU service times.
+    assert "20" in text and "5" in text
+
+
+def test_readme_internal_links_resolve():
+    readme = (ROOT / "README.md").read_text()
+    for match in re.finditer(r"\]\(([^)#]+)\)", readme):
+        target = match.group(1)
+        if target.startswith("http"):
+            continue
+        assert (ROOT / target).exists(), f"README links to missing {target}"
+
+
+def test_design_doc_substitutions_section():
+    design = (ROOT / "DESIGN.md").read_text()
+    assert "Substitutions" in design
+    assert "SimPy" in design  # the documented substitution
+
+
+def test_experiments_md_references_results_dir():
+    text = (ROOT / "EXPERIMENTS.md").read_text()
+    assert "generate_experiments_md.py" in text
+
+
+def test_results_directory_has_all_experiments():
+    from repro.experiments import experiment_ids
+    results = ROOT / "results"
+    for experiment_id in experiment_ids():
+        assert (results / f"{experiment_id}.json").exists(), experiment_id

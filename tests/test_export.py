@@ -1,0 +1,64 @@
+"""Tests for the series export module."""
+
+import csv
+
+from repro.analysis.export import (
+    export_experiment,
+    export_long_csv,
+    export_tsv,
+)
+from repro.config import ModelParams
+from repro.experiments import MplSweep
+
+
+def tiny_results():
+    sweep = MplSweep(
+        ["2PC", "OPT"],
+        lambda mpl: ModelParams(num_sites=2, db_size=400, mpl=mpl,
+                                dist_degree=2, cohort_size=2),
+        mpls=(1, 2), measured_transactions=40, warmup_transactions=5)
+    return sweep.run("E-TEST", "tiny")
+
+
+def test_tsv_round_trip(tmp_path):
+    results = tiny_results()
+    path = export_tsv(results, "throughput", tmp_path)
+    assert path.name == "E-TEST.throughput.tsv"
+    with path.open() as handle:
+        rows = list(csv.reader(handle, delimiter="\t"))
+    assert rows[0] == ["mpl", "2PC", "OPT"]
+    assert len(rows) == 3
+    for row, mpl in zip(rows[1:], (1, 2)):
+        assert int(row[0]) == mpl
+        for value, protocol in zip(row[1:], ("2PC", "OPT")):
+            expected = results.point(protocol, mpl).metric("throughput")
+            assert abs(float(value) - expected) < 1e-3
+
+
+def test_long_csv_shape(tmp_path):
+    results = tiny_results()
+    path = export_long_csv(results, ["throughput", "block_ratio"],
+                           tmp_path)
+    with path.open() as handle:
+        rows = list(csv.DictReader(handle))
+    # 2 metrics x 2 protocols x 2 mpls.
+    assert len(rows) == 8
+    assert {row["metric"] for row in rows} == {"throughput",
+                                               "block_ratio"}
+    assert {row["protocol"] for row in rows} == {"2PC", "OPT"}
+
+
+def test_export_experiment_writes_all_files(tmp_path):
+    results = tiny_results()
+    paths = export_experiment(results, ["throughput"], tmp_path)
+    assert len(paths) == 2
+    for path in paths:
+        assert path.exists()
+        assert path.stat().st_size > 0
+
+
+def test_directories_created(tmp_path):
+    results = tiny_results()
+    nested = tmp_path / "a" / "b"
+    path = export_tsv(results, "throughput", nested)
+    assert path.exists()

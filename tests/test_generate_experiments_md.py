@@ -1,0 +1,65 @@
+"""Tests for the EXPERIMENTS.md generator script."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SCRIPT = ROOT / "scripts" / "generate_experiments_md.py"
+
+
+def run_script(*args, timeout=300):
+    proc = subprocess.run([sys.executable, str(SCRIPT), *args],
+                          capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_generates_skeleton_without_results(tmp_path):
+    out = tmp_path / "EXPERIMENTS.md"
+    run_script("--results-dir", str(tmp_path / "empty"),
+               "--output", str(out))
+    text = out.read_text()
+    # Tables and the extension section are always present.
+    assert "Table 3" in text
+    assert "Table 4" in text
+    assert "beyond the paper" in text
+    assert "Exact match" in text
+
+
+def test_renders_measured_series(tmp_path):
+    results_dir = tmp_path / "results"
+    results_dir.mkdir()
+    fake = {
+        "title": "Experiment 1",
+        "throughput": {
+            "CENT": [[1, 10.0], [2, 12.0]],
+            "DPCC": [[1, 9.5], [2, 11.5]],
+            "2PC": [[1, 9.0], [2, 10.0]],
+            "PA": [[1, 9.0], [2, 10.0]],
+            "PC": [[1, 9.0], [2, 10.0]],
+            "3PC": [[1, 8.0], [2, 9.0]],
+            "OPT": [[1, 9.2], [2, 11.0]],
+        },
+        "peaks": {p: [2, v] for p, v in
+                  [("CENT", 12.0), ("DPCC", 11.5), ("2PC", 10.0),
+                   ("PA", 10.0), ("PC", 10.0), ("3PC", 9.0),
+                   ("OPT", 11.0)]},
+    }
+    (results_dir / "E1.json").write_text(json.dumps(fake))
+    out = tmp_path / "EXPERIMENTS.md"
+    run_script("--results-dir", str(results_dir), "--output", str(out))
+    text = out.read_text()
+    assert "| MPL | CENT | DPCC | 2PC | PA | PC | 3PC | OPT |" in text
+    assert "| 2 | 12.0 | 11.5 | 10.0 | 10.0 | 10.0 | 9.0 | 11.0 |" in text
+    # Verdict templating filled in measured peaks.
+    assert "18.3" not in text  # no stale numbers from other runs
+    assert "(11.0)" in text and "(11.5)" in text
+
+
+def test_checked_in_experiments_md_is_current_format():
+    text = (ROOT / "EXPERIMENTS.md").read_text()
+    assert text.startswith("# EXPERIMENTS — paper vs. measured")
+    assert "## Figures 1a–1c" in text
+    assert "pytest benchmarks/ --benchmark-only" in text

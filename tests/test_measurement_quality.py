@@ -1,0 +1,72 @@
+"""Tests for measurement-quality reporting (CIs, utilizations) and the
+paper's claimed operating regions."""
+
+import math
+
+import pytest
+
+import repro
+
+
+@pytest.fixture(scope="module")
+def baseline_result():
+    return repro.simulate("2PC", mpl=4, measured_transactions=500)
+
+
+class TestConfidenceReporting:
+    def test_relative_half_width_reported(self, baseline_result):
+        width = baseline_result.response_ci_rel_half_width
+        assert 0 < width < 0.25
+
+    def test_short_run_gives_infinite_width(self):
+        result = repro.simulate("2PC", mpl=1, num_sites=2, db_size=400,
+                                dist_degree=2, cohort_size=2,
+                                measured_transactions=10,
+                                warmup_transactions=0)
+        assert math.isinf(result.response_ci_rel_half_width)
+
+    def test_longer_runs_tighten_the_interval(self):
+        kwargs = dict(mpl=2, num_sites=4, db_size=2000, dist_degree=2,
+                      cohort_size=3)
+        short = repro.simulate("2PC", measured_transactions=150, **kwargs)
+        long = repro.simulate("2PC", measured_transactions=900, **kwargs)
+        assert (long.response_ci_rel_half_width
+                < short.response_ci_rel_half_width)
+
+
+class TestOperatingRegions:
+    def test_baseline_is_io_bound(self, baseline_result):
+        """Paper Sec 5.2: 'the CPU and disk processing times are such
+        that the system operates in an I/O-bound region'."""
+        util = baseline_result.utilization
+        assert util["data_disk"] > util["cpu"]
+        assert util["data_disk"] > 0.5
+
+    def test_distribution_6_is_cpu_bound(self):
+        """Paper Sec 5.5: with DistDegree 6, message overheads push the
+        system into 'a heavily CPU-bound region'."""
+        result = repro.simulate("2PC", mpl=4, dist_degree=6,
+                                cohort_size=3,
+                                measured_transactions=400)
+        util = result.utilization
+        assert util["cpu"] > util["data_disk"]
+        assert util["cpu"] > 0.6
+
+    def test_infinite_resources_report_zero_utilization(self):
+        result = repro.simulate("2PC", mpl=2, infinite_resources=True,
+                                measured_transactions=200)
+        assert set(result.utilization.values()) == {0.0}
+
+    def test_utilization_covers_all_resource_classes(self, baseline_result):
+        assert set(baseline_result.utilization) == {"cpu", "data_disk",
+                                                    "log_disk"}
+        for value in baseline_result.utilization.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_log_disk_utilization_scales_with_forced_writes(self):
+        """3PC forces ~1.6x the writes of 2PC, which must show at the
+        log disks."""
+        kwargs = dict(mpl=4, measured_transactions=400)
+        log_2pc = repro.simulate("2PC", **kwargs).utilization["log_disk"]
+        log_3pc = repro.simulate("3PC", **kwargs).utilization["log_disk"]
+        assert log_3pc > log_2pc

@@ -1,0 +1,192 @@
+"""Tests for the metrics collector."""
+
+import pytest
+
+from repro.db.transaction import AbortReason
+from repro.db.wal import LogRecordKind
+from repro.metrics import MetricsCollector, ProtocolOverheads
+from repro.sim import Environment
+
+from tests.db.conftest import FakeCohort, FakeTransaction
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def metrics(env):
+    return MetricsCollector(env, total_slots=10,
+                            initial_response_estimate=100.0)
+
+
+def _commit_txn(env, metrics, response=50.0, **counters):
+    txn = FakeTransaction()
+    txn.first_submit_time = env.now - response
+    for key, value in counters.items():
+        setattr(txn, key, value)
+    metrics.transaction_committed(txn)
+    return txn
+
+
+class TestCommitAccounting:
+    def test_committed_count_and_response(self, env, metrics):
+        env._now = 100.0
+        _commit_txn(env, metrics, response=40.0)
+        _commit_txn(env, metrics, response=60.0)
+        assert metrics.committed == 2
+        assert metrics.response_times.mean == pytest.approx(50.0)
+
+    def test_throughput(self, env, metrics):
+        env._now = 2000.0  # 2 seconds
+        for _ in range(10):
+            _commit_txn(env, metrics)
+        assert metrics.throughput_per_second() == pytest.approx(5.0)
+
+    def test_throughput_zero_elapsed(self, metrics):
+        assert metrics.throughput_per_second() == 0.0
+
+    def test_overhead_means(self, env, metrics):
+        env._now = 10.0
+        _commit_txn(env, metrics, messages_execution=4, messages_commit=8,
+                    forced_writes=7)
+        _commit_txn(env, metrics, messages_execution=4, messages_commit=6,
+                    forced_writes=5)
+        assert metrics.exec_messages.mean == 4.0
+        assert metrics.commit_messages.mean == 7.0
+        assert metrics.forced_writes.mean == 6.0
+
+
+class TestAbortAccounting:
+    def test_aborts_by_reason(self, env, metrics):
+        txn = FakeTransaction()
+        metrics.transaction_aborted(txn, AbortReason.DEADLOCK)
+        metrics.transaction_aborted(txn, AbortReason.DEADLOCK)
+        metrics.transaction_aborted(txn, AbortReason.LENDER_ABORT)
+        assert metrics.aborts_by_reason[AbortReason.DEADLOCK] == 2
+        assert metrics.aborts_by_reason[AbortReason.LENDER_ABORT] == 1
+        assert metrics.aborted == 3
+
+    def test_abort_ratio(self, env, metrics):
+        env._now = 10.0
+        _commit_txn(env, metrics)
+        metrics.transaction_aborted(FakeTransaction(), AbortReason.DEADLOCK)
+        assert metrics.abort_ratio() == pytest.approx(0.5)
+
+    def test_abort_ratio_empty(self, metrics):
+        assert metrics.abort_ratio() == 0.0
+
+
+class TestBlockRatio:
+    def test_blocked_transitions(self, env, metrics):
+        cohort_a = FakeCohort()
+        cohort_b = FakeCohort(txn=cohort_a.txn)  # same transaction
+        env._now = 0.0
+        metrics.wait_change(cohort_a, True)    # txn blocked from t=0
+        env._now = 5.0
+        metrics.wait_change(cohort_b, True)    # still one blocked txn
+        env._now = 10.0
+        metrics.wait_change(cohort_a, False)
+        metrics.wait_change(cohort_b, False)   # unblocked at t=10
+        env._now = 20.0
+        # Blocked for 10 of 20 time units, 1 txn of 10 slots.
+        assert metrics.block_ratio() == pytest.approx(0.05)
+
+    def test_independent_transactions_accumulate(self, env, metrics):
+        a, b = FakeCohort(), FakeCohort()
+        env._now = 0.0
+        metrics.wait_change(a, True)
+        metrics.wait_change(b, True)
+        env._now = 10.0
+        # Two blocked txns for the whole period: ratio 2/10.
+        assert metrics.block_ratio() == pytest.approx(0.2)
+
+
+class TestBorrowAndShelf:
+    def test_borrow_ratio(self, env, metrics):
+        env._now = 10.0
+        metrics.borrow(FakeCohort(), page=1)
+        metrics.borrow(FakeCohort(), page=2)
+        _commit_txn(env, metrics)
+        assert metrics.borrow_ratio() == pytest.approx(2.0)
+
+    def test_borrow_ratio_no_commits(self, metrics):
+        metrics.borrow(FakeCohort(), page=1)
+        assert metrics.borrow_ratio() == 0.0
+
+    def test_shelf_counter(self, metrics):
+        metrics.shelf_entered()
+        metrics.shelf_entered()
+        assert metrics.shelf_entries == 2
+
+
+class TestRestartDelay:
+    def test_initial_estimate_used_before_commits(self, metrics):
+        assert metrics.restart_delay() == 100.0
+
+    def test_running_mean_after_commits(self, env, metrics):
+        env._now = 100.0
+        _commit_txn(env, metrics, response=30.0)
+        _commit_txn(env, metrics, response=50.0)
+        assert metrics.restart_delay() == pytest.approx(40.0)
+
+    def test_restart_delay_survives_reset(self, env, metrics):
+        env._now = 100.0
+        _commit_txn(env, metrics, response=30.0)
+        metrics.reset()
+        assert metrics.restart_delay() == pytest.approx(30.0)
+
+
+class TestWarmupReset:
+    def test_reset_clears_measured_statistics(self, env, metrics):
+        env._now = 50.0
+        _commit_txn(env, metrics)
+        metrics.transaction_aborted(FakeTransaction(), AbortReason.DEADLOCK)
+        metrics.borrow(FakeCohort(), 1)
+        metrics.forced_write(LogRecordKind.COMMIT)
+        metrics.reset()
+        assert metrics.committed == 0
+        assert metrics.aborted == 0
+        assert metrics.borrowed_pages_total == 0
+        assert metrics.forced_by_kind == {}
+        assert metrics.response_times.count == 0
+        assert metrics.elapsed_ms == 0.0
+
+    def test_block_level_survives_reset(self, env, metrics):
+        cohort = FakeCohort()
+        env._now = 0.0
+        metrics.wait_change(cohort, True)
+        env._now = 10.0
+        metrics.reset()
+        env._now = 20.0
+        # Still blocked through the reset: full ratio for one slot.
+        assert metrics.block_ratio() == pytest.approx(0.1)
+
+
+class TestWatchers:
+    def test_when_committed_fires_at_threshold(self, env, metrics):
+        event = metrics.when_committed(2)
+        _commit_txn(env, metrics)
+        assert not event.triggered
+        _commit_txn(env, metrics)
+        assert event.triggered
+
+    def test_watcher_counts_from_registration(self, env, metrics):
+        _commit_txn(env, metrics)
+        event = metrics.when_committed(1)
+        assert not event.triggered
+        _commit_txn(env, metrics)
+        assert event.triggered
+
+    def test_forced_write_kinds_tracked(self, metrics):
+        metrics.forced_write(LogRecordKind.PREPARE)
+        metrics.forced_write(LogRecordKind.PREPARE)
+        metrics.forced_write(LogRecordKind.COMMIT)
+        assert metrics.forced_by_kind[LogRecordKind.PREPARE] == 2
+        assert metrics.forced_by_kind[LogRecordKind.COMMIT] == 1
+
+
+def test_protocol_overheads_rounding():
+    overheads = ProtocolOverheads(4.001, 6.999, 8.0)
+    assert overheads.rounded() == (4.0, 7.0, 8.0)

@@ -1,0 +1,76 @@
+"""End-to-end checks of invariants the paper states in prose."""
+
+import pytest
+
+import repro
+from repro.config import ModelParams
+from repro.db.transaction import CohortState
+
+
+class TestNoCommitPhaseAborts:
+    """Paper Section 4.2: 'with this CC mechanism, there is no
+    possibility of serializability-induced aborts occurring in the
+    commit processing stage.'  Deadlock victims are always still in
+    their execution phase."""
+
+    @pytest.mark.parametrize("protocol", ["2PC", "OPT", "3PC"])
+    def test_victims_never_prepared(self, protocol):
+        params = ModelParams(num_sites=4, db_size=240, mpl=6,
+                             dist_degree=3, cohort_size=3)
+        system = repro.build_system(protocol, params=params)
+        original = system.abort_transaction
+        violations = []
+
+        def checking(txn, reason):
+            if txn.outcome is None and not txn.aborting:
+                for cohort in txn.cohorts:
+                    if cohort.state in (CohortState.PREPARED,
+                                        CohortState.PRECOMMITTED):
+                        # Lender aborts can only strike *borrowers*,
+                        # which are never prepared; deadlock victims
+                        # are lock waiters, which prepared cohorts are
+                        # not.
+                        violations.append((txn.name, cohort.state))
+            original(txn, reason)
+
+        # The deadlock and lender-abort hooks call
+        # ``self.abort_transaction``, which resolves to this instance
+        # attribute, so every abort passes through the check.
+        system.abort_transaction = checking
+        result = system.run(measured_transactions=300,
+                            warmup_transactions=30)
+        assert result.deadlocks > 0, "the test needs real contention"
+        assert violations == []
+
+
+class TestBoundedMetrics:
+    def test_block_ratio_in_unit_interval(self):
+        for mpl in (1, 6):
+            result = repro.simulate("2PC", mpl=mpl,
+                                    measured_transactions=200)
+            assert 0.0 <= result.block_ratio <= 1.0
+
+    def test_abort_ratio_in_unit_interval(self):
+        result = repro.simulate("OPT", mpl=8, surprise_abort_prob=0.05,
+                                measured_transactions=200)
+        assert 0.0 <= result.abort_ratio < 1.0
+
+
+class TestOptCostsNothingExtra:
+    """Section 3: OPT needs no additional messages or forced writes; it
+    differs from 2PC only in lock-manager behaviour."""
+
+    def test_identical_overheads_under_contention(self):
+        kwargs = dict(mpl=6, measured_transactions=300)
+        opt = repro.simulate("OPT", **kwargs)
+        two_pc = repro.simulate("2PC", **kwargs)
+        assert opt.overheads.rounded() == two_pc.overheads.rounded()
+
+    def test_restart_delay_equals_running_mean(self):
+        """Section 4: the restart delay heuristic tracks the average
+        response time."""
+        system = repro.build_system("2PC", mpl=4)
+        system.run(measured_transactions=200)
+        metrics = system.metrics
+        assert metrics.restart_delay() == pytest.approx(
+            metrics._lifetime_response.mean)

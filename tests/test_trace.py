@@ -1,0 +1,96 @@
+"""Tests for the tracing facility."""
+
+import pytest
+
+import repro
+from repro.config import ModelParams
+from repro.trace import TraceKind, TraceRecord, Tracer
+
+
+def traced_run(protocol="OPT", echo=None, limit=None, **overrides):
+    defaults = dict(num_sites=4, db_size=400, mpl=4, dist_degree=2,
+                    cohort_size=3)
+    defaults.update(overrides)
+    system = repro.build_system(protocol, params=ModelParams(**defaults))
+    tracer = Tracer.attach(system, echo=echo, limit=limit)
+    result = system.run(measured_transactions=150, warmup_transactions=0)
+    return tracer, result
+
+
+class TestTracer:
+    def test_records_submissions_and_commits(self):
+        tracer, result = traced_run()
+        submits = tracer.of_kind(TraceKind.SUBMIT)
+        commits = tracer.of_kind(TraceKind.COMMIT)
+        assert len(submits) > 0
+        assert len(commits) >= 150
+
+    def test_borrows_traced_for_opt(self):
+        tracer, result = traced_run("OPT")
+        borrows = tracer.of_kind(TraceKind.BORROW)
+        # Warmup is zero, so the tracer saw exactly the measured borrows
+        # (both hooks wrap the same lock-manager callback).
+        assert len(borrows) == round(result.borrow_ratio
+                                     * result.committed)
+        assert borrows, "contended OPT run must borrow"
+        for record in borrows[:5]:
+            assert "page=" in record.detail
+
+    def test_no_borrows_for_2pc(self):
+        tracer, _ = traced_run("2PC")
+        assert tracer.of_kind(TraceKind.BORROW) == []
+
+    def test_restarts_follow_aborts(self):
+        tracer, result = traced_run("2PC")
+        aborts = tracer.of_kind(TraceKind.ABORT)
+        restarts = tracer.of_kind(TraceKind.RESTART)
+        if aborts:
+            assert restarts, "every abort must eventually restart"
+            # Each restart names an aborted transaction's successor
+            # incarnation (same txn id, incremented suffix).
+            aborted_ids = {r.txn.split(".")[0] for r in aborts}
+            restarted_ids = {r.txn.split(".")[0] for r in restarts}
+            assert restarted_ids <= aborted_ids
+
+    def test_deadlock_victims_tagged(self):
+        tracer, result = traced_run("2PC", db_size=160, mpl=6)
+        if result.aborts_by_reason.get("deadlock"):
+            assert tracer.of_kind(TraceKind.DEADLOCK_VICTIM)
+
+    def test_counts_summary(self):
+        tracer, _ = traced_run()
+        counts = tracer.counts()
+        assert counts[TraceKind.COMMIT] >= 150
+        assert sum(counts.values()) == len(tracer)
+
+    def test_of_transaction_filter(self):
+        tracer, _ = traced_run()
+        commit = tracer.of_kind(TraceKind.COMMIT)[0]
+        records = tracer.of_transaction(commit.txn)
+        assert all(r.txn == commit.txn for r in records)
+        assert any(r.kind in (TraceKind.SUBMIT, TraceKind.RESTART)
+                   for r in records)
+
+    def test_echo_callback(self):
+        lines = []
+        traced_run(echo=lines.append, limit=20)
+        assert len(lines) == 20
+        assert all("ms]" in line for line in lines)
+
+    def test_limit_caps_memory(self):
+        tracer, _ = traced_run(limit=10)
+        assert len(tracer) == 10
+
+    def test_record_str_format(self):
+        record = TraceRecord(12.5, TraceKind.COMMIT, "T1.0", "x=1")
+        text = str(record)
+        assert "commit" in text and "T1.0" in text and "x=1" in text
+
+    def test_tracing_does_not_change_results(self):
+        plain = repro.simulate("OPT", mpl=4, num_sites=4, db_size=400,
+                               dist_degree=2, cohort_size=3,
+                               measured_transactions=150,
+                               warmup_transactions=0)
+        _, traced = traced_run("OPT")
+        assert traced.throughput == plain.throughput
+        assert traced.aborted == plain.aborted
