@@ -78,6 +78,28 @@ def test_micro_lock_grant_release(benchmark):
 
 
 @pytest.mark.benchmark(group="micro")
+def test_micro_condition_events(benchmark):
+    """AllOf fan-in, including the single-child short-circuit path."""
+
+    def run():
+        env = Environment()
+        fired = []
+
+        def waiter(env):
+            for _ in range(1_000):
+                pair = yield env.all_of([env.timeout(1.0, value="a"),
+                                         env.timeout(1.0, value="b")])
+                solo = yield env.all_of([env.timeout(1.0, value="c")])
+                fired.append(len(pair) + len(solo))
+
+        env.process(waiter(env))
+        env.run()
+        return sum(fired)
+
+    assert benchmark(run) == 3_000
+
+
+@pytest.mark.benchmark(group="micro")
 def test_micro_end_to_end_simulation_rate(benchmark):
     """Simulated transactions per wall second for the default model."""
 

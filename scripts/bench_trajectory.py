@@ -1,0 +1,285 @@
+#!/usr/bin/env python
+"""Track the repo's performance trajectory across PRs.
+
+Runs the kernel microbenchmarks plus one small sweep benchmark with
+plain ``time.perf_counter`` timing (no pytest-benchmark dependency) and
+writes a machine-readable ``BENCH_<n>.json`` at the repo root --
+wall-clock, events/sec, txns/sec -- so each PR's perf delta is recorded
+next to the previous ones.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_trajectory.py            # full run
+    PYTHONPATH=src python scripts/bench_trajectory.py --smoke    # CI gate
+    PYTHONPATH=src python scripts/bench_trajectory.py --pr 3     # BENCH_3.json
+
+``--smoke`` shrinks the workloads to a couple of seconds total, skips
+the JSON artifact (unless ``--output`` is given), and *fails loudly*
+(exit 1) if kernel throughput falls below conservative floors -- the
+floors are ~5x below current performance, so they only trip on real
+regressions, not machine noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import re
+import sys
+import time
+
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Conservative --smoke floors (events/sec and txns/sec).  The optimized
+#: kernel does ~2M heap-entries/sec and ~1 txn/ms on a laptop core;
+#: these trip only on order-of-magnitude regressions.
+SMOKE_FLOOR_EVENTS_PER_SEC = 200_000.0
+SMOKE_FLOOR_TXNS_PER_SEC = 100.0
+
+
+def _best_of(fn, repeats: int) -> tuple[float, object]:
+    """(best wall seconds, last return value) over ``repeats`` runs."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+# ----------------------------------------------------------------------
+# Kernel micro group (mirrors benchmarks/bench_kernel_micro.py)
+# ----------------------------------------------------------------------
+def bench_event_loop(events: int, repeats: int) -> dict:
+    from repro.sim import Environment
+
+    def run():
+        env = Environment()
+
+        def ticker(env):
+            for _ in range(events):
+                yield env.timeout(1.0)
+
+        env.process(ticker(env))
+        env.run()
+        return env.now
+
+    wall, now = _best_of(run, repeats)
+    assert now == float(events)
+    return {"wall_s": wall, "events": events,
+            "events_per_sec": events / wall}
+
+
+def bench_process_spawning(processes: int, repeats: int) -> dict:
+    from repro.sim import Environment
+
+    def run():
+        env = Environment()
+        done = []
+
+        def worker(env):
+            yield env.timeout(1.0)
+            done.append(1)
+
+        for _ in range(processes):
+            env.process(worker(env))
+        env.run()
+        return len(done)
+
+    wall, count = _best_of(run, repeats)
+    assert count == processes
+    return {"wall_s": wall, "processes": processes,
+            "processes_per_sec": processes / wall}
+
+
+def bench_lock_grant_release(cycles: int, repeats: int) -> dict:
+    from repro.db.deadlock import WaitForGraph
+    from repro.db.locks import LockManager, LockMode
+    from repro.sim import Environment
+
+    ids = iter(range(1, 10**9))
+
+    class _Txn:
+        def __init__(self):
+            self.txn_id = next(ids)
+            self.name = f"bench-{self.txn_id}"
+            self.incarnation = 0
+            self.pages_borrowed = 0
+
+    class _Cohort:
+        def __init__(self):
+            self.txn = _Txn()
+            self.held_locks = {}
+            self.lending_pages = set()
+            self.lenders = set()
+
+        def add_lender(self, lender):
+            self.lenders.add(lender)
+
+        def remove_lender(self, lender):
+            self.lenders.discard(lender)
+
+    def run():
+        env = Environment()
+        wfg = WaitForGraph(on_victim=lambda txn: None)
+        lm = LockManager(env, 0, wfg)
+        count = 0
+
+        def worker(env):
+            nonlocal count
+            for i in range(cycles):
+                cohort = _Cohort()
+                yield from lm.acquire(cohort, i % 64, LockMode.UPDATE)
+                lm.finalize(cohort, committed=True)
+                count += 1
+
+        env.process(worker(env))
+        env.run()
+        return count
+
+    wall, count = _best_of(run, repeats)
+    assert count == cycles
+    return {"wall_s": wall, "cycles": cycles, "cycles_per_sec": cycles / wall}
+
+
+def bench_end_to_end(transactions: int, repeats: int) -> dict:
+    import repro
+
+    def run():
+        result = repro.simulate("2PC", measured_transactions=transactions,
+                                mpl=2, warmup_transactions=transactions // 10)
+        return result.committed
+
+    wall, committed = _best_of(run, repeats)
+    return {"wall_s": wall, "txns": committed,
+            "txns_per_sec": committed / wall}
+
+
+# ----------------------------------------------------------------------
+# Sweep benchmark (serial vs parallel wall-clock)
+# ----------------------------------------------------------------------
+def bench_sweep(transactions: int, mpls: tuple[int, ...],
+                jobs_list: tuple[int, ...]) -> dict:
+    from repro.experiments import get_experiment
+
+    definition = get_experiment("E1")
+    timings = {}
+    for jobs in jobs_list:
+        start = time.perf_counter()
+        definition.run(measured_transactions=transactions, mpls=mpls,
+                       jobs=jobs)
+        timings[str(jobs)] = time.perf_counter() - start
+    serial = timings.get("1")
+    speedups = ({j: serial / t for j, t in timings.items()}
+                if serial else {})
+    return {"experiment": "E1", "transactions": transactions,
+            "mpls": list(mpls), "wall_s_by_jobs": timings,
+            "speedup_vs_serial": speedups}
+
+
+# ----------------------------------------------------------------------
+def next_bench_number() -> int:
+    taken = [int(m.group(1)) for path in REPO_ROOT.glob("BENCH_*.json")
+             if (m := re.match(r"BENCH_(\d+)\.json$", path.name))]
+    return max(taken, default=0) + 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast CI gate: tiny sizes, enforce perf "
+                             "floors, no artifact by default")
+    parser.add_argument("--pr", type=int, default=None,
+                        help="PR number for BENCH_<n>.json "
+                             "(default: next free number)")
+    parser.add_argument("--output", default=None,
+                        help="explicit output path (overrides --pr)")
+    parser.add_argument("--jobs", default="1,4",
+                        help="comma-separated jobs values for the sweep "
+                             "benchmark (default 1,4)")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    jobs_list = tuple(int(part) for part in args.jobs.split(","))
+
+    if args.smoke:
+        sizes = dict(events=5_000, processes=2_000, cycles=1_000,
+                     transactions=60, repeats=1)
+        sweep_txns, sweep_mpls = 30, (1,)
+    else:
+        sizes = dict(events=20_000, processes=5_000, cycles=2_000,
+                     transactions=300, repeats=3)
+        sweep_txns, sweep_mpls = 120, (1, 2)
+
+    print(f"== kernel micro group ({'smoke' if args.smoke else 'full'}) ==")
+    kernel = {
+        "event_loop": bench_event_loop(sizes["events"], sizes["repeats"]),
+        "process_spawning": bench_process_spawning(sizes["processes"],
+                                                   sizes["repeats"]),
+        "lock_grant_release": bench_lock_grant_release(sizes["cycles"],
+                                                       sizes["repeats"]),
+        "end_to_end": bench_end_to_end(sizes["transactions"],
+                                       sizes["repeats"]),
+    }
+    for name, row in kernel.items():
+        rate_key = next(k for k in row if k.endswith("_per_sec"))
+        print(f"  {name:<20} {row['wall_s'] * 1e3:8.1f} ms   "
+              f"{row[rate_key]:12,.0f} {rate_key.replace('_per_sec', '')}/s")
+
+    print("== sweep benchmark ==")
+    sweep = bench_sweep(sweep_txns, sweep_mpls, jobs_list)
+    for jobs, wall in sweep["wall_s_by_jobs"].items():
+        speedup = sweep["speedup_vs_serial"].get(jobs)
+        extra = f"  ({speedup:.2f}x vs serial)" if speedup else ""
+        print(f"  jobs={jobs:<3} {wall * 1e3:8.1f} ms{extra}")
+
+    report = {
+        "schema": 1,
+        "smoke": args.smoke,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "kernel_micro": kernel,
+        "sweep": sweep,
+    }
+
+    if args.smoke:
+        failures = []
+        if kernel["event_loop"]["events_per_sec"] < \
+                SMOKE_FLOOR_EVENTS_PER_SEC:
+            failures.append(
+                f"event loop below floor: "
+                f"{kernel['event_loop']['events_per_sec']:,.0f} < "
+                f"{SMOKE_FLOOR_EVENTS_PER_SEC:,.0f} events/s")
+        if kernel["end_to_end"]["txns_per_sec"] < SMOKE_FLOOR_TXNS_PER_SEC:
+            failures.append(
+                f"end-to-end below floor: "
+                f"{kernel['end_to_end']['txns_per_sec']:,.0f} < "
+                f"{SMOKE_FLOOR_TXNS_PER_SEC:,.0f} txns/s")
+        if failures:
+            for failure in failures:
+                print(f"SMOKE FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("smoke floors ok")
+
+    if args.output or not args.smoke:
+        number = args.pr if args.pr is not None else next_bench_number()
+        path = (pathlib.Path(args.output) if args.output
+                else REPO_ROOT / f"BENCH_{number}.json")
+        existing = {}
+        if path.exists():
+            existing = json.loads(path.read_text())
+            # Preserve hand-recorded context (e.g. the seed baseline).
+            existing.pop("kernel_micro", None)
+            existing.pop("sweep", None)
+        existing.update(report)
+        path.write_text(json.dumps(existing, indent=2) + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 tests, tier-2 (slow sweep) tests, and the
+# benchmark smoke gate so kernel perf regressions fail loudly.
+#
+#   scripts/ci.sh              # everything
+#   CI_SKIP_TIER2=1 scripts/ci.sh   # quick loop: tier-1 + bench smoke only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: fast test suite =="
+python -m pytest -x -q -m "not tier2"
+
+if [ "${CI_SKIP_TIER2:-0}" != "1" ]; then
+    echo "== tier-2: slow sweep / parallel determinism tests =="
+    python -m pytest -q -m tier2
+fi
+
+echo "== benchmark smoke (perf floors) =="
+python scripts/bench_trajectory.py --smoke
+
+echo "ci.sh: all stages passed"

@@ -21,6 +21,19 @@ from repro.analysis.tables import render_comparison
 from repro.experiments import get_experiment
 from repro.experiments.registry import EXPERIMENTS
 from repro.experiments.overheads import render_table
+from repro.experiments.runner import resolve_jobs
+
+
+def _parse_jobs(text: str) -> int:
+    try:
+        jobs = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--jobs wants an integer, got {text!r}")
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be >= 1 (or 0 for all cores), got {jobs}")
+    return jobs
 
 
 def _parse_mpls(text: str) -> tuple[int, ...]:
@@ -47,6 +60,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--mpls", type=_parse_mpls, default=None,
                      help="comma-separated MPL values")
     run.add_argument("--replications", type=int, default=1)
+    run.add_argument("--jobs", type=_parse_jobs, default=1, metavar="N",
+                     help="worker processes for the sweep grid "
+                          "(0 = one per CPU core; default 1, in-process)")
     run.add_argument("--quiet", action="store_true",
                      help="suppress per-point progress output")
     run.add_argument("--export", metavar="DIR", default=None,
@@ -55,6 +71,9 @@ def build_parser() -> argparse.ArgumentParser:
     tables = sub.add_parser("tables",
                             help="regenerate overhead Tables 3 and 4")
     tables.add_argument("--transactions", type=int, default=60)
+    tables.add_argument("--jobs", type=_parse_jobs, default=1, metavar="N",
+                        help="worker processes for the per-protocol "
+                             "measurement runs (0 = one per CPU core)")
 
     sim = sub.add_parser("simulate", help="run a single configuration")
     sim.add_argument("protocol", help="protocol name, e.g. OPT")
@@ -88,7 +107,8 @@ def cmd_run(args: argparse.Namespace, out: typing.TextIO) -> int:
     results = definition.run(measured_transactions=args.transactions,
                              mpls=args.mpls,
                              replications=args.replications,
-                             progress=progress)
+                             progress=progress,
+                             jobs=resolve_jobs(args.jobs))
     out.write(results.summary() + "\n")
     for metric in definition.metrics[1:]:
         out.write(results.table(metric) + "\n")
@@ -103,8 +123,11 @@ def cmd_run(args: argparse.Namespace, out: typing.TextIO) -> int:
 
 
 def cmd_tables(args: argparse.Namespace, out: typing.TextIO) -> int:
-    out.write(render_table(3, 6, transactions=args.transactions) + "\n\n")
-    out.write(render_table(6, 3, transactions=args.transactions) + "\n")
+    jobs = resolve_jobs(args.jobs)
+    out.write(render_table(3, 6, transactions=args.transactions,
+                           jobs=jobs) + "\n\n")
+    out.write(render_table(6, 3, transactions=args.transactions,
+                           jobs=jobs) + "\n")
     return 0
 
 

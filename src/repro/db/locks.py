@@ -58,7 +58,11 @@ class LockRequest:
     cohort: "CohortAgent"
     page: int
     mode: LockMode
-    event: Event
+    #: Grant event, created lazily: an uncontested request is granted
+    #: synchronously inside ``acquire`` and never needs (or schedules)
+    #: one -- that dead event used to cost an alloc + heap cycle on the
+    #: lock fast path.
+    event: Event | None = None
 
     def __repr__(self) -> str:
         return (f"<LockRequest {self.cohort.txn.name} page={self.page} "
@@ -128,10 +132,11 @@ class LockManager:
         held = cohort.held_locks.get(page)
         if held is not None and held.covers(mode):
             return  # already held in a sufficient mode
-        request = LockRequest(cohort, page, mode, Event(self.env))
+        request = LockRequest(cohort, page, mode)
         if not entry.waiters and self._grantable(entry, request):
             self._grant(entry, request)
             return
+        request.event = Event(self.env)
         # Must wait: strict FCFS.
         entry.waiters.append(request)
         self._waiting_requests[cohort] = request
@@ -173,7 +178,7 @@ class LockManager:
             for lender in lenders:
                 self._borrows.setdefault(lender, set()).add(cohort)
                 cohort.add_lender(lender)
-        if not request.event.triggered:
+        if request.event is not None and not request.event.triggered:
             request.event.succeed()
 
     # ------------------------------------------------------------------

@@ -18,13 +18,23 @@ from repro.experiments.registry import (
     experiment_ids,
     get_experiment,
 )
+from repro.experiments.runner import (
+    ParallelSweepRunner,
+    PointSpec,
+    point_seed,
+    resolve_jobs,
+)
 
 __all__ = [
     "EXPERIMENTS",
     "ExperimentDefinition",
     "ExperimentResults",
     "MplSweep",
+    "ParallelSweepRunner",
+    "PointSpec",
     "SweepPoint",
     "experiment_ids",
     "get_experiment",
+    "point_seed",
+    "resolve_jobs",
 ]

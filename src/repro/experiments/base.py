@@ -19,6 +19,11 @@ import typing
 import repro
 from repro.config import ModelParams
 from repro.db.system import SimulationResult
+from repro.experiments.runner import (
+    ParallelSweepRunner,
+    PointSpec,
+    point_seed,
+)
 from repro.sim.stats import confidence_interval
 
 #: Builds the parameters for one sweep point.
@@ -130,20 +135,58 @@ class MplSweep:
                 protocol, params=params,
                 measured_transactions=self.measured_transactions,
                 warmup_transactions=self.warmup_transactions,
-                seed=self.base_seed + rep * 7919))
+                seed=point_seed(self.base_seed, rep)))
         return SweepPoint(protocol, mpl, results)
+
+    def point_specs(self) -> list[PointSpec]:
+        """The whole grid as picklable specs, in (protocol, mpl, rep)
+        order -- the exact inputs (seeds included) the serial path uses."""
+        specs = []
+        for protocol in self.protocols:
+            for mpl in self.mpls:
+                params = self.params_factory(mpl)
+                for rep in range(self.replications):
+                    specs.append(PointSpec(
+                        protocol=protocol, mpl=mpl, rep=rep, params=params,
+                        measured_transactions=self.measured_transactions,
+                        warmup_transactions=self.warmup_transactions,
+                        seed=point_seed(self.base_seed, rep)))
+        return specs
 
     def run(self, experiment_id: str = "sweep",
             title: str = "",
             progress: typing.Callable[[str], None] | None = None,
+            jobs: int = 1,
             ) -> ExperimentResults:
-        """Run the whole grid."""
+        """Run the whole grid.
+
+        ``jobs=1`` runs in-process (the historical path); ``jobs>1``
+        fans the grid out over that many worker processes (``jobs=0``
+        means one per CPU core).  Results are identical either way --
+        each point's seed is fixed by ``(base_seed, rep)``, not by
+        execution order.
+        """
         points: dict[tuple[str, int], SweepPoint] = {}
-        for protocol in self.protocols:
-            for mpl in self.mpls:
-                if progress is not None:
-                    progress(f"{experiment_id}: {protocol} @ MPL {mpl}")
-                points[(protocol, mpl)] = self.run_point(protocol, mpl)
+        if jobs == 1:
+            for protocol in self.protocols:
+                for mpl in self.mpls:
+                    if progress is not None:
+                        progress(f"{experiment_id}: {protocol} @ MPL {mpl}")
+                    points[(protocol, mpl)] = self.run_point(protocol, mpl)
+            return ExperimentResults(experiment_id, title, points,
+                                     self.protocols, self.mpls)
+
+        specs = self.point_specs()
+        runner = ParallelSweepRunner(
+            jobs=jobs,
+            progress=(None if progress is None else
+                      (lambda label: progress(f"{experiment_id}: {label}"))))
+        results = runner.run(specs)
+        for spec, result in zip(specs, results):
+            key = (spec.protocol, spec.mpl)
+            if key not in points:
+                points[key] = SweepPoint(spec.protocol, spec.mpl, [])
+            points[key].results.append(result)
         return ExperimentResults(experiment_id, title, points,
                                  self.protocols, self.mpls)
 
@@ -178,7 +221,9 @@ class ExperimentDefinition:
             mpls: typing.Sequence[int] | None = None,
             replications: int = 1,
             progress: typing.Callable[[str], None] | None = None,
+            jobs: int = 1,
             ) -> ExperimentResults:
         sweep = self.sweep(measured_transactions=measured_transactions,
                            mpls=mpls, replications=replications)
-        return sweep.run(self.experiment_id, self.title, progress=progress)
+        return sweep.run(self.experiment_id, self.title, progress=progress,
+                         jobs=jobs)

@@ -7,11 +7,18 @@ is *triggered*.  Events may carry a value (delivered as the result of the
 
 The design follows SimPy's, trimmed to what the commit-protocol simulator
 needs: plain events, timeouts, and ``AnyOf``/``AllOf`` condition events.
+
+Performance notes: the classes here sit on the simulator's innermost
+loop, so they use ``__slots__`` (an event allocation per message, lock
+grant, and timeout adds up to millions per sweep) and the trigger paths
+touch ``_value``/``_ok`` directly instead of going through the
+``triggered``/``ok`` properties.
 """
 
 from __future__ import annotations
 
 import typing
+from heapq import heappush as _heappush
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Environment
@@ -28,6 +35,8 @@ class Event:
     event queue it becomes *processed* and all registered callbacks run.
     Waiting processes register themselves as callbacks.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -70,11 +79,13 @@ class Event:
     # ------------------------------------------------------------------
     def succeed(self, value: typing.Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        env = self.env
+        env._eid += 1
+        _heappush(env._queue, (env._now, env._eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -85,18 +96,22 @@ class Event:
         """
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
-        self.env.schedule(self)
+        env = self.env
+        env._eid += 1
+        _heappush(env._queue, (env._now, env._eid, self))
         return self
 
     def trigger(self, event: "Event") -> None:
         """Trigger this event with the state of another (callback helper)."""
         self._ok = event._ok
         self._value = event._value
-        self.env.schedule(self)
+        env = self.env
+        env._eid += 1
+        _heappush(env._queue, (env._now, env._eid, self))
 
     def __repr__(self) -> str:
         state = "processed" if self.processed else (
@@ -107,15 +122,20 @@ class Event:
 class Timeout(Event):
     """An event that triggers after a fixed simulated delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float,
                  value: typing.Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self.defused = False
         self.delay = delay
         self._ok = True
         self._value = value
-        env.schedule(self, delay=delay)
+        env._eid += 1
+        _heappush(env._queue, (env._now + delay, env._eid, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay} at {id(self):#x}>"
@@ -126,7 +146,14 @@ class Condition(Event):
 
     Subclasses define :meth:`_check`, called whenever a child triggers,
     to decide whether the condition as a whole has been met.
+
+    A child that fails *after* the condition has already triggered is
+    defused rather than re-failing the condition: the condition consumed
+    the children, so a late failure must not escape ``Environment.run``
+    as an unhandled error (nor re-trigger the condition).
     """
+
+    __slots__ = ("events", "_triggered_count")
 
     def __init__(self, env: "Environment",
                  events: typing.Sequence[Event]) -> None:
@@ -139,14 +166,44 @@ class Condition(Event):
         for event in self.events:
             if event.env is not env:
                 raise ValueError("events span multiple environments")
+        if len(self.events) == 1:
+            # Single child: AllOf and AnyOf degenerate to the same thing
+            # (mirror the child), so skip the counting machinery.
+            event = self.events[0]
+            if event.callbacks is None:
+                self._on_single(event)
+            else:
+                event.callbacks.append(self._on_single)
+            return
         for event in self.events:
-            if event.processed:
+            if event.callbacks is None:
                 self._on_child(event)
             elif event.callbacks is not None:
                 event.callbacks.append(self._on_child)
 
+    def _on_single(self, event: Event) -> None:
+        """Fast path for one-child conditions: mirror the child."""
+        if self._value is not _PENDING:
+            if not event._ok:
+                event.defused = True
+            return
+        if event._ok:
+            self._ok = True
+            self._value = {event: event._value}
+        else:
+            event.defused = True
+            self._ok = False
+            self._value = event._value
+        env = self.env
+        env._eid += 1
+        _heappush(env._queue, (env._now, env._eid, self))
+
     def _on_child(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
+            # Already triggered (succeeded or failed).  Defuse late child
+            # failures so they do not surface as unhandled errors.
+            if not event._ok:
+                event.defused = True
             return
         if not event._ok:
             event.defused = True
@@ -157,7 +214,7 @@ class Condition(Event):
 
     def _results(self) -> dict[Event, typing.Any]:
         return {event: event._value for event in self.events
-                if event.processed and event._ok}
+                if event.callbacks is None and event._ok}
 
     def _check(self) -> None:  # pragma: no cover - abstract hook
         raise NotImplementedError
@@ -166,6 +223,8 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggers when *all* child events have triggered."""
 
+    __slots__ = ()
+
     def _check(self) -> None:
         if self._triggered_count == len(self.events):
             self.succeed(self._results())
@@ -173,6 +232,8 @@ class AllOf(Condition):
 
 class AnyOf(Condition):
     """Triggers when *any* child event has triggered."""
+
+    __slots__ = ()
 
     def _check(self) -> None:
         if self._triggered_count >= 1:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import types
 import typing
+from heapq import heappush as _heappush
 
 from repro.sim.events import Event
 
@@ -36,6 +37,27 @@ class Interrupt(Exception):
         return f"Interrupt({self.cause!r})"
 
 
+class _Resume:
+    """A minimal schedulable carrying a resume callback.
+
+    Quacks just enough like a triggered :class:`Event` for
+    ``Environment.step`` (``callbacks``/``_ok``/``_value``/``defused``).
+    Used for process bootstrap, interrupt delivery, and resuming a
+    process that yielded an already-processed event -- paths that used to
+    allocate a full relay :class:`Event` apiece.
+    """
+
+    __slots__ = ("callbacks", "_ok", "_value", "defused")
+
+    def __init__(self, callback: typing.Callable[[typing.Any], None],
+                 ok: bool, value: typing.Any, defused: bool = False) -> None:
+        self.callbacks: list[typing.Callable[[typing.Any], None]] | None = \
+            [callback]
+        self._ok = ok
+        self._value = value
+        self.defused = defused
+
+
 class Process(Event):
     """A running simulation process.
 
@@ -45,6 +67,8 @@ class Process(Event):
     wait for its completion.
     """
 
+    __slots__ = ("_generator", "name", "_target", "_resume")
+
     def __init__(self, env: "Environment",
                  generator: typing.Generator[Event, typing.Any, typing.Any],
                  name: str | None = None) -> None:
@@ -53,12 +77,14 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         self.name = name or generator.__name__
-        self._target: Event | None = None
+        # The bound resume callback is created once and reused for every
+        # wait registration (binding a method per yield is measurable).
+        self._resume = self._step
         # Bootstrap: resume the process at the current simulation time.
-        init = Event(env)
-        init.succeed()
-        init.callbacks.append(self._resume)  # type: ignore[union-attr]
-        self._target = init
+        init = _Resume(self._resume, True, None)
+        env._eid += 1
+        _heappush(env._queue, (env._now, env._eid, init))
+        self._target: Event | None = typing.cast(Event, init)
 
     @property
     def is_alive(self) -> bool:
@@ -81,13 +107,8 @@ class Process(Event):
             raise RuntimeError(f"{self.name} already terminated")
         # Deliver asynchronously via a failed event so that the interrupt
         # happens inside the event loop, in a deterministic order.
-        interrupt_event = Event(self.env)
-        interrupt_event._ok = False
-        interrupt_event._value = Interrupt(cause)
-        interrupt_event.defused = True
-        interrupt_event.callbacks.append(  # type: ignore[union-attr]
-            self._resume_interrupt)
-        self.env.schedule(interrupt_event)
+        self.env.schedule(_Resume(self._resume_interrupt, False,
+                                  Interrupt(cause), defused=True))
 
     # ------------------------------------------------------------------
     # Internal resume machinery
@@ -100,13 +121,10 @@ class Process(Event):
         # Detach from the current target so a later trigger of that event
         # does not resume us a second time.
         target = self._target
-        if target is not None and not target.processed:
+        if target is not None:
             callbacks = target.callbacks
             if callbacks is not None and self._resume in callbacks:
                 callbacks.remove(self._resume)
-        self._step(event)
-
-    def _resume(self, event: Event) -> None:
         self._step(event)
 
     def _step(self, event: Event) -> None:
@@ -131,22 +149,23 @@ class Process(Event):
             self.env.schedule(self)
             return
 
-        if not isinstance(result, Event):
+        try:
+            callbacks = result.callbacks
+        except AttributeError:
             raise TypeError(
-                f"process {self.name!r} yielded non-event {result!r}")
-        if result.processed:
-            # Already-processed events resume immediately (next step).
-            resume = Event(self.env)
-            resume._ok = result._ok
-            resume._value = result._value
-            if not result._ok:
-                resume.defused = True
-            resume.callbacks.append(self._resume)  # type: ignore[union-attr]
-            self.env.schedule(resume)
-            self._target = resume
-        else:
-            result.callbacks.append(self._resume)  # type: ignore[union-attr]
+                f"process {self.name!r} yielded non-event {result!r}") \
+                from None
+        if callbacks is not None:
+            # Pending event: wake up when it is processed.
+            callbacks.append(self._resume)
             self._target = result
+        else:
+            # Already-processed event: resume on the next step without
+            # allocating a relay Event.
+            resume = _Resume(self._resume, result._ok, result._value,
+                             defused=not result._ok)
+            self.env.schedule(resume)
+            self._target = typing.cast(Event, resume)
 
     def __repr__(self) -> str:
         state = "finished" if self.triggered else "alive"

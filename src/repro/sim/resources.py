@@ -21,7 +21,7 @@ import collections
 import heapq
 import typing
 
-from repro.sim.events import Event
+from repro.sim.events import Event, Timeout
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Environment
@@ -38,6 +38,8 @@ class Request(Event):
     Triggered when the resource grants the claim.  Must be released with
     :meth:`Resource.release` (directly or via ``serve``).
     """
+
+    __slots__ = ("priority",)
 
     def __init__(self, env: "Environment", priority: int = PRIORITY_DATA):
         super().__init__(env)
@@ -109,7 +111,7 @@ class Resource:
         req = self.request(priority)
         try:
             yield req
-            yield self.env.timeout(duration)
+            yield Timeout(self.env, duration)
         finally:
             self.release(req)
 
@@ -140,11 +142,12 @@ class Resource:
     # Statistics
     # ------------------------------------------------------------------
     def _account(self) -> None:
-        dt = self.env.now - self._last_change
+        now = self.env._now
+        dt = now - self._last_change
         if dt > 0:
             self._busy_integral += dt * self._in_service
             self._queue_integral += dt * len(self._queue)
-            self._last_change = self.env.now
+            self._last_change = now
 
     @property
     def queue_length(self) -> int:
@@ -214,11 +217,12 @@ class PriorityResource(Resource):
         return super().mean_queue_length(elapsed)
 
     def _account(self) -> None:
-        dt = self.env.now - self._last_change
+        now = self.env._now
+        dt = now - self._last_change
         if dt > 0:
             self._busy_integral += dt * self._in_service
             self._queue_integral += dt * len(self._pqueue)
-            self._last_change = self.env.now
+            self._last_change = now
 
 
 class InfiniteServer:
@@ -238,7 +242,7 @@ class InfiniteServer:
 
     def serve(self, duration: float, priority: int = PRIORITY_DATA,
               ) -> typing.Generator[Event, typing.Any, None]:
-        yield self.env.timeout(duration)
+        yield Timeout(self.env, duration)
         self._served += 1
         self._busy_integral += duration
 

@@ -1,0 +1,187 @@
+"""Determinism and plumbing tests for the parallel sweep runner.
+
+The contract: parallelism changes *scheduling*, never *results*.  A
+``jobs=N`` sweep must be byte-identical to the serial one, and the
+optimized kernel must still reproduce golden values recorded from the
+pre-optimization kernel.
+"""
+
+import dataclasses
+
+import pytest
+
+import repro
+from repro.config import ModelParams
+from repro.experiments import (
+    MplSweep,
+    ParallelSweepRunner,
+    PointSpec,
+    get_experiment,
+    point_seed,
+    resolve_jobs,
+)
+from repro.experiments.runner import run_point_spec
+
+
+def _result_bytes(result) -> bytes:
+    """Canonical byte encoding of a SimulationResult (dataclass order)."""
+    return repr(dataclasses.asdict(result)).encode()
+
+
+def _small_sweep(replications: int = 1) -> MplSweep:
+    return MplSweep(["2PC", "PC"],
+                    lambda mpl: ModelParams(mpl=mpl),
+                    mpls=(1, 2),
+                    measured_transactions=40,
+                    warmup_transactions=5,
+                    replications=replications)
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+@pytest.mark.tier2
+def test_serial_and_parallel_sweeps_byte_identical():
+    serial = _small_sweep().run("det", jobs=1)
+    parallel = _small_sweep().run("det", jobs=4)
+    assert serial.points.keys() == parallel.points.keys()
+    for key in serial.points:
+        for left, right in zip(serial.points[key].results,
+                               parallel.points[key].results):
+            assert _result_bytes(left) == _result_bytes(right)
+
+
+@pytest.mark.tier2
+def test_parallel_replications_preserve_seed_scheme():
+    """With replications, the parallel path must reproduce the serial
+    ``base_seed + rep * 7919`` seeds, in rep order."""
+    serial = _small_sweep(replications=2).run("det", jobs=1)
+    parallel = _small_sweep(replications=2).run("det", jobs=2)
+    for key in serial.points:
+        assert len(parallel.points[key].results) == 2
+        for left, right in zip(serial.points[key].results,
+                               parallel.points[key].results):
+            assert _result_bytes(left) == _result_bytes(right)
+
+
+def test_point_specs_enumerate_grid_in_order():
+    sweep = _small_sweep(replications=2)
+    specs = sweep.point_specs()
+    assert [(s.protocol, s.mpl, s.rep) for s in specs] == [
+        ("2PC", 1, 0), ("2PC", 1, 1), ("2PC", 2, 0), ("2PC", 2, 1),
+        ("PC", 1, 0), ("PC", 1, 1), ("PC", 2, 0), ("PC", 2, 1),
+    ]
+    assert all(s.seed == point_seed(sweep.base_seed, s.rep) for s in specs)
+
+
+def test_point_seed_matches_historical_scheme():
+    assert point_seed(100, 0) == 100
+    assert point_seed(100, 1) == 100 + 7919
+    assert point_seed(100, 3) == 100 + 3 * 7919
+
+
+def test_run_point_spec_equals_direct_simulate():
+    spec = PointSpec(protocol="2PC", mpl=2, rep=0,
+                     params=ModelParams(mpl=2),
+                     measured_transactions=30, warmup_transactions=5,
+                     seed=12345)
+    direct = repro.simulate("2PC", params=ModelParams(mpl=2),
+                            measured_transactions=30,
+                            warmup_transactions=5, seed=12345)
+    assert _result_bytes(run_point_spec(spec)) == _result_bytes(direct)
+
+
+# ----------------------------------------------------------------------
+# Golden values: optimized kernel vs the pre-optimization seed kernel
+# ----------------------------------------------------------------------
+def test_kernel_golden_values_e1_point():
+    """Values recorded from the unoptimized kernel (PR 1 baseline).
+
+    The hot-path rework (__slots__, inlined event loop, relay-free
+    process resume, lazy lock-grant events) must not perturb a single
+    event ordering; any drift here means semantics changed."""
+    r = repro.simulate("2PC", measured_transactions=200, mpl=3,
+                       warmup_transactions=20, seed=20250705)
+    assert r.committed == 200
+    assert r.aborted == 6
+    assert r.elapsed_ms == pytest.approx(14581.045751633987, abs=0, rel=0)
+    assert r.throughput == pytest.approx(13.716437312295486, abs=0, rel=0)
+    assert r.response_time_ms == pytest.approx(1660.7650326797393,
+                                               abs=0, rel=0)
+    assert r.block_ratio == pytest.approx(0.6026280499648872, abs=0, rel=0)
+    assert r.borrow_ratio == 0.0
+    assert r.abort_ratio == pytest.approx(0.02912621359223301, abs=0, rel=0)
+    assert r.deadlocks == 6
+    assert r.shelf_entries == 0
+
+
+def test_kernel_golden_values_opt_point():
+    r = repro.simulate("OPT", measured_transactions=150, mpl=4,
+                       warmup_transactions=15, seed=31337)
+    assert (r.committed, r.aborted) == (150, 7)
+    assert r.elapsed_ms == pytest.approx(8250.0, abs=0, rel=0)
+    assert r.throughput == pytest.approx(18.181818181818183, abs=0, rel=0)
+    assert r.response_time_ms == pytest.approx(1735.0000000000005,
+                                               abs=0, rel=0)
+
+
+# ----------------------------------------------------------------------
+# Plumbing
+# ----------------------------------------------------------------------
+def test_resolve_jobs():
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(7) == 7
+    assert resolve_jobs(None) >= 1
+    assert resolve_jobs(0) >= 1
+    with pytest.raises(ValueError):
+        resolve_jobs(-2)
+
+
+def test_jobs_one_never_spawns_processes(monkeypatch):
+    """The serial path must not import/construct a process pool."""
+    import concurrent.futures
+
+    def boom(*args, **kwargs):  # pragma: no cover - should not run
+        raise AssertionError("process pool used with jobs=1")
+
+    monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", boom)
+    runner = ParallelSweepRunner(jobs=1)
+    spec = PointSpec(protocol="2PC", mpl=1, rep=0,
+                     params=ModelParams(mpl=1),
+                     measured_transactions=10, warmup_transactions=2,
+                     seed=7)
+    results = runner.run([spec])
+    assert len(results) == 1 and results[0].committed == 10
+
+
+def test_parallel_runner_reports_progress():
+    labels = []
+    runner = ParallelSweepRunner(jobs=2, progress=labels.append)
+    specs = [PointSpec(protocol="2PC", mpl=mpl, rep=0,
+                       params=ModelParams(mpl=mpl),
+                       measured_transactions=10, warmup_transactions=2,
+                       seed=7)
+             for mpl in (1, 2)]
+    results = runner.run(specs)
+    assert [r.mpl for r in results] == [1, 2]
+    assert sorted(labels) == ["2PC @ MPL 1", "2PC @ MPL 2"]
+
+
+def test_point_spec_is_picklable():
+    import pickle
+
+    spec = PointSpec(protocol="OPT", mpl=3, rep=1,
+                     params=ModelParams(mpl=3),
+                     measured_transactions=10, warmup_transactions=None,
+                     seed=99)
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone == spec
+    assert clone.label == "OPT @ MPL 3 rep 1"
+
+
+@pytest.mark.tier2
+def test_experiment_definition_jobs_passthrough():
+    definition = get_experiment("E1")
+    results = definition.run(measured_transactions=30, mpls=(1,), jobs=2)
+    assert set(results.mpls) == {1}
+    assert len(results.points) == len(results.protocols)

@@ -289,3 +289,70 @@ def test_exception_in_child_delivered_to_waiting_parent():
     env.process(parent(env))
     env.run()
     assert seen == ["child failed"]
+
+
+def test_run_until_past_queue_drain_fast_forwards_clock():
+    """When the queue drains before ``until``, the clock fast-forwards
+    to ``until`` even though no event advanced it (intended behavior:
+    simulated time passes while nothing is scheduled)."""
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(3.0)
+
+    env.process(proc(env))
+    env.run(until=10.0)
+    assert env.now == 10.0
+
+
+def test_reentrant_run_after_drain_accepts_between_times():
+    """Regression: after a drain fast-forwarded the clock, a second
+    ``run`` whose ``until`` lies between the last processed event and
+    the fast-forwarded clock is a no-op, not a ValueError."""
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(3.0)
+
+    env.process(proc(env))
+    env.run(until=10.0)
+    assert env.now == 10.0
+    env.run(until=5.0)  # between last event (3.0) and now (10.0): no-op
+    assert env.now == 10.0  # the clock never moves backwards
+
+
+def test_reentrant_run_before_last_event_still_rejected():
+    """``until`` earlier than actually-processed work stays an error."""
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(3.0)
+
+    env.process(proc(env))
+    env.run(until=10.0)
+    with pytest.raises(ValueError):
+        env.run(until=2.0)  # before the event processed at t=3.0
+
+
+def test_reentrant_run_with_pending_event_before_until_rejected():
+    """If an event is pending at or before the stale ``until``, the
+    no-op shortcut must not swallow it."""
+    env = Environment(initial_time=10.0)
+    env._event_now = 0.0   # as if fast-forwarded from 0 with no events
+    env.timeout(0.0)       # pending event at t=10.0... but now=10.0
+    # until=10.0 equals now: runs normally, processing the event.
+    env.run(until=10.0)
+    assert env.now == 10.0
+
+
+def test_run_until_now_processes_events_at_now():
+    env = Environment()
+    fired = []
+
+    def proc(env):
+        yield env.timeout(0.0)
+        fired.append(env.now)
+
+    env.process(proc(env))
+    env.run(until=env.now)
+    assert fired == [0.0]
