@@ -38,6 +38,10 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 #: these trip only on order-of-magnitude regressions.
 SMOKE_FLOOR_EVENTS_PER_SEC = 200_000.0
 SMOKE_FLOOR_TXNS_PER_SEC = 100.0
+#: An idle-bus emit guard is one dict membership test; a tight Python
+#: loop of them runs at ~10M/s, so 1M/s only trips on real regressions
+#: (e.g. someone making has_subscribers allocate or walk lists).
+SMOKE_FLOOR_BUS_GUARDS_PER_SEC = 1_000_000.0
 
 
 def _best_of(fn, repeats: int) -> tuple[float, object]:
@@ -146,6 +150,49 @@ def bench_lock_grant_release(cycles: int, repeats: int) -> dict:
     return {"wall_s": wall, "cycles": cycles, "cycles_per_sec": cycles / wall}
 
 
+def bench_bus_overhead(operations: int, repeats: int) -> dict:
+    """Cost of the instrumentation plane at the emit sites.
+
+    Every high-frequency emitter guards with ``bus.has_subscribers``, so
+    the idle-bus cost per emit site is a single dict membership test --
+    this benchmark measures that guard rate directly, plus the dispatch
+    rate with one live subscriber for contrast.
+    """
+    from repro.obs.bus import EventBus
+    from repro.obs.events import EventKind, LogWrite
+
+    def run_idle():
+        bus = EventBus()
+        has = bus.has_subscribers
+        kind = EventKind.LOG_WRITE
+        hits = 0
+        for _ in range(operations):
+            if has(kind):  # the guard every idle emit site pays
+                hits += 1
+        return hits
+
+    def run_live():
+        bus = EventBus()
+        seen = []
+        bus.subscribe(EventKind.LOG_WRITE, seen.append)
+        has = bus.has_subscribers
+        publish = bus.publish
+        kind = EventKind.LOG_WRITE
+        for _ in range(operations):
+            if has(kind):
+                publish(LogWrite(0.0, site_id=0, record_kind="bench",
+                                 txn_id=1))
+        return len(seen)
+
+    idle_wall, hits = _best_of(run_idle, repeats)
+    assert hits == 0
+    live_wall, delivered = _best_of(run_live, repeats)
+    assert delivered == operations
+    return {"wall_s": idle_wall, "operations": operations,
+            "idle_guards_per_sec": operations / idle_wall,
+            "live_dispatch_per_sec": operations / live_wall}
+
+
 def bench_end_to_end(transactions: int, repeats: int) -> dict:
     import repro
 
@@ -208,11 +255,11 @@ def main(argv=None) -> int:
 
     if args.smoke:
         sizes = dict(events=5_000, processes=2_000, cycles=1_000,
-                     transactions=60, repeats=1)
+                     bus_ops=50_000, transactions=60, repeats=1)
         sweep_txns, sweep_mpls = 30, (1,)
     else:
         sizes = dict(events=20_000, processes=5_000, cycles=2_000,
-                     transactions=300, repeats=3)
+                     bus_ops=200_000, transactions=300, repeats=3)
         sweep_txns, sweep_mpls = 120, (1, 2)
 
     print(f"== kernel micro group ({'smoke' if args.smoke else 'full'}) ==")
@@ -222,6 +269,8 @@ def main(argv=None) -> int:
                                                    sizes["repeats"]),
         "lock_grant_release": bench_lock_grant_release(sizes["cycles"],
                                                        sizes["repeats"]),
+        "bus_overhead": bench_bus_overhead(sizes["bus_ops"],
+                                           sizes["repeats"]),
         "end_to_end": bench_end_to_end(sizes["transactions"],
                                        sizes["repeats"]),
     }
@@ -254,6 +303,12 @@ def main(argv=None) -> int:
                 f"event loop below floor: "
                 f"{kernel['event_loop']['events_per_sec']:,.0f} < "
                 f"{SMOKE_FLOOR_EVENTS_PER_SEC:,.0f} events/s")
+        if kernel["bus_overhead"]["idle_guards_per_sec"] < \
+                SMOKE_FLOOR_BUS_GUARDS_PER_SEC:
+            failures.append(
+                f"idle-bus guard below floor: "
+                f"{kernel['bus_overhead']['idle_guards_per_sec']:,.0f} < "
+                f"{SMOKE_FLOOR_BUS_GUARDS_PER_SEC:,.0f} guards/s")
         if kernel["end_to_end"]["txns_per_sec"] < SMOKE_FLOOR_TXNS_PER_SEC:
             failures.append(
                 f"end-to-end below floor: "

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Regenerate the golden sweep fixture used by tests/test_equivalence.py.
+
+Runs the canonical :class:`MplSweep` grids (a fast tier-1 subset and the
+full every-protocol tier-2 grid) and records every
+:class:`SimulationResult` field as JSON.  The fixture pins the simulated
+trajectory bit-for-bit: any refactor that perturbs event order, metric
+accounting, or seeding shows up as a diff.
+
+Usage::
+
+    PYTHONPATH=src python scripts/make_golden_sweep.py
+
+Only rerun this when a change is *meant* to alter simulation results;
+commit the regenerated fixture together with that change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+OUTPUT = REPO_ROOT / "tests" / "data" / "golden_sweep.json"
+
+#: (name, protocols, mpls, measured transactions) per grid.
+GRIDS = [
+    ("tier1", ("2PC", "PA", "PC", "3PC", "OPT"), (1, 2, 4), 60),
+    ("tier2", None, (1, 2, 3, 4, 6, 8, 10), 40),  # None = all protocols
+]
+
+
+def run_grid(protocols, mpls, transactions):
+    from repro.config import ModelParams
+    from repro.experiments.base import MplSweep
+
+    sweep = MplSweep(protocols, lambda mpl: ModelParams(mpl=mpl),
+                     mpls=mpls, measured_transactions=transactions)
+    results = sweep.run("golden")
+    grid = {}
+    for (protocol, mpl), point in results.points.items():
+        grid[f"{protocol}@{mpl}"] = dataclasses.asdict(point.result)
+    return grid
+
+
+def main() -> int:
+    from repro.core import PROTOCOL_NAMES
+
+    fixture = {"_comment": "regenerate with scripts/make_golden_sweep.py"}
+    for name, protocols, mpls, transactions in GRIDS:
+        if protocols is None:
+            protocols = PROTOCOL_NAMES
+        print(f"{name}: {len(protocols)} protocols x {len(mpls)} MPLs "
+              f"({transactions} txns/point)")
+        fixture[name] = {
+            "protocols": list(protocols),
+            "mpls": list(mpls),
+            "transactions": transactions,
+            "points": run_grid(protocols, mpls, transactions),
+        }
+    OUTPUT.parent.mkdir(parents=True, exist_ok=True)
+    OUTPUT.write_text(json.dumps(fixture, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

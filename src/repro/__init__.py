@@ -84,12 +84,20 @@ def simulate(protocol: str, params: ModelParams | None = None,
              measured_transactions: int = 2000,
              warmup_transactions: int | None = None,
              seed: int | None = None,
+             on_system: object = None,
              **param_overrides: object) -> SimulationResult:
     """Run one simulation and return its :class:`SimulationResult`.
 
     ``param_overrides`` are applied on top of ``params`` (or the
     baseline settings), e.g. ``simulate("2PC", mpl=4, dist_degree=6)``.
+
+    ``on_system`` (if given) is called with the built
+    :class:`DistributedSystem` before the run starts -- the hook for
+    attaching observers to ``system.bus`` (tracers, event exporters,
+    phase-latency breakdowns; see :mod:`repro.obs`).
     """
     system = build_system(protocol, params, seed=seed, **param_overrides)
+    if on_system is not None:
+        on_system(system)  # type: ignore[operator]
     return system.run(measured_transactions=measured_transactions,
                       warmup_transactions=warmup_transactions)

@@ -27,10 +27,12 @@ from __future__ import annotations
 import collections
 import typing
 
+from repro.obs.events import EventKind
 from repro.sim.events import Event
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db.transaction import CohortAgent, Transaction
+    from repro.obs.bus import EventBus, Subscription
     from repro.sim.engine import Environment
 
 
@@ -97,30 +99,46 @@ class HalfAndHalfController:
         self._drain_gate()
 
     # ------------------------------------------------------------------
-    # Lock-wait feed (chained from the lock managers' wait hook)
+    # Lock-wait feed (TXN_BLOCK/TXN_UNBLOCK events from the bus)
     # ------------------------------------------------------------------
-    def wait_change(self, cohort: "CohortAgent", waiting: bool) -> None:
-        """Track transaction-level block transitions.
+    def subscribe(self, bus: "EventBus") -> "Subscription":
+        """Attach the controller to the system's instrumentation bus.
 
-        Called *after* the metrics collector updated
-        ``txn.blocked_cohorts``: a transaction is newly blocked when its
-        count hits one, newly unblocked when it returns to zero.
+        Must be subscribed *after* the metrics collector: cancellation
+        decisions are taken against an up-to-date blocked count.
+        """
+        return bus.subscribe_map({
+            EventKind.TXN_BLOCK: lambda e: self._txn_blocked(e.txn),
+            EventKind.TXN_UNBLOCK: lambda e: self._txn_unblocked(e.txn),
+        })
+
+    def _txn_blocked(self, txn: "Transaction") -> None:
+        self.blocked += 1
+        if (self._cancel is not None and not txn.aborting
+                and self.blocked_fraction > self.blocked_fraction_limit):
+            # Cancellation half: the newly blocked transaction is
+            # restarted rather than allowed to deepen the wait queues.
+            # (The abort is delivered asynchronously; the blocked
+            # counter corrects itself when the cohort's wait is torn
+            # down.)
+            self.cancelled += 1
+            self._cancel(txn)
+
+    def _txn_unblocked(self, txn: "Transaction") -> None:
+        self.blocked -= 1
+        self._drain_gate()
+
+    def wait_change(self, cohort: "CohortAgent", waiting: bool) -> None:
+        """Direct-drive compat for callers without a bus (unit tests).
+
+        Expects ``txn.blocked_cohorts`` to be updated first, mirroring
+        the lock managers' transition points.
         """
         txn = cohort.txn
         if waiting and txn.blocked_cohorts == 1:
-            self.blocked += 1
-            if (self._cancel is not None and not txn.aborting
-                    and self.blocked_fraction > self.blocked_fraction_limit):
-                # Cancellation half: the newly blocked transaction is
-                # restarted rather than allowed to deepen the wait
-                # queues.  (The abort is delivered asynchronously; the
-                # blocked counter corrects itself when the cohort's
-                # wait is torn down.)
-                self.cancelled += 1
-                self._cancel(txn)
+            self._txn_blocked(txn)
         elif not waiting and txn.blocked_cohorts == 0:
-            self.blocked -= 1
-            self._drain_gate()
+            self._txn_unblocked(txn)
 
     # ------------------------------------------------------------------
     def _drain_gate(self) -> None:

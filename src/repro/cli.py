@@ -67,6 +67,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="suppress per-point progress output")
     run.add_argument("--export", metavar="DIR", default=None,
                      help="also write TSV/CSV series to this directory")
+    run.add_argument("--events-out", metavar="FILE", default=None,
+                     help="stream every simulation event to this JSONL "
+                          "file (one meta line per sweep point; "
+                          "requires --jobs 1)")
 
     tables = sub.add_parser("tables",
                             help="regenerate overhead Tables 3 and 4")
@@ -87,6 +91,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="infinite physical resources")
     sim.add_argument("--surprise-abort-prob", type=float, default=0.0)
     sim.add_argument("--seed", type=int, default=None)
+    sim.add_argument("--events-out", metavar="FILE", default=None,
+                     help="stream every simulation event to this JSONL "
+                          "file")
+    sim.add_argument("--phases", action="store_true",
+                     help="report the per-phase commit latency breakdown")
     return parser
 
 
@@ -101,6 +110,9 @@ def cmd_list(out: typing.TextIO) -> int:
 
 def cmd_run(args: argparse.Namespace, out: typing.TextIO) -> int:
     definition = get_experiment(args.experiment)
+    if args.events_out is not None and resolve_jobs(args.jobs) != 1:
+        out.write("error: --events-out requires --jobs 1\n")
+        return 2
     progress = None if args.quiet else (
         lambda text: out.write(f"  ... {text}\n"))
     started = time.time()
@@ -108,7 +120,8 @@ def cmd_run(args: argparse.Namespace, out: typing.TextIO) -> int:
                              mpls=args.mpls,
                              replications=args.replications,
                              progress=progress,
-                             jobs=resolve_jobs(args.jobs))
+                             jobs=resolve_jobs(args.jobs),
+                             events_out=args.events_out)
     out.write(results.summary() + "\n")
     for metric in definition.metrics[1:]:
         out.write(results.table(metric) + "\n")
@@ -118,6 +131,8 @@ def cmd_run(args: argparse.Namespace, out: typing.TextIO) -> int:
         paths = export_experiment(results, definition.metrics, args.export)
         for path in paths:
             out.write(f"wrote {path}\n")
+    if args.events_out:
+        out.write(f"wrote {args.events_out}\n")
     out.write(f"(completed in {time.time() - started:.1f}s wall time)\n")
     return 0
 
@@ -132,17 +147,39 @@ def cmd_tables(args: argparse.Namespace, out: typing.TextIO) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace, out: typing.TextIO) -> int:
-    result = repro.simulate(
-        args.protocol,
-        measured_transactions=args.transactions,
-        seed=args.seed,
-        mpl=args.mpl,
-        dist_degree=args.dist_degree,
-        cohort_size=args.cohort_size,
-        update_prob=args.update_prob,
-        msg_cpu_ms=args.msg_cpu_ms,
-        infinite_resources=args.pure_dc,
-        surprise_abort_prob=args.surprise_abort_prob)
+    exporter = None
+    phases = None
+    observers = []
+    if args.events_out is not None:
+        from repro.obs import JsonlExporter
+        exporter = JsonlExporter.open(args.events_out)
+        exporter.meta(protocol=args.protocol, mpl=args.mpl, seed=args.seed)
+        observers.append(exporter.attach)
+    if args.phases:
+        from repro.obs import PhaseLatencyObserver
+        phases = PhaseLatencyObserver()
+        observers.append(phases.attach)
+
+    def on_system(system):
+        for attach in observers:
+            attach(system.bus)
+
+    try:
+        result = repro.simulate(
+            args.protocol,
+            measured_transactions=args.transactions,
+            seed=args.seed,
+            on_system=on_system if observers else None,
+            mpl=args.mpl,
+            dist_degree=args.dist_degree,
+            cohort_size=args.cohort_size,
+            update_prob=args.update_prob,
+            msg_cpu_ms=args.msg_cpu_ms,
+            infinite_resources=args.pure_dc,
+            surprise_abort_prob=args.surprise_abort_prob)
+    finally:
+        if exporter is not None:
+            exporter.close()
     out.write(result.summary() + "\n")
     out.write(f"overheads per committing txn: "
               f"exec_msgs={result.overheads.execution_messages:.2f} "
@@ -150,6 +187,12 @@ def cmd_simulate(args: argparse.Namespace, out: typing.TextIO) -> int:
               f"commit_msgs={result.overheads.commit_messages:.2f}\n")
     if result.aborts_by_reason:
         out.write(f"aborts by reason: {result.aborts_by_reason}\n")
+    if phases is not None:
+        out.write("per-phase commit latency (ms, committed txns):\n")
+        out.write(phases.report() + "\n")
+    if exporter is not None:
+        out.write(f"wrote {args.events_out} "
+                  f"({exporter.events_written} events)\n")
     return 0
 
 

@@ -24,6 +24,7 @@ from repro.db.transaction import (
     TransactionOutcome,
 )
 from repro.db.wal import LogRecordKind
+from repro.obs.events import CommitPhase
 from repro.sim.events import Event
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
@@ -94,7 +95,7 @@ class CommitProtocol(abc.ABC):
         in ``master.read_only_cohorts`` and excluded from phase two.
         """
         master.prepared_cohorts = []
-        master.read_only_cohorts: list[CohortAgent] = []
+        master.read_only_cohorts = []
         for cohort in master.cohorts:
             yield from master.send(MessageKind.PREPARE, cohort)
         all_yes = True
@@ -108,6 +109,7 @@ class CommitProtocol(abc.ABC):
                 all_yes = False
             else:  # pragma: no cover - protocol violation
                 raise RuntimeError(f"unexpected vote {message!r}")
+        master.mark_phase(CommitPhase.DECIDE)
         return all_yes
 
     def cohort_vote(self, cohort: CohortAgent,

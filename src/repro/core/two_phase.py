@@ -14,6 +14,7 @@ from repro.core.base import CohortGenerator, CommitProtocol, MasterGenerator
 from repro.db.messages import MessageKind
 from repro.db.transaction import CohortAgent, MasterAgent, TransactionOutcome
 from repro.db.wal import LogRecordKind
+from repro.obs.events import CommitPhase
 
 
 class TwoPhaseCommit(CommitProtocol):
@@ -37,6 +38,7 @@ class TwoPhaseCommit(CommitProtocol):
         yield from master.force_log(LogRecordKind.COMMIT)
         for cohort in master.prepared_cohorts:
             yield from master.send(MessageKind.COMMIT, cohort)
+        master.mark_phase(CommitPhase.ACK)
         for _ in master.prepared_cohorts:
             message = yield master.recv()
             assert message.kind is MessageKind.ACK, message
@@ -47,6 +49,7 @@ class TwoPhaseCommit(CommitProtocol):
         yield from master.force_log(LogRecordKind.ABORT)
         for cohort in master.prepared_cohorts:
             yield from master.send(MessageKind.ABORT, cohort)
+        master.mark_phase(CommitPhase.ACK)
         for _ in master.prepared_cohorts:
             message = yield master.recv()
             assert message.kind is MessageKind.ACK, message

@@ -25,6 +25,17 @@ import dataclasses
 import enum
 import typing
 
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    Borrow,
+    EventKind,
+    LockBlock,
+    LockGrant,
+    LockRelease,
+    LockRequest as LockRequestEvent,
+    TxnBlock,
+    TxnUnblock,
+)
 from repro.sim.events import Event
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
@@ -93,20 +104,16 @@ class LockManager:
                  lending_enabled: bool = False,
                  on_lender_abort: typing.Callable[["CohortAgent"], None]
                  | None = None,
-                 on_borrow: typing.Callable[["CohortAgent", int], None]
-                 | None = None,
-                 on_wait_change: typing.Callable[["CohortAgent", bool], None]
-                 | None = None) -> None:
+                 bus: EventBus | None = None) -> None:
         self.env = env
         self.site_id = site_id
         self.wfg = wait_for_graph
         self.lending_enabled = lending_enabled
-        #: called with each borrower cohort when its lender aborts.
+        #: behavioural callback -- the system must *abort* each borrower
+        #: when its lender aborts; observation goes through the bus.
         self._on_lender_abort = on_lender_abort or (lambda cohort: None)
-        #: called on every borrow grant (metrics hook).
-        self._on_borrow = on_borrow or (lambda cohort, page: None)
-        #: called when a cohort starts (True) / stops (False) waiting.
-        self._on_wait_change = on_wait_change or (lambda cohort, waiting: None)
+        #: instrumentation plane; a standalone manager gets a private bus.
+        self.bus = bus if bus is not None else EventBus()
         self._entries: dict[int, _LockEntry] = {}
         #: lender cohort -> set of borrower cohorts.
         self._borrows: dict["CohortAgent", set["CohortAgent"]] = {}
@@ -132,6 +139,10 @@ class LockManager:
         held = cohort.held_locks.get(page)
         if held is not None and held.covers(mode):
             return  # already held in a sufficient mode
+        bus = self.bus
+        if bus.has_subscribers(EventKind.LOCK_REQUEST):
+            bus.publish(LockRequestEvent(self.env.now, self.site_id,
+                                         cohort, page, mode))
         request = LockRequest(cohort, page, mode)
         if not entry.waiters and self._grantable(entry, request):
             self._grant(entry, request)
@@ -141,13 +152,21 @@ class LockManager:
         entry.waiters.append(request)
         self._waiting_requests[cohort] = request
         self.waits += 1
-        self._on_wait_change(cohort, True)
+        if bus.has_subscribers(EventKind.LOCK_BLOCK):
+            bus.publish(LockBlock(self.env.now, self.site_id,
+                                  cohort, page, mode))
+        txn = cohort.txn
+        txn.blocked_cohorts += 1
+        if txn.blocked_cohorts == 1:
+            bus.publish(TxnBlock(self.env.now, txn))
         self._refresh_wait_edges(entry)
         self.wfg.check_for_deadlock(cohort.txn)
         try:
             yield request.event
         finally:
-            self._on_wait_change(cohort, False)
+            txn.blocked_cohorts -= 1
+            if txn.blocked_cohorts == 0:
+                bus.publish(TxnUnblock(self.env.now, txn))
 
     def _grantable(self, entry: _LockEntry, request: LockRequest,
                    ) -> bool:
@@ -174,10 +193,15 @@ class LockManager:
         if lenders:
             self.borrow_grants += 1
             cohort.txn.pages_borrowed += 1
-            self._on_borrow(cohort, request.page)
+            self.bus.publish(Borrow(self.env.now, self.site_id, cohort,
+                                    request.page))
             for lender in lenders:
                 self._borrows.setdefault(lender, set()).add(cohort)
                 cohort.add_lender(lender)
+        if self.bus.has_subscribers(EventKind.LOCK_GRANT):
+            self.bus.publish(LockGrant(self.env.now, self.site_id, cohort,
+                                       request.page, request.mode,
+                                       bool(lenders)))
         if request.event is not None and not request.event.triggered:
             request.event.succeed()
 
@@ -213,6 +237,9 @@ class LockManager:
         off the shelf).  On abort, each borrower is reported through the
         ``on_lender_abort`` callback so the system can abort it.
         """
+        if self.bus.has_subscribers(EventKind.LOCK_RELEASE):
+            self.bus.publish(LockRelease(self.env.now, self.site_id, cohort,
+                                         committed))
         touched: list[int] = []
         # Withdraw a pending request, if any.
         request = self._waiting_requests.pop(cohort, None)

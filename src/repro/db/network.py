@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import typing
 
+from repro.obs.bus import EventBus
+from repro.obs.events import EventKind, MessageDeliver, MessageSend
 from repro.sim.events import Event
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
@@ -33,12 +35,11 @@ class Network:
     """Zero-latency switch with per-end CPU costs."""
 
     def __init__(self, env: "Environment", msg_cpu_ms: float,
-                 on_message: typing.Callable[["Message"], None]
-                 | None = None) -> None:
+                 bus: EventBus | None = None) -> None:
         self.env = env
         self.msg_cpu_ms = msg_cpu_ms
-        #: metrics hook, called once per *remote* message.
-        self._on_message = on_message or (lambda message: None)
+        #: instrumentation plane; a standalone network gets a private bus.
+        self.bus = bus if bus is not None else EventBus()
         self.messages_sent = 0
         self.local_messages = 0
 
@@ -51,12 +52,18 @@ class Network:
         """
         sender_site = message.sender.site
         receiver_site = message.receiver.site
+        bus = self.bus
         if sender_site.site_id == receiver_site.site_id:
             self.local_messages += 1
+            if bus.has_subscribers(EventKind.MSG_SEND):
+                bus.publish(MessageSend(self.env.now, message, local=True))
+            if bus.has_subscribers(EventKind.MSG_DELIVER):
+                bus.publish(MessageDeliver(self.env.now, message))
             message.receiver.inbox.put(message)
             return
         self.messages_sent += 1
-        self._on_message(message)
+        if bus.has_subscribers(EventKind.MSG_SEND):
+            bus.publish(MessageSend(self.env.now, message, local=False))
         self._count_for_transaction(message)
         yield from sender_site.message_cpu(self.msg_cpu_ms)
         # Receive side: an independent process so the sender is not
@@ -67,6 +74,8 @@ class Network:
     def _deliver(self, message: "Message",
                  ) -> typing.Generator[Event, typing.Any, None]:
         yield from message.receiver.site.message_cpu(self.msg_cpu_ms)
+        if self.bus.has_subscribers(EventKind.MSG_DELIVER):
+            self.bus.publish(MessageDeliver(self.env.now, message))
         message.receiver.inbox.put(message)
 
     @staticmethod

@@ -41,8 +41,7 @@ class Site:
                  infinite_resources: bool = False,
                  lending_enabled: bool = False,
                  group_commit: bool = False,
-                 on_lender_abort=None, on_borrow=None,
-                 on_wait_change=None) -> None:
+                 on_lender_abort=None, bus=None) -> None:
         self.env = env
         self.site_id = site_id
         self.directory = directory
@@ -70,13 +69,13 @@ class Site:
 
         self.log_manager = LogManager(env, site_id, log_disks,
                                       write_time_ms=page_disk_ms,
-                                      group_commit=group_commit)
+                                      group_commit=group_commit,
+                                      bus=bus)
         self.lock_manager = LockManager(
             env, site_id, wait_for_graph,
             lending_enabled=lending_enabled,
             on_lender_abort=on_lender_abort,
-            on_borrow=on_borrow,
-            on_wait_change=on_wait_change)
+            bus=bus)
 
         # Counters.
         self.pages_read = 0

@@ -26,6 +26,16 @@ from repro.db.transaction import (
 )
 from repro.db.workload import WorkloadGenerator
 from repro.metrics import MetricsCollector, ProtocolOverheads
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    DeadlockVictim,
+    EventKind,
+    LenderAbort,
+    TxnAbort,
+    TxnCommit,
+    TxnRestart,
+    TxnSubmit,
+)
 from repro.sim.engine import Environment
 from repro.sim.events import Event
 from repro.sim.rng import RandomStreams
@@ -80,10 +90,16 @@ class DistributedSystem:
         self.env = Environment()
         self.streams = RandomStreams(seed if seed is not None else params.seed)
 
+        #: the instrumentation plane (docs/MODEL.md): every layer
+        #: publishes typed events here; observers subscribe.
+        self.bus = EventBus()
         total_slots = params.mpl * params.num_sites
         self.metrics = MetricsCollector(
             self.env, total_slots,
             initial_response_estimate=params.initial_response_time_estimate())
+        # Subscription order is semantic: metrics must see block/unblock
+        # transitions before the admission controller acts on them.
+        self.metrics.subscribe(self.bus)
         self.admission = None
         if params.admission_control:
             from repro.admission import HalfAndHalfController
@@ -91,9 +107,9 @@ class DistributedSystem:
                 self.env,
                 blocked_fraction_limit=params.admission_blocked_limit,
                 cancel=self._on_load_control_cancel)
+            self.admission.subscribe(self.bus)
         self.wfg = WaitForGraph(on_victim=self._on_deadlock_victim)
-        self.network = Network(self.env, params.msg_cpu_ms,
-                               on_message=self.metrics.message_sent)
+        self.network = Network(self.env, params.msg_cpu_ms, bus=self.bus)
         self.directory = PageDirectory(params.db_size, params.num_sites,
                                        params.num_data_disks)
         self.sites = self._build_sites()
@@ -109,8 +125,7 @@ class DistributedSystem:
         params = self.params
         hooks = dict(
             on_lender_abort=self._on_lender_abort,
-            on_borrow=self.metrics.borrow,
-            on_wait_change=self._on_wait_change,
+            bus=self.bus,
         )
         if params.topology is Topology.CENTRALIZED:
             # One physical site with the aggregate resources; logical
@@ -184,10 +199,10 @@ class DistributedSystem:
                 if self.admission is not None:
                     self.admission.release()
                 if outcome is TransactionOutcome.COMMITTED:
-                    self.metrics.transaction_committed(txn)
+                    self.bus.publish(TxnCommit(env.now, txn))
                     break
                 reason = txn.abort_reason or AbortReason.SURPRISE_VOTE
-                self.metrics.transaction_aborted(txn, reason)
+                self.bus.publish(TxnAbort(env.now, txn, reason))
                 # "A transaction that is aborted is restarted after a
                 # delay ... equal to the average response time."
                 yield env.timeout(self.metrics.restart_delay())
@@ -199,6 +214,15 @@ class DistributedSystem:
         env = self.env
         txn = Transaction(spec, incarnation, first_submit, env.now)
         self.transactions_started += 1
+        bus = self.bus
+        if incarnation == 0:
+            if bus.has_subscribers(EventKind.TXN_SUBMIT):
+                bus.publish(TxnSubmit(
+                    env.now, txn,
+                    tuple(a.site_id for a in spec.accesses)))
+        elif bus.has_subscribers(EventKind.TXN_RESTART):
+            bus.publish(TxnRestart(
+                env.now, txn, tuple(a.site_id for a in spec.accesses)))
         master = MasterAgent(self, txn, self.site_for(spec.origin_site))
         txn.master = master
         for access in spec.accesses:
@@ -229,22 +253,19 @@ class DistributedSystem:
             process.interrupt(reason)
 
     # ------------------------------------------------------------------
-    # Hooks
+    # Behavioural callbacks (these *act*; observation is on the bus)
     # ------------------------------------------------------------------
-    def _on_wait_change(self, cohort: CohortAgent, waiting: bool) -> None:
-        """Lock-wait transitions feed the metrics and (when enabled)
-        the admission controller, in that order."""
-        self.metrics.wait_change(cohort, waiting)
-        if self.admission is not None:
-            self.admission.wait_change(cohort, waiting)
-
     def _on_deadlock_victim(self, txn: Transaction) -> None:
+        if self.bus.has_subscribers(EventKind.DEADLOCK_VICTIM):
+            self.bus.publish(DeadlockVictim(self.env.now, txn))
         self.abort_transaction(txn, AbortReason.DEADLOCK)
 
     def _on_load_control_cancel(self, txn: Transaction) -> None:
         self.abort_transaction(txn, AbortReason.LOAD_CONTROL)
 
     def _on_lender_abort(self, borrower: CohortAgent) -> None:
+        if self.bus.has_subscribers(EventKind.LENDER_ABORT):
+            self.bus.publish(LenderAbort(self.env.now, borrower))
         self.abort_transaction(borrower.txn, AbortReason.LENDER_ABORT)
 
     def surprise_no_vote(self) -> bool:

@@ -19,6 +19,7 @@ import typing
 
 from repro.db.messages import Message, MessageKind
 from repro.db.wal import LogRecordKind
+from repro.obs.events import CommitPhase, EventKind, PhaseTransition, ShelfEnter
 from repro.sim.events import Event
 from repro.sim.process import Interrupt, Process
 from repro.sim.resources import Store
@@ -207,7 +208,6 @@ class Agent:
                   ) -> typing.Generator[Event, typing.Any, None]:
         """Coroutine: force-write a log record at this agent's site."""
         self.txn.forced_writes += 1
-        self.system.metrics.forced_write(kind)
         yield from self.site.log_manager.force_write(kind, self.txn.txn_id)
 
     def log(self, kind: LogRecordKind) -> None:
@@ -258,7 +258,7 @@ class CohortAgent(Agent):
         if not self.lenders:
             return
         self.state = CohortState.ON_SHELF
-        self.system.metrics.shelf_entered()
+        self.system.bus.publish(ShelfEnter(self.env.now, self))
         self._shelf_event = Event(self.env)
         try:
             yield self._shelf_event
@@ -341,21 +341,32 @@ class MasterAgent(Agent):
                  txn: Transaction, site: "Site") -> None:
         super().__init__(system, txn, site)
         self.cohorts: list[CohortAgent] = []
-        #: cohorts that voted YES (set by protocols during voting).
+        #: cohorts that voted YES (reset by protocols during voting).
         self.prepared_cohorts: list[CohortAgent] = []
+        #: cohorts that voted READ_ONLY (reset by protocols during voting).
+        self.read_only_cohorts: list[CohortAgent] = []
         #: votes piggybacked on work-completion reports (Unsolicited
         #: Vote style protocols); consumed by their master_commit.
         self.early_votes: list[Message] = []
+
+    def mark_phase(self, phase: CommitPhase) -> None:
+        """Publish entry into a commit-processing phase (guarded)."""
+        bus = self.system.bus
+        if bus.has_subscribers(EventKind.PHASE):
+            bus.publish(PhaseTransition(self.env.now, self.txn, phase,
+                                        self.system.protocol.name))
 
     def run(self) -> typing.Generator[Event, typing.Any, TransactionOutcome]:
         """Full life of one incarnation; returns the outcome."""
         from repro.config import TransactionType
         try:
+            self.mark_phase(CommitPhase.EXECUTE)
             yield from self.system.protocol.master_begin(self)
             if self.system.params.trans_type is TransactionType.PARALLEL:
                 yield from self._start_and_await_parallel()
             else:
                 yield from self._start_and_await_sequential()
+            self.mark_phase(CommitPhase.VOTE)
             outcome = yield from self.system.protocol.master_commit(self)
             self.txn.outcome = outcome
             return outcome

@@ -17,6 +17,8 @@ import dataclasses
 import enum
 import typing
 
+from repro.obs.bus import EventBus
+from repro.obs.events import EventKind, LogForce, LogWrite
 from repro.sim.events import Event
 from repro.sim.resources import Server
 
@@ -56,9 +58,12 @@ class LogManager:
     def __init__(self, env: "Environment", site_id: int,
                  log_disks: typing.Sequence[Server],
                  write_time_ms: float,
-                 group_commit: bool = False) -> None:
+                 group_commit: bool = False,
+                 bus: EventBus | None = None) -> None:
         self.env = env
         self.site_id = site_id
+        #: instrumentation plane; a standalone manager gets a private bus.
+        self.bus = bus if bus is not None else EventBus()
         self.log_disks = list(log_disks)
         self.write_time_ms = write_time_ms
         self.group_commit = group_commit
@@ -79,6 +84,9 @@ class LogManager:
                            time=self.env.now)
         self.records.append(record)
         self.unforced_count += 1
+        if self.bus.has_subscribers(EventKind.LOG_WRITE):
+            self.bus.publish(LogWrite(self.env.now, self.site_id, kind,
+                                      txn_id))
         return record
 
     def force_write(self, kind: LogRecordKind, txn_id: int,
@@ -92,6 +100,9 @@ class LogManager:
                            time=self.env.now)
         self.records.append(record)
         self.forced_count += 1
+        if self.bus.has_subscribers(EventKind.LOG_FORCE):
+            self.bus.publish(LogForce(self.env.now, self.site_id, kind,
+                                      txn_id))
         if self.group_commit:
             yield from self._group_commit_flush()
         else:

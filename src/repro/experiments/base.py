@@ -126,8 +126,15 @@ class MplSweep:
         self.replications = replications
         self.base_seed = base_seed
 
-    def run_point(self, protocol: str, mpl: int) -> SweepPoint:
-        """Run all replications of one grid point."""
+    def run_point(self, protocol: str, mpl: int,
+                  on_system: typing.Callable[..., None] | None = None,
+                  ) -> SweepPoint:
+        """Run all replications of one grid point.
+
+        ``on_system(system, protocol=..., mpl=..., rep=...)`` is invoked
+        per replication, before it runs -- the hook for attaching
+        observers to the system's event bus.
+        """
         params = self.params_factory(mpl)
         results = []
         for rep in range(self.replications):
@@ -135,7 +142,11 @@ class MplSweep:
                 protocol, params=params,
                 measured_transactions=self.measured_transactions,
                 warmup_transactions=self.warmup_transactions,
-                seed=point_seed(self.base_seed, rep)))
+                seed=point_seed(self.base_seed, rep),
+                on_system=(None if on_system is None else
+                           (lambda system, _rep=rep: on_system(
+                               system, protocol=protocol, mpl=mpl,
+                               rep=_rep)))))
         return SweepPoint(protocol, mpl, results)
 
     def point_specs(self) -> list[PointSpec]:
@@ -157,6 +168,7 @@ class MplSweep:
             title: str = "",
             progress: typing.Callable[[str], None] | None = None,
             jobs: int = 1,
+            events_out: str | None = None,
             ) -> ExperimentResults:
         """Run the whole grid.
 
@@ -165,14 +177,40 @@ class MplSweep:
         means one per CPU core).  Results are identical either way --
         each point's seed is fixed by ``(base_seed, rep)``, not by
         execution order.
+
+        ``events_out`` streams every simulation event of every point to
+        a JSONL file (one ``{"meta": ...}`` line per point, then its
+        events); it requires the serial path (``jobs=1``).
         """
+        if events_out is not None and jobs != 1:
+            raise ValueError("events_out requires jobs=1 (events are "
+                             "interleaved per point, in grid order)")
         points: dict[tuple[str, int], SweepPoint] = {}
         if jobs == 1:
-            for protocol in self.protocols:
-                for mpl in self.mpls:
-                    if progress is not None:
-                        progress(f"{experiment_id}: {protocol} @ MPL {mpl}")
-                    points[(protocol, mpl)] = self.run_point(protocol, mpl)
+            exporter = None
+            on_system = None
+            if events_out is not None:
+                from repro.obs.export import JsonlExporter
+                exporter = JsonlExporter.open(events_out)
+
+                def on_system(system, protocol, mpl, rep,
+                              _exporter=exporter):
+                    _exporter.detach()
+                    _exporter.meta(experiment=experiment_id,
+                                   protocol=protocol, mpl=mpl, rep=rep,
+                                   seed=point_seed(self.base_seed, rep))
+                    _exporter.attach(system.bus)
+            try:
+                for protocol in self.protocols:
+                    for mpl in self.mpls:
+                        if progress is not None:
+                            progress(
+                                f"{experiment_id}: {protocol} @ MPL {mpl}")
+                        points[(protocol, mpl)] = self.run_point(
+                            protocol, mpl, on_system=on_system)
+            finally:
+                if exporter is not None:
+                    exporter.close()
             return ExperimentResults(experiment_id, title, points,
                                      self.protocols, self.mpls)
 
@@ -222,8 +260,9 @@ class ExperimentDefinition:
             replications: int = 1,
             progress: typing.Callable[[str], None] | None = None,
             jobs: int = 1,
+            events_out: str | None = None,
             ) -> ExperimentResults:
         sweep = self.sweep(measured_transactions=measured_transactions,
                            mpls=mpls, replications=replications)
         return sweep.run(self.experiment_id, self.title, progress=progress,
-                         jobs=jobs)
+                         jobs=jobs, events_out=events_out)

@@ -36,6 +36,10 @@ from repro.db.messages import MessageKind
 from repro.db.system import DistributedSystem
 from repro.db.transaction import CohortState, TransactionOutcome
 from repro.db.wal import LogRecordKind
+from repro.obs.events import EventKind, LockRelease, SiteCrash, SiteRecover
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.recorder import EventLog
 
 BLOCKING_BASES = {
     "2PC": TwoPhaseCommit,
@@ -96,7 +100,14 @@ class _CrashingBlockingProtocol:
         assert all_yes, "crash scenario assumes a YES-voting transaction"
         # CRASH: the master goes silent with every cohort prepared.
         self.crash_time = master.env.now
+        bus = self.system.bus
+        if bus.has_subscribers(EventKind.SITE_CRASH):
+            bus.publish(SiteCrash(master.env.now, master.site.site_id,
+                                  master.txn.txn_id))
         yield master.env.timeout(self.crash_duration_ms)
+        if bus.has_subscribers(EventKind.SITE_RECOVER):
+            bus.publish(SiteRecover(master.env.now, master.site.site_id,
+                                    master.txn.txn_id))
         # RECOVERY: complete the protocol normally.
         yield from self.master_commit_phase(master)
         return TransactionOutcome.COMMITTED
@@ -143,7 +154,14 @@ class Crashing3PC(ThreePhaseCommit):
         # cohorts will decide among themselves; the recovered master
         # simply forgets (its cohorts have already terminated).
         self.crash_time = master.env.now
+        bus = self.system.bus
+        if bus.has_subscribers(EventKind.SITE_CRASH):
+            bus.publish(SiteCrash(master.env.now, master.site.site_id,
+                                  master.txn.txn_id))
         yield master.env.timeout(self.crash_duration_ms)
+        if bus.has_subscribers(EventKind.SITE_RECOVER):
+            bus.publish(SiteRecover(master.env.now, master.site.site_id,
+                                    master.txn.txn_id))
         master.log(LogRecordKind.END)
         return TransactionOutcome.COMMITTED
 
@@ -183,11 +201,14 @@ def run_crash_scenario(protocol: str,
                        target_txn_id: int = 40,
                        params: ModelParams | None = None,
                        measured_transactions: int = 600,
-                       seed: int | None = None) -> BlockingReport:
+                       seed: int | None = None,
+                       event_log: "EventLog | None" = None) -> BlockingReport:
     """Crash the designated transaction's master; report the damage.
 
     ``protocol`` is one of ``2PC``, ``PA``, ``PC`` (blocking) or ``3PC``
-    (non-blocking).
+    (non-blocking).  Pass an :class:`~repro.obs.recorder.EventLog` as
+    ``event_log`` to capture the run's full event stream (e.g. to show
+    it is identical to a healthy run's right up to the crash).
     """
     if params is None:
         params = ModelParams(mpl=4)
@@ -206,25 +227,19 @@ def run_crash_scenario(protocol: str,
             f"_{name}", (_CrashingBlockingProtocol, base), {}),), {})(
             target_txn_id, crash_duration_ms)
     system = DistributedSystem(params, instance, seed=seed)
+    if event_log is not None:
+        event_log.attach(system.bus)
 
-    # Record when the target transaction's cohorts release their locks.
+    # Record when the target transaction's cohorts release their locks:
+    # a committed-path LOCK_RELEASE of the target transaction, at any
+    # site (one per cohort).
     release_times: list[float] = []
-    original_launch = system._launch
 
-    def launching(spec, incarnation, first_submit):
-        txn = original_launch(spec, incarnation, first_submit)
-        if txn.txn_id == target_txn_id:
-            for cohort in txn.cohorts:
-                original_commit = cohort.implement_commit
+    def record_release(event: LockRelease) -> None:
+        if event.committed and event.cohort.txn.txn_id == target_txn_id:
+            release_times.append(event.time)
 
-                def recording(original=original_commit):
-                    release_times.append(system.env.now)
-                    original()
-
-                cohort.implement_commit = recording
-        return txn
-
-    system._launch = launching
+    system.bus.subscribe(EventKind.LOCK_RELEASE, record_release)
     system.run(measured_transactions=measured_transactions,
                warmup_transactions=0)
 
@@ -261,9 +276,15 @@ def _commits_between(system: DistributedSystem, start: float,
 def compare_blocking(crash_duration_ms: float = 20_000.0,
                      measured_transactions: int = 600,
                      params: ModelParams | None = None,
+                     protocols: typing.Sequence[str] = ("2PC", "3PC"),
                      ) -> dict[str, BlockingReport]:
-    """Run the crash scenario under 2PC and 3PC and return both reports."""
+    """Run the crash scenario under each protocol; return the reports.
+
+    Defaults to the headline 2PC-vs-3PC comparison; pass
+    ``protocols=("2PC", "PA", "PC", "3PC")`` for every registered
+    blocking protocol plus the non-blocking termination path.
+    """
     return {name: run_crash_scenario(
         name, crash_duration_ms=crash_duration_ms,
         measured_transactions=measured_transactions, params=params)
-        for name in ("2PC", "3PC")}
+        for name in protocols}

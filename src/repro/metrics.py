@@ -21,6 +21,7 @@ import dataclasses
 import typing
 
 from repro.db.wal import LogRecordKind
+from repro.obs.events import EventKind
 from repro.sim.events import Event
 from repro.sim.stats import BatchMeans, TimeWeightedAverage, WelfordAccumulator
 
@@ -29,8 +30,8 @@ from repro.sim.stats import BatchMeans, TimeWeightedAverage, WelfordAccumulator
 RESPONSE_BATCH_SIZE = 32
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.db.messages import Message
     from repro.db.transaction import AbortReason, CohortAgent, Transaction
+    from repro.obs.bus import EventBus, Subscription
     from repro.sim.engine import Environment
 
 
@@ -70,9 +71,31 @@ class MetricsCollector:
         # Completion watchers: (commit-count threshold, event).
         self._watchers: list[tuple[int, Event]] = []
         self._committed_lifetime = 0
+        self._subscription: "Subscription | None" = None
 
     # ------------------------------------------------------------------
-    # Recording hooks
+    # Event-bus subscription (the live system's feed)
+    # ------------------------------------------------------------------
+    def subscribe(self, bus: "EventBus") -> "Subscription":
+        """Attach the collector to the system's instrumentation bus."""
+        self._subscription = bus.subscribe_map({
+            EventKind.TXN_COMMIT:
+                lambda e: self.transaction_committed(e.txn),
+            EventKind.TXN_ABORT:
+                lambda e: self.transaction_aborted(e.txn, e.reason),
+            EventKind.TXN_BLOCK:
+                lambda e: self.blocked_txns.increment(e.time),
+            EventKind.TXN_UNBLOCK:
+                lambda e: self.blocked_txns.decrement(e.time),
+            EventKind.BORROW: lambda e: self.borrow(e.cohort, e.page),
+            EventKind.SHELF_ENTER: lambda e: self.shelf_entered(),
+            EventKind.LOG_FORCE: lambda e: self.forced_write(e.record_kind),
+        })
+        return self._subscription
+
+    # ------------------------------------------------------------------
+    # Recording (invoked by the bus handlers above; unit tests may
+    # drive these directly)
     # ------------------------------------------------------------------
     def transaction_committed(self, txn: "Transaction") -> None:
         response = self.env.now - txn.first_submit_time
@@ -100,13 +123,13 @@ class MetricsCollector:
     def forced_write(self, kind: LogRecordKind) -> None:
         self.forced_by_kind[kind] = self.forced_by_kind.get(kind, 0) + 1
 
-    def message_sent(self, message: "Message") -> None:
-        # Per-message accounting currently derives from transaction
-        # counters; this hook exists for tracing extensions.
-        pass
-
     def wait_change(self, cohort: "CohortAgent", waiting: bool) -> None:
-        """Lock-wait transition: maintain the blocked-transaction count."""
+        """Direct-drive lock-wait transition (unit tests).
+
+        The live system publishes ``TXN_BLOCK``/``TXN_UNBLOCK`` from the
+        lock managers, which maintain ``txn.blocked_cohorts`` themselves;
+        this method performs both steps for callers without a bus.
+        """
         txn = cohort.txn
         if waiting:
             txn.blocked_cohorts += 1

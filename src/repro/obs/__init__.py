@@ -1,0 +1,87 @@
+"""The instrumentation plane: a typed simulation event bus.
+
+Every observable fact of the simulated system -- transaction lifecycle,
+lock traffic, OPT lending, messages, log writes, deadlock victims,
+failure injection, commit-protocol phases -- is published as a typed
+event (:mod:`repro.obs.events`) on the system's :class:`EventBus`
+(``system.bus``).  Observers subscribe; nothing monkeypatches.
+
+Emit sites are guarded with ``bus.has_subscribers(kind)``, so kinds
+nobody listens to cost one dict membership test (see the
+``bus_overhead`` micro-benchmark in ``scripts/bench_trajectory.py``).
+
+Built-in subscribers:
+
+- :class:`repro.metrics.MetricsCollector` -- the paper's statistics;
+- :class:`repro.trace.Tracer` -- human-readable lifecycle traces;
+- :class:`repro.admission.HalfAndHalfController` -- load control;
+- :class:`EventLog` -- raw in-memory recording (tests, diffing runs);
+- :class:`PhaseLatencyObserver` -- per-phase commit latency breakdown;
+- :class:`JsonlExporter` -- ``--events-out`` offline event streams.
+"""
+
+from repro.obs.bus import EventBus, Subscription
+from repro.obs.events import (
+    Borrow,
+    CommitPhase,
+    DeadlockVictim,
+    EventKind,
+    LenderAbort,
+    LockBlock,
+    LockGrant,
+    LockRelease,
+    LockRequest,
+    LogForce,
+    LogWrite,
+    MessageDeliver,
+    MessageSend,
+    PhaseTransition,
+    ShelfEnter,
+    SimEvent,
+    SiteCrash,
+    SiteRecover,
+    TxnAbort,
+    TxnBlock,
+    TxnCommit,
+    TxnRestart,
+    TxnSubmit,
+    TxnUnblock,
+    event_to_dict,
+)
+from repro.obs.export import JsonlExporter
+from repro.obs.phases import PhaseLatencyObserver, PhaseStats
+from repro.obs.recorder import EventLog
+
+__all__ = [
+    "Borrow",
+    "CommitPhase",
+    "DeadlockVictim",
+    "EventBus",
+    "EventKind",
+    "EventLog",
+    "JsonlExporter",
+    "LenderAbort",
+    "LockBlock",
+    "LockGrant",
+    "LockRelease",
+    "LockRequest",
+    "LogForce",
+    "LogWrite",
+    "MessageDeliver",
+    "MessageSend",
+    "PhaseLatencyObserver",
+    "PhaseStats",
+    "PhaseTransition",
+    "ShelfEnter",
+    "SimEvent",
+    "SiteCrash",
+    "SiteRecover",
+    "Subscription",
+    "TxnAbort",
+    "TxnBlock",
+    "TxnCommit",
+    "TxnRestart",
+    "TxnSubmit",
+    "TxnUnblock",
+    "event_to_dict",
+]

@@ -1,0 +1,136 @@
+"""A typed publish/subscribe bus for simulation events.
+
+Design constraints (see docs/MODEL.md, "Instrumentation plane"):
+
+- **zero overhead when idle**: emit sites guard with
+  ``if bus.has_subscribers(kind):`` before even *constructing* the event
+  object, so a kind nobody listens to costs one attribute load plus one
+  dict membership test;
+- **synchronous, deterministic dispatch**: subscribers run inline at the
+  publish site, in subscription order -- observing an event never
+  consumes simulated time, and two runs with the same subscribers see
+  the same interleaving;
+- **detachable**: :meth:`subscribe` returns a :class:`Subscription`
+  handle whose :meth:`~Subscription.cancel` removes every callback it
+  added (also usable as a context manager).
+
+Subscribers may mutate the system (the admission controller cancels
+transactions from its handler); such *actors* must be subscribed in a
+deterministic order relative to pure observers -- the system subscribes
+its own components first, user observers after.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.obs.events import EventKind, SimEvent
+
+Callback = typing.Callable[[SimEvent], None]
+
+
+class Subscription:
+    """Handle over a batch of (kind, callback) registrations."""
+
+    __slots__ = ("_bus", "_entries")
+
+    def __init__(self, bus: "EventBus",
+                 entries: list[tuple[EventKind, Callback]]) -> None:
+        self._bus = bus
+        self._entries = entries
+
+    @property
+    def active(self) -> bool:
+        return bool(self._entries)
+
+    def cancel(self) -> None:
+        """Remove every callback this subscription added (idempotent)."""
+        entries, self._entries = self._entries, []
+        for kind, callback in entries:
+            self._bus._remove(kind, callback)
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.cancel()
+
+    def __repr__(self) -> str:
+        kinds = sorted({kind.value for kind, _ in self._entries})
+        return f"<Subscription {kinds or 'cancelled'}>"
+
+
+class EventBus:
+    """Synchronous event dispatch keyed by :class:`EventKind`.
+
+    Only kinds with at least one live subscriber appear in the internal
+    table, so :meth:`has_subscribers` -- the emitters' guard -- is a
+    plain dict membership test against a usually-empty dict.
+    """
+
+    __slots__ = ("_subscribers",)
+
+    def __init__(self) -> None:
+        self._subscribers: dict[EventKind, list[Callback]] = {}
+
+    # ------------------------------------------------------------------
+    # Emitter side
+    # ------------------------------------------------------------------
+    def has_subscribers(self, kind: EventKind) -> bool:
+        """The emit guard: is anyone listening for ``kind``?"""
+        return kind in self._subscribers
+
+    def publish(self, event: SimEvent) -> None:
+        """Deliver ``event`` to its kind's subscribers, in order.
+
+        A no-subscriber publish is a cheap no-op, but emitters on hot
+        paths should still guard with :meth:`has_subscribers` to skip
+        constructing the event object.
+        """
+        callbacks = self._subscribers.get(event.kind)
+        if callbacks:
+            for callback in tuple(callbacks):
+                callback(event)
+
+    # ------------------------------------------------------------------
+    # Subscriber side
+    # ------------------------------------------------------------------
+    def subscribe(self, kinds: EventKind | typing.Iterable[EventKind],
+                  callback: Callback) -> Subscription:
+        """Register ``callback`` for one kind or an iterable of kinds."""
+        if isinstance(kinds, EventKind):
+            kinds = (kinds,)
+        entries = []
+        for kind in kinds:
+            self._subscribers.setdefault(kind, []).append(callback)
+            entries.append((kind, callback))
+        return Subscription(self, entries)
+
+    def subscribe_map(self, handlers: typing.Mapping[EventKind, Callback],
+                      ) -> Subscription:
+        """Register one callback per kind from a mapping."""
+        entries = []
+        for kind, callback in handlers.items():
+            self._subscribers.setdefault(kind, []).append(callback)
+            entries.append((kind, callback))
+        return Subscription(self, entries)
+
+    def _remove(self, kind: EventKind, callback: Callback) -> None:
+        callbacks = self._subscribers.get(kind)
+        if callbacks is None:
+            return
+        try:
+            callbacks.remove(callback)
+        except ValueError:
+            pass
+        if not callbacks:
+            del self._subscribers[kind]
+
+    # ------------------------------------------------------------------
+    @property
+    def subscribed_kinds(self) -> frozenset[EventKind]:
+        return frozenset(self._subscribers)
+
+    def __repr__(self) -> str:
+        return (f"<EventBus kinds={sorted(k.value for k in self._subscribers)}"
+                f">")

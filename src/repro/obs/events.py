@@ -1,0 +1,294 @@
+"""The closed event taxonomy of the simulation.
+
+Every observable fact of the simulated system is one of the frozen
+dataclasses below, published on the system's :class:`~repro.obs.bus.EventBus`.
+The set is *closed* by design: observers can rely on these kinds (and
+only these) existing, and emitters pay for an event only when someone
+subscribed to its kind.
+
+Events carry the objects they describe (transactions, cohorts, messages)
+rather than pre-rendered strings, so subscribers can follow references;
+:func:`event_to_dict` flattens an event into JSON-serializable scalars
+for export.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.locks import LockMode
+    from repro.db.messages import Message
+    from repro.db.transaction import AbortReason, CohortAgent, Transaction
+    from repro.db.wal import LogRecordKind
+
+
+class EventKind(enum.Enum):
+    """Every event kind the simulation can publish."""
+
+    # Transaction lifecycle.
+    TXN_SUBMIT = "txn_submit"
+    TXN_RESTART = "txn_restart"
+    TXN_COMMIT = "txn_commit"
+    TXN_ABORT = "txn_abort"
+    #: first cohort of a transaction started waiting on a lock.
+    TXN_BLOCK = "txn_block"
+    #: last waiting cohort of a transaction stopped waiting.
+    TXN_UNBLOCK = "txn_unblock"
+    # Locking (cohort granularity, per site).
+    LOCK_REQUEST = "lock_request"
+    LOCK_GRANT = "lock_grant"
+    LOCK_BLOCK = "lock_block"
+    LOCK_RELEASE = "lock_release"
+    # OPT lending.
+    BORROW = "borrow"
+    SHELF_ENTER = "shelf_enter"
+    LENDER_ABORT = "lender_abort"
+    # Network.
+    MSG_SEND = "msg_send"
+    MSG_DELIVER = "msg_deliver"
+    # Write-ahead log.
+    LOG_WRITE = "log_write"
+    LOG_FORCE = "log_force"
+    # Concurrency control.
+    DEADLOCK_VICTIM = "deadlock_victim"
+    # Failure injection.
+    SITE_CRASH = "site_crash"
+    SITE_RECOVER = "site_recover"
+    # Commit-protocol phase transitions (master side).
+    PHASE = "phase"
+
+
+class CommitPhase(enum.Enum):
+    """Master-side phases of commit processing.
+
+    A :class:`PhaseTransition` marks the *entry* into a phase; the phase
+    ends at the next transition (or at the transaction's outcome).
+    Protocols without a distinct round simply never enter that phase --
+    e.g. presumed commit sends no ACK round on commit.
+    """
+
+    EXECUTE = "execute"   # cohorts performing data accesses
+    VOTE = "vote"         # voting round (PREPARE / votes)
+    DECIDE = "decide"     # all votes in; decision logged + distributed
+    ACK = "ack"           # decision sent; awaiting acknowledgements
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SimEvent:
+    """Base class: every event carries its simulation timestamp (ms)."""
+
+    time: float
+
+    #: overridden by each concrete event class.
+    kind: typing.ClassVar[EventKind]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TxnSubmit(SimEvent):
+    """A fresh transaction entered a multiprogramming slot."""
+
+    kind = EventKind.TXN_SUBMIT
+    txn: "Transaction"
+    sites: tuple[int, ...]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TxnRestart(SimEvent):
+    """An aborted incarnation was relaunched."""
+
+    kind = EventKind.TXN_RESTART
+    txn: "Transaction"
+    sites: tuple[int, ...]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TxnCommit(SimEvent):
+    kind = EventKind.TXN_COMMIT
+    txn: "Transaction"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TxnAbort(SimEvent):
+    kind = EventKind.TXN_ABORT
+    txn: "Transaction"
+    reason: "AbortReason"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TxnBlock(SimEvent):
+    kind = EventKind.TXN_BLOCK
+    txn: "Transaction"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TxnUnblock(SimEvent):
+    kind = EventKind.TXN_UNBLOCK
+    txn: "Transaction"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class LockRequest(SimEvent):
+    kind = EventKind.LOCK_REQUEST
+    site_id: int
+    cohort: "CohortAgent"
+    page: int
+    mode: "LockMode"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class LockGrant(SimEvent):
+    kind = EventKind.LOCK_GRANT
+    site_id: int
+    cohort: "CohortAgent"
+    page: int
+    mode: "LockMode"
+    #: True when the grant bypassed prepared lenders (an OPT borrow).
+    borrowed: bool
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class LockBlock(SimEvent):
+    """A cohort joined a page's FCFS wait queue."""
+
+    kind = EventKind.LOCK_BLOCK
+    site_id: int
+    cohort: "CohortAgent"
+    page: int
+    mode: "LockMode"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class LockRelease(SimEvent):
+    """A cohort released everything it held at one site (finalize)."""
+
+    kind = EventKind.LOCK_RELEASE
+    site_id: int
+    cohort: "CohortAgent"
+    committed: bool
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Borrow(SimEvent):
+    """A page was borrowed from prepared lender(s) (OPT)."""
+
+    kind = EventKind.BORROW
+    site_id: int
+    cohort: "CohortAgent"
+    page: int
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ShelfEnter(SimEvent):
+    """A borrower finished its work with unresolved lenders (OPT)."""
+
+    kind = EventKind.SHELF_ENTER
+    cohort: "CohortAgent"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class LenderAbort(SimEvent):
+    """A borrower is being aborted because one of its lenders aborted."""
+
+    kind = EventKind.LENDER_ABORT
+    borrower: "CohortAgent"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class MessageSend(SimEvent):
+    kind = EventKind.MSG_SEND
+    message: "Message"
+    #: same-site messages are free and delivered synchronously.
+    local: bool
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class MessageDeliver(SimEvent):
+    kind = EventKind.MSG_DELIVER
+    message: "Message"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class LogWrite(SimEvent):
+    """A non-forced log record (free, per the paper's cost model)."""
+
+    kind = EventKind.LOG_WRITE
+    site_id: int
+    record_kind: "LogRecordKind"
+    txn_id: int
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class LogForce(SimEvent):
+    """A forced log write was initiated (the caller suspends on it)."""
+
+    kind = EventKind.LOG_FORCE
+    site_id: int
+    record_kind: "LogRecordKind"
+    txn_id: int
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DeadlockVictim(SimEvent):
+    kind = EventKind.DEADLOCK_VICTIM
+    txn: "Transaction"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SiteCrash(SimEvent):
+    """A (simulated) process failure -- e.g. a master going silent."""
+
+    kind = EventKind.SITE_CRASH
+    site_id: int
+    txn_id: int
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SiteRecover(SimEvent):
+    kind = EventKind.SITE_RECOVER
+    site_id: int
+    txn_id: int
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class PhaseTransition(SimEvent):
+    """The master entered a commit-processing phase."""
+
+    kind = EventKind.PHASE
+    txn: "Transaction"
+    phase: CommitPhase
+    protocol: str
+
+
+def _json_value(value: object) -> object:
+    """Flatten one event field into a JSON-serializable value."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, tuple):
+        return [_json_value(item) for item in value]
+    # Agents: render as "T<id>.<inc>@<site>"; transactions as "T<id>.<inc>".
+    txn = getattr(value, "txn", None)
+    if txn is not None and hasattr(value, "site"):
+        return f"{txn.name}@{value.site.site_id}"
+    name = getattr(value, "name", None)
+    if isinstance(name, str):
+        return name
+    # Messages: kind plus endpoints.
+    kind = getattr(value, "kind", None)
+    if kind is not None and hasattr(value, "sender"):
+        return {"kind": kind.value,
+                "sender": _json_value(value.sender),
+                "receiver": _json_value(value.receiver)}
+    return repr(value)
+
+
+def event_to_dict(event: SimEvent) -> dict[str, object]:
+    """Flatten an event into scalars (for JSONL export and comparisons)."""
+    out: dict[str, object] = {"kind": event.kind.value}
+    for field in dataclasses.fields(event):
+        out[field.name] = _json_value(getattr(event, field.name))
+    return out

@@ -1,0 +1,73 @@
+"""JSONL event-stream export.
+
+Writes one JSON object per line: meta lines (``{"meta": {...}}``) that
+tag the run or sweep point that follows, then one line per simulation
+event, flattened by :func:`~repro.obs.events.event_to_dict`.  The format
+is append-only and trivially greppable/streamable, for offline analysis
+of full event streams (``repro-commit run E1 --events-out events.jsonl``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing
+
+from repro.obs.bus import EventBus, Subscription
+from repro.obs.events import EventKind, SimEvent, event_to_dict
+
+
+class JsonlExporter:
+    """Stream simulation events to a JSONL file or file object."""
+
+    def __init__(self, stream: typing.TextIO,
+                 kinds: typing.Iterable[EventKind] | None = None,
+                 close_stream: bool = False) -> None:
+        self.stream = stream
+        self.kinds = tuple(kinds) if kinds is not None else tuple(EventKind)
+        self.events_written = 0
+        self._close_stream = close_stream
+        self._subscription: Subscription | None = None
+
+    @classmethod
+    def open(cls, path: str | pathlib.Path,
+             kinds: typing.Iterable[EventKind] | None = None,
+             ) -> "JsonlExporter":
+        """Exporter writing to ``path`` (truncates; closes on exit)."""
+        stream = pathlib.Path(path).open("w", encoding="utf-8")
+        return cls(stream, kinds=kinds, close_stream=True)
+
+    # ------------------------------------------------------------------
+    def attach(self, bus: EventBus) -> "JsonlExporter":
+        """Subscribe to ``bus``; detach before attaching elsewhere."""
+        if self._subscription is not None:
+            raise RuntimeError("JsonlExporter is already attached")
+        self._subscription = bus.subscribe(self.kinds, self._write_event)
+        return self
+
+    def detach(self) -> None:
+        if self._subscription is not None:
+            self._subscription.cancel()
+            self._subscription = None
+
+    def close(self) -> None:
+        self.detach()
+        if self._close_stream:
+            self.stream.close()
+
+    def __enter__(self) -> "JsonlExporter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def meta(self, **fields: object) -> None:
+        """Write a ``{"meta": {...}}`` marker line (run/point header)."""
+        json.dump({"meta": fields}, self.stream)
+        self.stream.write("\n")
+
+    def _write_event(self, event: SimEvent) -> None:
+        json.dump(event_to_dict(event), self.stream)
+        self.stream.write("\n")
+        self.events_written += 1

@@ -1,0 +1,144 @@
+"""Per-phase commit latency breakdown.
+
+The paper reports end-to-end response times; this observer decomposes
+them: for every *committed* transaction it measures how long the master
+spent in each commit-processing phase (execute / vote / decide / ack)
+and aggregates per protocol.  The old hook-based design could not
+support this -- phase boundaries are interior to the protocol generators
+and were never surfaced; with the event bus they are one
+:class:`~repro.obs.events.PhaseTransition` each.
+
+A phase's duration runs from its transition to the next one (the last
+phase ends at the commit).  Protocols that skip a round (e.g. presumed
+commit sends no ACK round) simply contribute no sample for that phase.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.obs.bus import EventBus, Subscription
+from repro.obs.events import (
+    CommitPhase,
+    EventKind,
+    PhaseTransition,
+    TxnAbort,
+    TxnCommit,
+)
+from repro.sim.stats import WelfordAccumulator
+
+#: rendering order of the phases.
+PHASE_ORDER = (CommitPhase.EXECUTE, CommitPhase.VOTE,
+               CommitPhase.DECIDE, CommitPhase.ACK)
+
+
+@dataclasses.dataclass
+class PhaseStats:
+    """Aggregated latency of one (protocol, phase) cell."""
+
+    phase: CommitPhase
+    samples: WelfordAccumulator = dataclasses.field(
+        default_factory=WelfordAccumulator)
+
+    @property
+    def mean_ms(self) -> float:
+        return self.samples.mean
+
+    @property
+    def count(self) -> int:
+        return self.samples.count
+
+
+class PhaseLatencyObserver:
+    """Per-protocol, per-phase latency over committed transactions."""
+
+    def __init__(self) -> None:
+        #: protocol -> phase -> PhaseStats.
+        self.stats: dict[str, dict[CommitPhase, PhaseStats]] = {}
+        #: open (txn_id, incarnation) -> [(phase, entry time), ...].
+        self._open: dict[tuple[int, int], list[tuple[CommitPhase, float]]] = {}
+        self._protocols: dict[tuple[int, int], str] = {}
+        self.committed = 0
+        self._subscription: Subscription | None = None
+
+    # ------------------------------------------------------------------
+    def attach(self, bus: EventBus) -> "PhaseLatencyObserver":
+        if self._subscription is not None:
+            raise RuntimeError("PhaseLatencyObserver is already attached")
+        self._subscription = bus.subscribe_map({
+            EventKind.PHASE: self._on_phase,
+            EventKind.TXN_COMMIT: self._on_commit,
+            EventKind.TXN_ABORT: self._on_abort,
+        })
+        return self
+
+    def detach(self) -> None:
+        if self._subscription is not None:
+            self._subscription.cancel()
+            self._subscription = None
+
+    def __enter__(self) -> "PhaseLatencyObserver":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.detach()
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _on_phase(self, event: PhaseTransition) -> None:
+        key = (event.txn.txn_id, event.txn.incarnation)
+        self._open.setdefault(key, []).append((event.phase, event.time))
+        self._protocols[key] = event.protocol
+
+    def _on_commit(self, event: TxnCommit) -> None:
+        key = (event.txn.txn_id, event.txn.incarnation)
+        marks = self._open.pop(key, None)
+        protocol = self._protocols.pop(key, None)
+        if not marks or protocol is None:
+            return
+        self.committed += 1
+        by_phase = self.stats.setdefault(protocol, {})
+        for (phase, start), (_, end) in zip(
+                marks, marks[1:] + [(None, event.time)]):
+            cell = by_phase.get(phase)
+            if cell is None:
+                cell = by_phase[phase] = PhaseStats(phase)
+            cell.samples.add(end - start)
+
+    def _on_abort(self, event: TxnAbort) -> None:
+        # Aborted incarnations are discarded: the breakdown describes
+        # the cost structure of *successful* commit processing.
+        key = (event.txn.txn_id, event.txn.incarnation)
+        self._open.pop(key, None)
+        self._protocols.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def breakdown(self, protocol: str) -> dict[str, float]:
+        """phase name -> mean latency (ms) for one protocol."""
+        by_phase = self.stats.get(protocol, {})
+        return {phase.value: by_phase[phase].mean_ms
+                for phase in PHASE_ORDER if phase in by_phase}
+
+    def report(self) -> str:
+        """Text table: one row per protocol, one column per phase."""
+        header = (f"{'protocol':>10} " +
+                  " ".join(f"{p.value:>10}" for p in PHASE_ORDER) +
+                  f" {'total':>10}")
+        lines = [header]
+        for protocol in sorted(self.stats):
+            by_phase = self.stats[protocol]
+            cells = []
+            total = 0.0
+            for phase in PHASE_ORDER:
+                cell = by_phase.get(phase)
+                if cell is None or not cell.count:
+                    cells.append(f"{'-':>10}")
+                else:
+                    cells.append(f"{cell.mean_ms:>10.1f}")
+                    total += cell.mean_ms
+            lines.append(f"{protocol:>10} " + " ".join(cells) +
+                         f" {total:>10.1f}")
+        return "\n".join(lines)

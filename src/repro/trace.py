@@ -7,11 +7,14 @@ for debugging the model, for the worked examples, and for assertions in
 tests that need to observe *sequences* of behaviour rather than end
 counts.
 
+The tracer is a plain subscriber of the system's instrumentation bus
+(:mod:`repro.obs`); attaching and detaching never alters behaviour.
+
 Usage::
 
     system = build_system("OPT", mpl=4)
-    tracer = Tracer.attach(system)
-    system.run(measured_transactions=100)
+    with Tracer.attach(system) as tracer:
+        system.run(measured_transactions=100)
     for record in tracer.of_kind(TraceKind.BORROW):
         print(record)
 """
@@ -22,8 +25,19 @@ import dataclasses
 import enum
 import typing
 
+from repro.obs.events import (
+    Borrow,
+    EventKind,
+    ShelfEnter,
+    TxnAbort,
+    TxnCommit,
+    TxnRestart,
+    TxnSubmit,
+)
+
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db.system import DistributedSystem
+    from repro.obs.bus import Subscription
 
 
 class TraceKind(enum.Enum):
@@ -56,8 +70,9 @@ class TraceRecord:
 class Tracer:
     """Collects :class:`TraceRecord` objects from a running system.
 
-    Attach *before* ``system.run()``.  The tracer wraps the system's
-    metric hooks and launch path; it never alters behaviour.
+    Attach *before* ``system.run()``.  Detach with :meth:`detach` (or
+    use the tracer as a context manager) to stop recording; the records
+    gathered so far remain queryable.
     """
 
     def __init__(self, system: "DistributedSystem",
@@ -67,84 +82,84 @@ class Tracer:
         self.records: list[TraceRecord] = []
         self._echo = echo
         self._limit = limit
+        self._subscription: "Subscription | None" = None
 
     # ------------------------------------------------------------------
     @classmethod
     def attach(cls, system: "DistributedSystem",
                echo: typing.Callable[[str], None] | None = None,
                limit: int | None = None) -> "Tracer":
-        """Instrument ``system`` and return the tracer."""
+        """Subscribe a new tracer to ``system``'s bus and return it."""
         tracer = cls(system, echo=echo, limit=limit)
-        tracer._wrap_launch()
-        tracer._wrap_metrics()
-        tracer._wrap_lock_hooks()
+        tracer._subscribe()
         return tracer
 
-    def _record(self, kind: TraceKind, txn_name: str,
+    def _subscribe(self) -> None:
+        if self._subscription is not None:
+            raise RuntimeError("Tracer is already attached")
+        self._subscription = self.system.bus.subscribe_map({
+            EventKind.TXN_SUBMIT: self._on_submit,
+            EventKind.TXN_RESTART: self._on_submit,
+            EventKind.TXN_COMMIT: self._on_commit,
+            EventKind.TXN_ABORT: self._on_abort,
+            EventKind.BORROW: self._on_borrow,
+            EventKind.SHELF_ENTER: self._on_shelf,
+        })
+
+    def detach(self) -> None:
+        """Unsubscribe from the bus (idempotent); keeps the records."""
+        if self._subscription is not None:
+            self._subscription.cancel()
+            self._subscription = None
+
+    @property
+    def attached(self) -> bool:
+        return self._subscription is not None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.detach()
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _record(self, time: float, kind: TraceKind, txn_name: str,
                 detail: str = "") -> None:
         if self._limit is not None and len(self.records) >= self._limit:
             return
-        record = TraceRecord(self.system.env.now, kind, txn_name, detail)
+        record = TraceRecord(time, kind, txn_name, detail)
         self.records.append(record)
         if self._echo is not None:
             self._echo(str(record))
 
-    # ------------------------------------------------------------------
-    # Instrumentation
-    # ------------------------------------------------------------------
-    def _wrap_launch(self) -> None:
-        original = self.system._launch
+    def _on_submit(self, event: "TxnSubmit | TxnRestart") -> None:
+        kind = (TraceKind.SUBMIT if event.kind is EventKind.TXN_SUBMIT
+                else TraceKind.RESTART)
+        sites = ",".join(str(s) for s in event.sites)
+        self._record(event.time, kind, event.txn.name, f"sites=[{sites}]")
 
-        def launching(spec, incarnation, first_submit):
-            txn = original(spec, incarnation, first_submit)
-            kind = TraceKind.SUBMIT if incarnation == 0 else TraceKind.RESTART
-            sites = ",".join(str(a.site_id) for a in spec.accesses)
-            self._record(kind, txn.name, f"sites=[{sites}]")
-            return txn
+    def _on_commit(self, event: TxnCommit) -> None:
+        self._record(event.time, TraceKind.COMMIT, event.txn.name,
+                     f"borrowed={event.txn.pages_borrowed}")
 
-        self.system._launch = launching
+    def _on_abort(self, event: TxnAbort) -> None:
+        from repro.db.transaction import AbortReason
+        self._record(event.time, TraceKind.ABORT, event.txn.name,
+                     event.reason.value)
+        if event.reason is AbortReason.DEADLOCK:
+            self._record(event.time, TraceKind.DEADLOCK_VICTIM,
+                         event.txn.name)
+        elif event.reason is AbortReason.LENDER_ABORT:
+            self._record(event.time, TraceKind.LENDER_ABORT, event.txn.name)
 
-    def _wrap_metrics(self) -> None:
-        metrics = self.system.metrics
-        original_commit = metrics.transaction_committed
-        original_abort = metrics.transaction_aborted
+    def _on_borrow(self, event: Borrow) -> None:
+        self._record(event.time, TraceKind.BORROW, event.cohort.txn.name,
+                     f"page={event.page}@site{event.site_id}")
 
-        def committed(txn):
-            self._record(TraceKind.COMMIT, txn.name,
-                         f"borrowed={txn.pages_borrowed}")
-            original_commit(txn)
-
-        def aborted(txn, reason):
-            from repro.db.transaction import AbortReason
-            self._record(TraceKind.ABORT, txn.name, reason.value)
-            if reason is AbortReason.DEADLOCK:
-                self._record(TraceKind.DEADLOCK_VICTIM, txn.name)
-            elif reason is AbortReason.LENDER_ABORT:
-                self._record(TraceKind.LENDER_ABORT, txn.name)
-            original_abort(txn, reason)
-
-        original_shelf = metrics.shelf_entered
-
-        def shelf():
-            self._record(TraceKind.SHELF, "-")
-            original_shelf()
-
-        metrics.transaction_committed = committed
-        metrics.transaction_aborted = aborted
-        metrics.shelf_entered = shelf
-
-    def _wrap_lock_hooks(self) -> None:
-        for site in self.system.sites:
-            lock_manager = site.lock_manager
-            original = lock_manager._on_borrow
-
-            def borrowing(cohort, page, _original=original,
-                          _site=site.site_id):
-                self._record(TraceKind.BORROW, cohort.txn.name,
-                             f"page={page}@site{_site}")
-                _original(cohort, page)
-
-            lock_manager._on_borrow = borrowing
+    def _on_shelf(self, event: ShelfEnter) -> None:
+        self._record(event.time, TraceKind.SHELF, event.cohort.txn.name)
 
     # ------------------------------------------------------------------
     # Queries

@@ -14,6 +14,7 @@ import pytest
 from repro.db.deadlock import WaitForGraph
 from repro.db.locks import LockManager
 from repro.db.transaction import CohortState
+from repro.obs.events import EventKind
 from repro.sim import Environment
 
 _ids = itertools.count(1)
@@ -71,23 +72,41 @@ class FakeCohort:
 
 
 class Recorder:
-    """Collects lock-manager callback invocations."""
+    """Collects lock-manager activity: behavioural callbacks plus lock
+    traffic observed on the manager's event bus."""
 
     def __init__(self):
         self.lender_aborts = []
         self.borrows = []
+        #: (cohort, started_waiting) transitions, in order.
         self.wait_changes = []
         self.victims = []
+        self._waiting = set()
+
+    def subscribe(self, bus):
+        """Observe a lock manager's bus (borrows and wait transitions)."""
+        return bus.subscribe_map({
+            EventKind.BORROW:
+                lambda e: self.borrows.append((e.cohort, e.page)),
+            EventKind.LOCK_BLOCK: self._on_block,
+            # A waiting cohort stops waiting when granted, or when its
+            # pending request is withdrawn by finalize.
+            EventKind.LOCK_GRANT: self._on_unblock,
+            EventKind.LOCK_RELEASE: self._on_unblock,
+        })
+
+    def _on_block(self, event):
+        self._waiting.add(event.cohort)
+        self.wait_changes.append((event.cohort, True))
+
+    def _on_unblock(self, event):
+        if event.cohort in self._waiting:
+            self._waiting.discard(event.cohort)
+            self.wait_changes.append((event.cohort, False))
 
     def on_lender_abort(self, borrower):
         self.lender_aborts.append(borrower)
         borrower.txn.aborting = True
-
-    def on_borrow(self, cohort, page):
-        self.borrows.append((cohort, page))
-
-    def on_wait_change(self, cohort, waiting):
-        self.wait_changes.append((cohort, waiting))
 
     def on_victim(self, txn):
         self.victims.append(txn)
@@ -112,21 +131,21 @@ def wfg(recorder):
 @pytest.fixture
 def lock_manager(env, wfg, recorder):
     """A lock manager with lending disabled (plain strict 2PL)."""
-    return LockManager(env, site_id=0, wait_for_graph=wfg,
-                       lending_enabled=False,
-                       on_lender_abort=recorder.on_lender_abort,
-                       on_borrow=recorder.on_borrow,
-                       on_wait_change=recorder.on_wait_change)
+    manager = LockManager(env, site_id=0, wait_for_graph=wfg,
+                          lending_enabled=False,
+                          on_lender_abort=recorder.on_lender_abort)
+    recorder.subscribe(manager.bus)
+    return manager
 
 
 @pytest.fixture
 def lending_lock_manager(env, wfg, recorder):
     """A lock manager with OPT lending enabled."""
-    return LockManager(env, site_id=0, wait_for_graph=wfg,
-                       lending_enabled=True,
-                       on_lender_abort=recorder.on_lender_abort,
-                       on_borrow=recorder.on_borrow,
-                       on_wait_change=recorder.on_wait_change)
+    manager = LockManager(env, site_id=0, wait_for_graph=wfg,
+                          lending_enabled=True,
+                          on_lender_abort=recorder.on_lender_abort)
+    recorder.subscribe(manager.bus)
+    return manager
 
 
 def acquire_now(env, lock_manager, cohort, page, mode):

@@ -7,6 +7,7 @@ from repro.config import ModelParams, TransactionType
 from repro.core import create_protocol
 from repro.db.system import DistributedSystem
 from repro.db.transaction import CohortState, TransactionOutcome
+from repro.obs.events import EventKind
 from repro.sim.events import Event
 
 
@@ -33,23 +34,19 @@ class TestExecutionPhases:
         transaction is ever executing."""
         system = make_system(trans_type=TransactionType.SEQUENTIAL)
         violations = []
-        original_launch = system._launch
 
-        def checked_launch(spec, incarnation, first_submit):
-            txn = original_launch(spec, incarnation, first_submit)
+        def watch(env, txn):
+            while txn.outcome is None and not txn.aborting:
+                executing = [c for c in txn.cohorts
+                             if c.state is CohortState.EXECUTING]
+                if len(executing) > 1:
+                    violations.append(txn.name)
+                yield env.timeout(5.0)
 
-            def watch(env):
-                while txn.outcome is None and not txn.aborting:
-                    executing = [c for c in txn.cohorts
-                                 if c.state is CohortState.EXECUTING]
-                    if len(executing) > 1:
-                        violations.append(txn.name)
-                    yield env.timeout(5.0)
-
-            system.env.process(watch(system.env))
-            return txn
-
-        system._launch = checked_launch
+        system.bus.subscribe(
+            (EventKind.TXN_SUBMIT, EventKind.TXN_RESTART),
+            lambda event: system.env.process(
+                watch(system.env, event.txn)))
         system.run(measured_transactions=20, warmup_transactions=0)
         assert violations == []
 

@@ -1,0 +1,115 @@
+"""JSONL event-stream export: the exporter itself, the sweep-level
+wiring (``MplSweep.run(events_out=...)``), and the CLI flags."""
+
+import io
+import json
+
+import pytest
+
+import repro.cli
+from repro.config import ModelParams
+from repro.experiments.base import MplSweep
+from repro.obs import EventBus, JsonlExporter
+from repro.obs.events import EventKind, LogWrite, SiteCrash
+
+
+def _read_lines(path):
+    with open(path, encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle]
+
+
+class TestJsonlExporter:
+    def test_meta_then_events(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        bus = EventBus()
+        with JsonlExporter.open(path) as exporter:
+            exporter.meta(protocol="2PC", mpl=4)
+            exporter.attach(bus)
+            bus.publish(LogWrite(1.0, site_id=0, record_kind="test",
+                                 txn_id=7))
+            bus.publish(SiteCrash(2.0, site_id=1, txn_id=7))
+        lines = _read_lines(path)
+        assert lines[0] == {"meta": {"protocol": "2PC", "mpl": 4}}
+        assert lines[1] == {"kind": "log_write", "time": 1.0,
+                            "site_id": 0, "record_kind": "test",
+                            "txn_id": 7}
+        assert lines[2]["kind"] == "site_crash"
+        assert exporter.events_written == 2
+
+    def test_kind_filter(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        bus = EventBus()
+        with JsonlExporter.open(path,
+                                kinds=(EventKind.SITE_CRASH,)) as exporter:
+            exporter.attach(bus)
+            bus.publish(LogWrite(1.0, site_id=0, record_kind="t",
+                                 txn_id=1))
+            bus.publish(SiteCrash(2.0, site_id=0, txn_id=1))
+        assert [row["kind"] for row in _read_lines(path)] == ["site_crash"]
+
+    def test_detach_allows_reattach_double_attach_raises(self, tmp_path):
+        bus_a, bus_b = EventBus(), EventBus()
+        with JsonlExporter.open(tmp_path / "e.jsonl") as exporter:
+            exporter.attach(bus_a)
+            with pytest.raises(RuntimeError, match="already attached"):
+                exporter.attach(bus_b)
+            exporter.detach()
+            exporter.attach(bus_b)
+            bus_a.publish(SiteCrash(1.0, site_id=0, txn_id=1))
+            bus_b.publish(SiteCrash(2.0, site_id=0, txn_id=1))
+        assert exporter.events_written == 1
+
+    def test_close_detaches_and_closes_stream(self, tmp_path):
+        bus = EventBus()
+        exporter = JsonlExporter.open(tmp_path / "e.jsonl").attach(bus)
+        exporter.close()
+        assert not bus.has_subscribers(EventKind.LOG_WRITE)
+        assert exporter.stream.closed
+
+
+class TestSweepExport:
+    def test_sweep_writes_one_meta_line_per_point(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        sweep = MplSweep(("2PC",), lambda mpl: ModelParams(mpl=mpl),
+                         mpls=(1, 2), measured_transactions=10)
+        sweep.run("E-test", events_out=str(path))
+        lines = _read_lines(path)
+        metas = [row["meta"] for row in lines if "meta" in row]
+        assert [(m["protocol"], m["mpl"]) for m in metas] == [
+            ("2PC", 1), ("2PC", 2)]
+        assert all(m["experiment"] == "E-test" for m in metas)
+        # Events follow their point's meta line; both points have some.
+        assert lines[1] != lines[0] and "kind" in lines[1]
+        assert sum("kind" in row for row in lines) > 100
+
+    def test_sweep_rejects_parallel_export(self):
+        sweep = MplSweep(("2PC",), lambda mpl: ModelParams(mpl=mpl),
+                         mpls=(1,), measured_transactions=10)
+        with pytest.raises(ValueError, match="jobs=1"):
+            sweep.run("E-test", jobs=2, events_out="x.jsonl")
+
+
+class TestCli:
+    def test_simulate_events_out_and_phases(self, tmp_path):
+        path = tmp_path / "sim.jsonl"
+        stream = io.StringIO()
+        code = repro.cli.main(["simulate", "2PC", "--mpl", "1",
+                               "--transactions", "15", "--seed", "7",
+                               "--events-out", str(path), "--phases"],
+                              out=stream)
+        assert code == 0
+        out = stream.getvalue()
+        assert f"wrote {path}" in out
+        assert "per-phase commit latency" in out
+        assert "execute" in out
+        lines = _read_lines(path)
+        assert lines[0] == {"meta": {"protocol": "2PC", "mpl": 1,
+                                     "seed": 7}}
+        assert all("kind" in row for row in lines[1:])
+
+    def test_run_events_out_requires_serial(self):
+        stream = io.StringIO()
+        code = repro.cli.main(["run", "E1", "--events-out", "x.jsonl",
+                               "--jobs", "2"], out=stream)
+        assert code == 2
+        assert "--jobs 1" in stream.getvalue()

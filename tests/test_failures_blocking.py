@@ -1,0 +1,93 @@
+"""Blocking-cost coverage across every crash scenario (ISSUE 3
+satellite): all three blocking protocols plus the 3PC termination
+path, with the event stream proving the injected run is
+indistinguishable from a healthy one right up to the crash instant.
+"""
+
+import pytest
+
+from repro.config import ModelParams
+from repro.core import create_protocol
+from repro.db.system import DistributedSystem
+from repro.failures import run_crash_scenario
+from repro.obs import EventLog
+from repro.obs.events import EventKind
+
+CRASH_MS = 5_000.0
+TIMEOUT_MS = 500.0
+TXNS = 150
+SEED = 11
+
+BLOCKING = ("2PC", "PA", "PC")
+ALL = BLOCKING + ("3PC",)
+
+
+def _params():
+    return ModelParams(mpl=4)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {name: run_crash_scenario(
+        name, crash_duration_ms=CRASH_MS, decision_timeout_ms=TIMEOUT_MS,
+        params=_params(), measured_transactions=TXNS, seed=SEED)
+        for name in ALL}
+
+
+class TestUnblockLatencyOrdering:
+    @pytest.mark.parametrize("protocol", BLOCKING)
+    def test_every_blocking_protocol_blocks_for_the_outage(self, reports,
+                                                           protocol):
+        latency = reports[protocol].unblock_latency_ms
+        # Cohorts hold their locks until the master recovers: the
+        # unblock latency is the crash duration plus protocol rounds.
+        assert CRASH_MS <= latency < CRASH_MS + 2_000.0
+
+    def test_3pc_unblocks_at_the_decision_timeout(self, reports):
+        latency = reports["3PC"].unblock_latency_ms
+        assert TIMEOUT_MS <= latency < CRASH_MS / 2, (
+            "the termination protocol must release locks on the "
+            "decision timeout, not at master recovery")
+
+    def test_strict_ordering_nonblocking_beats_all_blocking(self, reports):
+        worst_3pc = reports["3PC"].unblock_latency_ms
+        for protocol in BLOCKING:
+            assert worst_3pc < reports[protocol].unblock_latency_ms
+
+    @pytest.mark.parametrize("protocol", ALL)
+    def test_every_target_cohort_releases(self, reports, protocol):
+        assert len(reports[protocol].release_times_ms) == \
+            _params().dist_degree
+
+
+class TestEventStreamPrefix:
+    """An injected run must look exactly like a healthy run until the
+    crash: same events, same order, same timestamps."""
+
+    @pytest.mark.parametrize("protocol", ALL)
+    def test_prefix_identical_to_healthy_run(self, protocol):
+        crash_log = EventLog()
+        report = run_crash_scenario(
+            protocol, crash_duration_ms=CRASH_MS,
+            decision_timeout_ms=TIMEOUT_MS, params=_params(),
+            measured_transactions=TXNS, seed=SEED, event_log=crash_log)
+
+        healthy = DistributedSystem(_params(), create_protocol(protocol),
+                                    seed=SEED)
+        healthy_log = EventLog().attach(healthy.bus)
+        healthy.run(measured_transactions=TXNS, warmup_transactions=0)
+
+        crash_time = report.crash_time_ms
+        crash_prefix = crash_log.as_dicts(until=crash_time)
+        healthy_prefix = healthy_log.as_dicts(until=crash_time)
+        assert len(crash_prefix) > 500, "prefix too short to be meaningful"
+        assert crash_prefix == healthy_prefix
+        # ... and the streams diverge after it: the injected run
+        # records the crash, the healthy run never does.
+        assert len(crash_log.of_kind(EventKind.SITE_CRASH)) == 1
+        if protocol in BLOCKING:
+            # Blocking masters must recover to finish their protocol;
+            # a 3PC run can end before the crashed master's timer fires
+            # (its cohorts already terminated without it).
+            assert len(crash_log.of_kind(EventKind.SITE_RECOVER)) == 1
+        assert healthy_log.of_kind(EventKind.SITE_CRASH) == []
