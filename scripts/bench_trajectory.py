@@ -42,6 +42,10 @@ SMOKE_FLOOR_TXNS_PER_SEC = 100.0
 #: loop of them runs at ~10M/s, so 1M/s only trips on real regressions
 #: (e.g. someone making has_subscribers allocate or walk lists).
 SMOKE_FLOOR_BUS_GUARDS_PER_SEC = 1_000_000.0
+#: An *inactive* FaultConfig must wire nothing: its entire runtime cost
+#: is a handful of ``is None`` attribute tests on hot paths.  Best-of-N
+#: wall-clock ratio vs a plain run must stay within 2%.
+SMOKE_CEIL_FAULT_OVERHEAD = 1.02
 
 
 def _best_of(fn, repeats: int) -> tuple[float, object]:
@@ -206,6 +210,41 @@ def bench_end_to_end(transactions: int, repeats: int) -> dict:
             "txns_per_sec": committed / wall}
 
 
+def bench_fault_overhead(transactions: int, repeats: int) -> dict:
+    """Cost of the fault-injection plane when nothing is injected.
+
+    Runs the identical seeded workload with ``faults=None`` and with an
+    inactive :class:`FaultConfig`; the inactive config must leave the
+    simulation byte-identical (asserted) and essentially free (the
+    smoke gate pins the wall-clock ratio).
+    """
+    import repro
+    from repro.faults import FaultConfig
+
+    def run(faults):
+        result = repro.simulate("2PC", measured_transactions=transactions,
+                                mpl=2, warmup_transactions=0, seed=1,
+                                faults=faults)
+        return result.throughput
+
+    # Interleave the timed pairs (and warm up first) so transient
+    # machine load hits both variants alike: the ratio of the two
+    # minima is stable where back-to-back blocks are not.
+    assert run(None) == run(FaultConfig()), \
+        "inactive FaultConfig perturbed the trajectory"
+    plain_wall = inactive_wall = float("inf")
+    for _ in range(max(repeats, 5)):
+        start = time.perf_counter()
+        run(None)
+        plain_wall = min(plain_wall, time.perf_counter() - start)
+        start = time.perf_counter()
+        run(FaultConfig())
+        inactive_wall = min(inactive_wall, time.perf_counter() - start)
+    return {"wall_s": inactive_wall, "plain_wall_s": plain_wall,
+            "txns": transactions,
+            "overhead_ratio": inactive_wall / plain_wall}
+
+
 # ----------------------------------------------------------------------
 # Sweep benchmark (serial vs parallel wall-clock)
 # ----------------------------------------------------------------------
@@ -273,11 +312,18 @@ def main(argv=None) -> int:
                                            sizes["repeats"]),
         "end_to_end": bench_end_to_end(sizes["transactions"],
                                        sizes["repeats"]),
+        # Wall-clock ratios need best-of-N even in smoke mode.
+        "fault_overhead": bench_fault_overhead(sizes["transactions"],
+                                               max(sizes["repeats"], 3)),
     }
     for name, row in kernel.items():
-        rate_key = next(k for k in row if k.endswith("_per_sec"))
-        print(f"  {name:<20} {row['wall_s'] * 1e3:8.1f} ms   "
-              f"{row[rate_key]:12,.0f} {rate_key.replace('_per_sec', '')}/s")
+        rate_key = next((k for k in row if k.endswith("_per_sec")), None)
+        if rate_key is not None:
+            detail = (f"{row[rate_key]:12,.0f} "
+                      f"{rate_key.replace('_per_sec', '')}/s")
+        else:
+            detail = f"{row['overhead_ratio']:12.3f} x plain"
+        print(f"  {name:<20} {row['wall_s'] * 1e3:8.1f} ms   {detail}")
 
     print("== sweep benchmark ==")
     sweep = bench_sweep(sweep_txns, sweep_mpls, jobs_list)
@@ -314,6 +360,12 @@ def main(argv=None) -> int:
                 f"end-to-end below floor: "
                 f"{kernel['end_to_end']['txns_per_sec']:,.0f} < "
                 f"{SMOKE_FLOOR_TXNS_PER_SEC:,.0f} txns/s")
+        if kernel["fault_overhead"]["overhead_ratio"] > \
+                SMOKE_CEIL_FAULT_OVERHEAD:
+            failures.append(
+                f"inactive fault injector above ceiling: "
+                f"{kernel['fault_overhead']['overhead_ratio']:.3f}x > "
+                f"{SMOKE_CEIL_FAULT_OVERHEAD}x plain")
         if failures:
             for failure in failures:
                 print(f"SMOKE FAIL: {failure}", file=sys.stderr)

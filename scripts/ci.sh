@@ -11,6 +11,9 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== tier-1: fast test suite =="
 python -m pytest -x -q -m "not tier2"
 
+echo "== fault smoke: injection subsystem lane =="
+python -m pytest -q -m faults
+
 if [ "${CI_SKIP_TIER2:-0}" != "1" ]; then
     echo "== tier-2: slow sweep / parallel determinism tests =="
     python -m pytest -q -m tier2

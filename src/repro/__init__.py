@@ -20,6 +20,8 @@ experiments.
 
 from __future__ import annotations
 
+import typing
+
 from repro.config import (
     ModelParams,
     Topology,
@@ -38,6 +40,9 @@ from repro.core import (
     protocol_requires_centralized_topology,
 )
 from repro.db.system import DistributedSystem, SimulationResult
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults import FaultConfig
 
 __version__ = "1.0.0"
 
@@ -63,13 +68,20 @@ __all__ = [
 
 
 def build_system(protocol: str, params: ModelParams | None = None,
-                 seed: int | None = None, **param_overrides: object,
+                 seed: int | None = None,
+                 faults: "FaultConfig | None" = None,
+                 **param_overrides: object,
                  ) -> DistributedSystem:
     """Construct a ready-to-run system for the named protocol.
 
     The CENT baseline automatically switches the topology to
     centralized; everything else runs distributed unless the caller's
     ``params`` say otherwise.
+
+    ``faults`` (a :class:`repro.faults.FaultConfig`) arms the fault
+    injector: site crash/recover cycles, message loss, and the protocol
+    timeout machinery.  ``None`` (the default) keeps the failure-free
+    model byte-identical to previous releases.
     """
     if params is None:
         params = ModelParams()
@@ -77,7 +89,8 @@ def build_system(protocol: str, params: ModelParams | None = None,
         params = params.replace(**param_overrides)
     if protocol_requires_centralized_topology(protocol):
         params = params.replace(topology=Topology.CENTRALIZED)
-    return DistributedSystem(params, create_protocol(protocol), seed=seed)
+    return DistributedSystem(params, create_protocol(protocol), seed=seed,
+                             faults=faults)
 
 
 def simulate(protocol: str, params: ModelParams | None = None,
@@ -85,6 +98,7 @@ def simulate(protocol: str, params: ModelParams | None = None,
              warmup_transactions: int | None = None,
              seed: int | None = None,
              on_system: object = None,
+             faults: "FaultConfig | None" = None,
              **param_overrides: object) -> SimulationResult:
     """Run one simulation and return its :class:`SimulationResult`.
 
@@ -95,8 +109,12 @@ def simulate(protocol: str, params: ModelParams | None = None,
     :class:`DistributedSystem` before the run starts -- the hook for
     attaching observers to ``system.bus`` (tracers, event exporters,
     phase-latency breakdowns; see :mod:`repro.obs`).
+
+    ``faults`` (if given) is the :class:`repro.faults.FaultConfig` for
+    the run; see :mod:`repro.faults`.
     """
-    system = build_system(protocol, params, seed=seed, **param_overrides)
+    system = build_system(protocol, params, seed=seed, faults=faults,
+                          **param_overrides)
     if on_system is not None:
         on_system(system)  # type: ignore[operator]
     return system.run(measured_transactions=measured_transactions,

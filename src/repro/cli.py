@@ -96,7 +96,47 @@ def build_parser() -> argparse.ArgumentParser:
                           "file")
     sim.add_argument("--phases", action="store_true",
                      help="report the per-phase commit latency breakdown")
+    _add_fault_args(sim)
+
+    avail = sub.add_parser(
+        "availability",
+        help="throughput vs site MTTF under fault injection")
+    avail.add_argument("--protocols", default="2PC,PA,PC,3PC,OPT",
+                       help="comma-separated protocol names "
+                            "(default 2PC,PA,PC,3PC,OPT; 'all' = every "
+                            "registered protocol)")
+    avail.add_argument("--mttfs", default="0,400000,200000,100000",
+                       help="comma-separated site MTTFs in ms "
+                            "(0 = failure-free baseline)")
+    avail.add_argument("--mttr-ms", type=float, default=5_000.0,
+                       help="mean site repair time in ms")
+    avail.add_argument("--msg-loss", type=float, default=0.0,
+                       help="per-message loss probability")
+    avail.add_argument("--mpl", type=int, default=2)
+    avail.add_argument("--transactions", type=int, default=300,
+                       help="measured transactions per point")
+    avail.add_argument("--seed", type=int, default=20250705)
+    avail.add_argument("--quiet", action="store_true",
+                       help="suppress per-point progress output")
     return parser
+
+
+def _add_fault_args(sim: argparse.ArgumentParser) -> None:
+    """Fault-injection flags for ``simulate`` (see repro.faults)."""
+    sim.add_argument("--faults", action="store_true",
+                     help="arm the fault injector (site crashes, message "
+                          "loss, protocol timeouts)")
+    sim.add_argument("--mttf-ms", type=float, default=200_000.0,
+                     help="mean time to site failure in ms "
+                          "(with --faults; 0 disables crashes)")
+    sim.add_argument("--mttr-ms", type=float, default=5_000.0,
+                     help="mean site repair time in ms (with --faults)")
+    sim.add_argument("--msg-loss", type=float, default=0.0,
+                     help="per-message loss probability (with --faults)")
+    sim.add_argument("--msg-delay-ms", type=float, default=0.0,
+                     help="mean extra wire delay per remote message in ms "
+                          "(with --faults; 0 = the paper's zero-latency "
+                          "switch)")
 
 
 def cmd_list(out: typing.TextIO) -> int:
@@ -160,16 +200,27 @@ def cmd_simulate(args: argparse.Namespace, out: typing.TextIO) -> int:
         phases = PhaseLatencyObserver()
         observers.append(phases.attach)
 
+    faults = None
+    captured = []
+    if args.faults:
+        from repro.faults import FaultConfig
+        faults = FaultConfig(mttf_ms=args.mttf_ms, mttr_ms=args.mttr_ms,
+                             msg_loss_prob=args.msg_loss,
+                             msg_delay_ms=args.msg_delay_ms)
+
     def on_system(system):
+        captured.append(system)
         for attach in observers:
             attach(system.bus)
 
+    wants_system = bool(observers) or faults is not None
     try:
         result = repro.simulate(
             args.protocol,
             measured_transactions=args.transactions,
             seed=args.seed,
-            on_system=on_system if observers else None,
+            on_system=on_system if wants_system else None,
+            faults=faults,
             mpl=args.mpl,
             dist_degree=args.dist_degree,
             cohort_size=args.cohort_size,
@@ -187,12 +238,43 @@ def cmd_simulate(args: argparse.Namespace, out: typing.TextIO) -> int:
               f"commit_msgs={result.overheads.commit_messages:.2f}\n")
     if result.aborts_by_reason:
         out.write(f"aborts by reason: {result.aborts_by_reason}\n")
+    if faults is not None and captured and captured[0].faults is not None:
+        injector = captured[0].faults
+        out.write(f"faults: {injector.crashes} crashes, "
+                  f"{injector.recoveries} recoveries, "
+                  f"{injector.messages_dropped} messages dropped, "
+                  f"{injector.in_doubt_resolved} in-doubt resolved\n")
     if phases is not None:
         out.write("per-phase commit latency (ms, committed txns):\n")
         out.write(phases.report() + "\n")
     if exporter is not None:
         out.write(f"wrote {args.events_out} "
                   f"({exporter.events_written} events)\n")
+    return 0
+
+
+def cmd_availability(args: argparse.Namespace, out: typing.TextIO) -> int:
+    from repro.experiments.availability import AvailabilitySweep
+    if args.protocols.strip().lower() == "all":
+        protocols: typing.Sequence[str] = repro.PROTOCOL_NAMES
+    else:
+        protocols = tuple(p.strip() for p in args.protocols.split(","))
+    try:
+        mttfs = tuple(float(part) for part in args.mttfs.split(","))
+    except ValueError:
+        out.write(f"error: --mttfs wants comma-separated numbers, "
+                  f"got {args.mttfs!r}\n")
+        return 2
+    progress = None if args.quiet else (
+        lambda text: out.write(f"  ... {text}\n"))
+    started = time.time()
+    sweep = AvailabilitySweep(protocols, mttfs=mttfs, mttr_ms=args.mttr_ms,
+                              msg_loss_prob=args.msg_loss, mpl=args.mpl,
+                              measured_transactions=args.transactions,
+                              seed=args.seed)
+    results = sweep.run(progress=progress)
+    out.write(results.summary() + "\n")
+    out.write(f"(completed in {time.time() - started:.1f}s wall time)\n")
     return 0
 
 
@@ -207,6 +289,8 @@ def main(argv: typing.Sequence[str] | None = None,
         return cmd_tables(args, out)
     if args.command == "simulate":
         return cmd_simulate(args, out)
+    if args.command == "availability":
+        return cmd_availability(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -24,10 +24,11 @@ from repro.db.transaction import (
     TransactionOutcome,
 )
 from repro.db.wal import LogRecordKind
-from repro.obs.events import CommitPhase
+from repro.obs.events import CommitPhase, EventKind, TxnResolvedInDoubt
 from repro.sim.events import Event
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.site import Site
     from repro.db.system import DistributedSystem
 
 MasterGenerator = typing.Generator[Event, typing.Any, TransactionOutcome]
@@ -94,21 +95,39 @@ class CommitProtocol(abc.ABC):
         read-only voters (when the optimization is enabled) are recorded
         in ``master.read_only_cohorts`` and excluded from phase two.
         """
+        assert self.system is not None
         master.prepared_cohorts = []
         master.read_only_cohorts = []
         for cohort in master.cohorts:
             yield from master.send(MessageKind.PREPARE, cohort)
         all_yes = True
-        for _ in master.cohorts:
-            message = yield master.recv()
+        ft = self.system.fault_timeouts
+        expected = len(master.cohorts)
+        while expected:
+            if ft is None:
+                message = yield master.recv()
+            else:
+                message = yield from master.recv_wait(ft.vote_timeout_ms,
+                                                      wait="votes")
+                if message is None:
+                    # A vote (or its PREPARE) is missing: abort.  The
+                    # silent cohorts resolve via WAL replay / inquiry.
+                    if master.txn.abort_reason is None:
+                        master.txn.abort_reason = AbortReason.TIMEOUT
+                    all_yes = False
+                    break
             if message.kind is MessageKind.VOTE_YES:
                 master.prepared_cohorts.append(message.sender)
+                expected -= 1
             elif message.kind is MessageKind.VOTE_READ_ONLY:
                 master.read_only_cohorts.append(message.sender)
+                expected -= 1
             elif message.kind is MessageKind.VOTE_NO:
                 all_yes = False
-            else:  # pragma: no cover - protocol violation
+                expected -= 1
+            elif ft is None:  # pragma: no cover - protocol violation
                 raise RuntimeError(f"unexpected vote {message!r}")
+            # else: stray (late/duplicate) traffic under faults; ignore.
         master.mark_phase(CommitPhase.DECIDE)
         return all_yes
 
@@ -125,8 +144,27 @@ class CommitProtocol(abc.ABC):
         assert self.system is not None
         master = cohort.master
         assert master is not None
-        message = yield cohort.recv()
-        assert message.kind is MessageKind.PREPARE, message
+        ft = self.system.fault_timeouts
+        if ft is None:
+            message = yield cohort.recv()
+            assert message.kind is MessageKind.PREPARE, message
+        else:
+            while True:
+                message = yield from cohort.recv_wait(ft.work_timeout_ms,
+                                                      wait="prepare")
+                if message is None or message.kind is MessageKind.ABORT:
+                    # PREPARE never came (lost, or the master is gone) or
+                    # the master already aborted.  Nothing was promised:
+                    # abort unilaterally.
+                    cohort.log(LogRecordKind.ABORT)
+                    cohort.implement_abort()
+                    if message is None:
+                        # Tell a master that may still be collecting.
+                        yield from cohort.send(MessageKind.VOTE_NO, master)
+                    return "no"
+                if message.kind is MessageKind.PREPARE:
+                    break
+                # stray traffic; keep waiting.
         if self.system.surprise_no_vote():
             if no_vote_forced:
                 yield from cohort.force_log(LogRecordKind.ABORT)
@@ -151,8 +189,178 @@ class CommitProtocol(abc.ABC):
 
     def abort_outcome(self, master: MasterAgent) -> TransactionOutcome:
         """Record a protocol-level (surprise-vote) abort on the txn."""
-        master.txn.abort_reason = AbortReason.SURPRISE_VOTE
+        if master.txn.abort_reason is not AbortReason.TIMEOUT:
+            master.txn.abort_reason = AbortReason.SURPRISE_VOTE
         return TransactionOutcome.ABORTED
+
+    # ------------------------------------------------------------------
+    # Recovery machinery (fault injection only)
+    # ------------------------------------------------------------------
+    # Every protocol inherits one in-doubt resolution loop; protocols
+    # customize it through four small hooks:
+    #
+    # - ``inquiry_site``: whom a blocked cohort asks (default: the
+    #   coordinator's site; Linear overrides with the chain tail, whose
+    #   forced COMMIT record is the decision).
+    # - ``terminate_without_coordinator``: a chance to decide without the
+    #   coordinator at all (3PC's cooperative termination protocol).
+    # - ``presumed_outcome``: what a recovered-but-amnesiac coordinator
+    #   log implies (PA: abort; PC: COLLECTING means commit).
+    # - ``coordinator_finished``: whether the coordinator can still
+    #   decide (inquiries keep retrying until then).
+
+    def await_decision(self, cohort: CohortAgent,
+                       expected: tuple[MessageKind, ...],
+                       wait: str = "decision",
+                       ) -> typing.Generator[Event, typing.Any,
+                                             typing.Optional[object]]:
+        """The cohort's decision wait.
+
+        Healthy path: a plain blocking receive (asserting the kind).
+        Under faults: a deadline; on expiry the cohort is in doubt and
+        runs :meth:`resolve_in_doubt`, after which None is returned and
+        the caller must finish without further protocol steps.
+        """
+        assert self.system is not None
+        ft = self.system.fault_timeouts
+        if ft is None:
+            message = yield cohort.recv()
+            assert message.kind in expected, message
+            return message
+        while True:
+            message = yield from cohort.recv_wait(ft.decision_timeout_ms,
+                                                  wait=wait)
+            if message is None:
+                yield from self.resolve_in_doubt(cohort)
+                return None
+            if message.kind in expected:
+                return message
+            # stray (late/duplicate) traffic under faults; ignore.
+
+    def collect_acks(self, master: MasterAgent,
+                     expected_kind: MessageKind, count: int,
+                     wait: str = "acks",
+                     ) -> typing.Generator[Event, typing.Any, None]:
+        """The master's ACK wait.
+
+        Under faults, missing ACKs are abandoned after a deadline: the
+        decision is already durable, and silent cohorts terminate through
+        the recovery machinery, so waiting longer buys nothing.
+        """
+        assert self.system is not None
+        ft = self.system.fault_timeouts
+        remaining = count
+        while remaining:
+            if ft is None:
+                message = yield master.recv()
+                assert message.kind is expected_kind, message
+                remaining -= 1
+                continue
+            message = yield from master.recv_wait(ft.ack_timeout_ms,
+                                                  wait=wait)
+            if message is None:
+                break
+            if message.kind is expected_kind:
+                remaining -= 1
+            # stray (late/duplicate) traffic under faults; ignore.
+
+    def resolve_in_doubt(self, cohort: CohortAgent,
+                         ) -> typing.Generator[Event, typing.Any, None]:
+        """Drive one in-doubt cohort to a decision (and implement it).
+
+        Runs either inside the cohort's own process (decision wait timed
+        out) or inside a recovering site's WAL-replay process (the crash
+        killed the cohort).  Loops -- termination attempt, then status
+        inquiries against the coordinator's stable log -- until one of
+        the rules yields an outcome; every blocking master has deadlines,
+        so the coordinator always either decides or dies, and the loop
+        terminates.
+        """
+        assert self.system is not None
+        system = self.system
+        outcome_rule = yield from self.terminate_without_coordinator(cohort)
+        if outcome_rule is None:
+            ft = system.fault_timeouts
+            retry = ft.resolve_retry_ms if ft is not None else 500.0
+            target = self.inquiry_site(cohort)
+            while True:
+                if target.up:
+                    yield from system.network.inquiry_round_trip(cohort,
+                                                                 target)
+                    outcome_rule = self.attempt_resolution(cohort, target)
+                    if outcome_rule is not None:
+                        break
+                yield system.env.timeout(retry)
+        outcome, rule = outcome_rule
+        if outcome == "commit":
+            yield from cohort.force_log(LogRecordKind.COMMIT)
+            cohort.implement_commit()
+        else:
+            yield from cohort.force_log(LogRecordKind.ABORT)
+            cohort.implement_abort()
+        if system.faults is not None:
+            system.faults.in_doubt_resolved += 1
+        bus = system.bus
+        if bus.has_subscribers(EventKind.TXN_RESOLVED_IN_DOUBT):
+            bus.publish(TxnResolvedInDoubt(system.env.now, cohort, outcome,
+                                           rule))
+
+    def attempt_resolution(self, cohort: CohortAgent, site: "Site",
+                           ) -> typing.Optional[tuple[str, str]]:
+        """Classify one status-inquiry answer (a read of ``site``'s WAL).
+
+        Returns ``(outcome, rule)`` or None when the coordinator exists
+        but has not decided yet (the cohort stays blocked and retries).
+        """
+        kinds = site.log_manager.txn_kinds(cohort.txn.txn_id,
+                                           cohort.txn.incarnation)
+        if LogRecordKind.COMMIT in kinds:
+            return ("commit", "decision-record")
+        if LogRecordKind.ABORT in kinds:
+            return ("abort", "decision-record")
+        if not self.coordinator_finished(cohort):
+            return None
+        return self.presumed_outcome(cohort, kinds)
+
+    def presumed_outcome(self, cohort: CohortAgent,
+                         kinds: set[LogRecordKind]) -> tuple[str, str]:
+        """The presumption applied when the coordinator's log holds no
+        decision record and the coordinator can no longer decide.
+
+        Base rule (2PC and its OPT variants): a recovering coordinator
+        with no information aborts, so the cohort aborts.
+        """
+        return ("abort", "no-decision-record")
+
+    def coordinator_finished(self, cohort: CohortAgent) -> bool:
+        """True when the coordinator can no longer produce a decision."""
+        master = cohort.master
+        assert master is not None
+        return master.process is None or not master.process.is_alive
+
+    def inquiry_site(self, cohort: CohortAgent) -> "Site":
+        """The site whose stable log answers status inquiries."""
+        assert cohort.master is not None
+        return cohort.master.site
+
+    def terminate_without_coordinator(
+            self, cohort: CohortAgent,
+            ) -> typing.Generator[Event, typing.Any,
+                                  typing.Optional[tuple[str, str]]]:
+        """Protocol-specific termination that needs no coordinator
+        (3PC overrides this with its cooperative termination round)."""
+        return None
+        yield  # pragma: no cover - makes this a generator
+
+    def termination_round(self, cohort: CohortAgent,
+                          ) -> typing.Generator[Event, typing.Any, None]:
+        """Pay for one round of state exchange with every peer cohort."""
+        assert self.system is not None
+        for peer in cohort.txn.cohorts:
+            if peer is cohort:
+                continue
+            yield from self.system.network.inquiry_round_trip(cohort,
+                                                              peer.site)
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"

@@ -41,6 +41,17 @@ class CentralizedCommit(CommitProtocol):
         return TransactionOutcome.COMMITTED
 
     def cohort_commit(self, cohort: CohortAgent) -> CohortGenerator:
-        message = yield cohort.recv()
+        assert self.system is not None
+        ft = self.system.fault_timeouts
+        if ft is None:
+            message = yield cohort.recv()
+        else:
+            # Cohorts never enter the prepared state here, so a missing
+            # decision (master's site crashed) is a plain local abort.
+            message = yield from cohort.recv_wait(ft.decision_timeout_ms,
+                                                  wait="decision")
+            if message is None:
+                cohort.implement_abort()
+                return
         assert message.kind is MessageKind.COMMIT, message
         cohort.implement_commit()

@@ -62,9 +62,8 @@ class EarlyPrepare(UnsolicitedVote):
         yield from master.force_log(LogRecordKind.ABORT)
         for cohort in master.prepared_cohorts:
             yield from master.send(MessageKind.ABORT, cohort)
-        for _ in master.prepared_cohorts:
-            message = yield master.recv()
-            assert message.kind is MessageKind.ACK, message
+        yield from self.collect_acks(master, MessageKind.ACK,
+                                     len(master.prepared_cohorts))
         master.log(LogRecordKind.END)
         return self.abort_outcome(master)
 
@@ -73,7 +72,10 @@ class EarlyPrepare(UnsolicitedVote):
             return  # voted NO; aborted unilaterally already
         master = cohort.master
         assert master is not None
-        message = yield cohort.recv()
+        message = yield from self.await_decision(
+            cohort, (MessageKind.COMMIT, MessageKind.ABORT))
+        if message is None:
+            return  # resolved through recovery
         if message.kind is MessageKind.COMMIT:
             cohort.log(LogRecordKind.COMMIT)   # not forced, no ACK
             cohort.implement_commit()
@@ -82,3 +84,12 @@ class EarlyPrepare(UnsolicitedVote):
         yield from cohort.force_log(LogRecordKind.ABORT)
         cohort.implement_abort()
         yield from cohort.send(MessageKind.ACK, master)
+
+    def presumed_outcome(self, cohort: CohortAgent, kinds):
+        """EP inherits the presumed-commit reading: a stable collecting
+        record with no decision resolves to commit.  EP forces the
+        collecting record before work even starts, so this rule is laxer
+        than PC's (see docs/MODEL.md)."""
+        if LogRecordKind.COLLECTING in kinds:
+            return ("commit", "presumed-commit")
+        return ("abort", "no-collecting-record")

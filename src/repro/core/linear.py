@@ -35,6 +35,7 @@ from __future__ import annotations
 from repro.core.base import CohortGenerator, CommitProtocol, MasterGenerator
 from repro.db.messages import MessageKind
 from repro.db.transaction import (
+    AbortReason,
     CohortAgent,
     CohortState,
     MasterAgent,
@@ -64,8 +65,18 @@ class LinearTwoPhaseCommit(CommitProtocol):
     # Master side: one message out, one message in.
     # ------------------------------------------------------------------
     def master_commit(self, master: MasterAgent) -> MasterGenerator:
+        assert self.system is not None
         yield from master.send(MessageKind.PREPARE, master.cohorts[0])
-        message = yield master.recv()
+        ft = self.system.fault_timeouts
+        if ft is None:
+            message = yield master.recv()
+        else:
+            # The whole chain (2(D-1) hops plus forces) must complete
+            # before the decision flows back: give it the work budget.
+            message = yield from master.recv_wait(ft.work_timeout_ms,
+                                                  wait="chain-decision")
+            if message is None:
+                return (yield from self._master_resolve(master))
         if message.kind is MessageKind.COMMIT:
             # The decision record is durable at the chain's tail; the
             # master's own records are informational.
@@ -77,13 +88,57 @@ class LinearTwoPhaseCommit(CommitProtocol):
         master.log(LogRecordKind.END)
         return self.abort_outcome(master)
 
+    def _master_resolve(self, master: MasterAgent):
+        """The chain went silent: resolve against the tail's stable log.
+
+        The tail is this protocol's decider, so the master must not
+        unilaterally abort -- the tail may already have forced COMMIT.
+        Inquire until the tail site answers: a decision record settles
+        it; a dead tail with no record can never decide, so abort.
+        """
+        assert self.system is not None
+        system = self.system
+        ft = system.fault_timeouts
+        retry = ft.resolve_retry_ms if ft is not None else 500.0
+        tail = master.cohorts[-1]
+        target = tail.site
+        while True:
+            if target.up:
+                yield from system.network.inquiry_round_trip(master, target)
+                kinds = target.log_manager.txn_kinds(
+                    master.txn.txn_id, master.txn.incarnation)
+                if LogRecordKind.COMMIT in kinds:
+                    master.log(LogRecordKind.COMMIT)
+                    master.log(LogRecordKind.END)
+                    return TransactionOutcome.COMMITTED
+                tail_dead = (tail.process is None
+                             or not tail.process.is_alive)
+                if LogRecordKind.ABORT in kinds or tail_dead:
+                    master.log(LogRecordKind.ABORT)
+                    master.log(LogRecordKind.END)
+                    if master.txn.abort_reason is None:
+                        master.txn.abort_reason = AbortReason.TIMEOUT
+                    return TransactionOutcome.ABORTED
+            yield system.env.timeout(retry)
+
     # ------------------------------------------------------------------
     # Cohort side.
     # ------------------------------------------------------------------
     def cohort_commit(self, cohort: CohortAgent) -> CohortGenerator:
         assert self.system is not None
         index, left, right = self._chain(cohort)
-        message = yield cohort.recv()
+        ft = self.system.fault_timeouts
+        if ft is None:
+            message = yield cohort.recv()
+        else:
+            message = yield from cohort.recv_wait(ft.work_timeout_ms,
+                                                  wait="chain-prepare")
+            if message is None:
+                # PREPARE never reached us: nothing was promised, quit.
+                # Our silence aborts the chain (left neighbours resolve
+                # against the tail, which can never decide commit now).
+                cohort.implement_abort()
+                return
         if message.kind is MessageKind.ABORT:
             # A cohort to our left vetoed before we ever saw PREPARE.
             cohort.implement_abort()
@@ -112,7 +167,11 @@ class LinearTwoPhaseCommit(CommitProtocol):
         cohort.state = CohortState.PREPARED
         cohort.site.lock_manager.prepare(cohort)
         yield from cohort.send(MessageKind.PREPARE, right)
-        decision = yield cohort.recv()
+        decision = yield from self.await_decision(
+            cohort, (MessageKind.COMMIT, MessageKind.ABORT),
+            wait="chain-decision")
+        if decision is None:
+            return  # resolved against the tail's log; left does the same
         if decision.kind is MessageKind.COMMIT:
             yield from cohort.force_log(LogRecordKind.COMMIT)
             cohort.implement_commit()
@@ -121,6 +180,19 @@ class LinearTwoPhaseCommit(CommitProtocol):
             yield from cohort.force_log(LogRecordKind.ABORT)
             cohort.implement_abort()
         yield from cohort.send(decision.kind, left)
+
+    # ------------------------------------------------------------------
+    # Recovery: the chain's decider is the tail, not the master.
+    # ------------------------------------------------------------------
+    def inquiry_site(self, cohort: CohortAgent):
+        return cohort.txn.cohorts[-1].site
+
+    def coordinator_finished(self, cohort: CohortAgent) -> bool:
+        tail = cohort.txn.cohorts[-1]
+        return tail.process is None or not tail.process.is_alive
+    # presumed_outcome stays the base rule: the tail forces its COMMIT
+    # record *before* propagating the decision, so a dead tail with no
+    # record never decided, and abort is safe.
 
 
 class OptimisticLinear(LinearTwoPhaseCommit):

@@ -37,7 +37,10 @@ class PresumedAbort(TwoPhaseCommit):
     def cohort_decision(self, cohort: CohortAgent):
         master = cohort.master
         assert master is not None
-        message = yield cohort.recv()
+        message = yield from self.await_decision(
+            cohort, (MessageKind.COMMIT, MessageKind.ABORT))
+        if message is None:
+            return  # resolved through recovery
         if message.kind is MessageKind.COMMIT:
             # Commit path is exactly 2PC.
             yield from cohort.force_log(LogRecordKind.COMMIT)
@@ -48,3 +51,8 @@ class PresumedAbort(TwoPhaseCommit):
             cohort.log(LogRecordKind.ABORT)
             cohort.implement_abort()
             # Presumed abort: no ACK for the abort decision.
+
+    def presumed_outcome(self, cohort, kinds):
+        """Presumed abort: no information at the coordinator means the
+        transaction aborted -- no inquiry escalation needed."""
+        return ("abort", "presumed-abort")

@@ -61,7 +61,10 @@ class PresumedCommit(TwoPhaseCommit):
     def cohort_decision(self, cohort: CohortAgent):
         master = cohort.master
         assert master is not None
-        message = yield cohort.recv()
+        message = yield from self.await_decision(
+            cohort, (MessageKind.COMMIT, MessageKind.ABORT))
+        if message is None:
+            return  # resolved through recovery
         if message.kind is MessageKind.COMMIT:
             # Presumed commit: non-forced commit record, no ACK.
             cohort.log(LogRecordKind.COMMIT)
@@ -71,3 +74,16 @@ class PresumedCommit(TwoPhaseCommit):
             yield from cohort.force_log(LogRecordKind.ABORT)
             cohort.implement_abort()
             yield from cohort.send(MessageKind.ACK, master)
+
+    def presumed_outcome(self, cohort, kinds):
+        """Presumed commit: a stable *collecting* record with no decision
+        resolves to commit.
+
+        This is the cost-model reading of the PC recovery rule (see
+        docs/MODEL.md, "Failure model & recovery", for how it diverges
+        from a production PC implementation).  Without even a collecting
+        record the coordinator never started the protocol, so abort.
+        """
+        if LogRecordKind.COLLECTING in kinds:
+            return ("commit", "presumed-commit")
+        return ("abort", "no-collecting-record")

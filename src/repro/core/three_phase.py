@@ -40,13 +40,18 @@ class ThreePhaseCommit(TwoPhaseCommit):
             # exactly as in 2PC.
             yield from self.master_abort_phase(master)
             return self.abort_outcome(master)
-        # Precommit phase: the preliminary decision.
+        # Precommit phase: the preliminary decision.  Once the precommit
+        # record is stable, commit is inevitable -- this master never
+        # aborts past this point, so a crash from here on still counts
+        # as a commit (the cohorts resolve to commit from the WAL or via
+        # the termination protocol).
         yield from master.force_log(LogRecordKind.PRECOMMIT)
+        master.decided = TransactionOutcome.COMMITTED
         for cohort in master.prepared_cohorts:
             yield from master.send(MessageKind.PRECOMMIT, cohort)
-        for _ in master.prepared_cohorts:
-            message = yield master.recv()
-            assert message.kind is MessageKind.PRECOMMIT_ACK, message
+        yield from self.collect_acks(master, MessageKind.PRECOMMIT_ACK,
+                                     len(master.prepared_cohorts),
+                                     wait="precommit-acks")
         # Decision phase.
         yield from self.master_commit_phase(master)
         return TransactionOutcome.COMMITTED
@@ -57,7 +62,11 @@ class ThreePhaseCommit(TwoPhaseCommit):
             return
         master = cohort.master
         assert master is not None
-        message = yield cohort.recv()
+        message = yield from self.await_decision(
+            cohort, (MessageKind.ABORT, MessageKind.PRECOMMIT),
+            wait="precommit")
+        if message is None:
+            return  # resolved through recovery
         if message.kind is MessageKind.ABORT:
             yield from cohort.force_log(LogRecordKind.ABORT)
             cohort.implement_abort()
@@ -70,8 +79,32 @@ class ThreePhaseCommit(TwoPhaseCommit):
         # which is exactly why OPT-3PC benefits more from lending.
         cohort.state = CohortState.PRECOMMITTED
         yield from cohort.send(MessageKind.PRECOMMIT_ACK, master)
-        message = yield cohort.recv()
-        assert message.kind is MessageKind.COMMIT, message
+        message = yield from self.await_decision(
+            cohort, (MessageKind.COMMIT,))
+        if message is None:
+            return  # resolved through recovery
         yield from cohort.force_log(LogRecordKind.COMMIT)
         cohort.implement_commit()
         yield from cohort.send(MessageKind.ACK, master)
+
+    # ------------------------------------------------------------------
+    # Recovery: what "non-blocking" buys
+    # ------------------------------------------------------------------
+    def terminate_without_coordinator(self, cohort: CohortAgent):
+        """Cooperative termination (Skeen): a precommitted participant
+        can commit with its operational peers, no coordinator needed.
+
+        Sound here because the master forces its precommit record before
+        sending any PRECOMMIT message, and never aborts after that: a
+        precommitted cohort implies commit is inevitable."""
+        if cohort.state is CohortState.PRECOMMITTED:
+            yield from self.termination_round(cohort)
+            return ("commit", "termination-protocol")
+        return None
+
+    def presumed_outcome(self, cohort: CohortAgent, kinds):
+        """A prepared (not precommitted) cohort consults the coordinator
+        log: a stable precommit record means commit was inevitable."""
+        if LogRecordKind.PRECOMMIT in kinds:
+            return ("commit", "precommit-record")
+        return ("abort", "no-decision-record")

@@ -39,9 +39,8 @@ class TwoPhaseCommit(CommitProtocol):
         for cohort in master.prepared_cohorts:
             yield from master.send(MessageKind.COMMIT, cohort)
         master.mark_phase(CommitPhase.ACK)
-        for _ in master.prepared_cohorts:
-            message = yield master.recv()
-            assert message.kind is MessageKind.ACK, message
+        yield from self.collect_acks(master, MessageKind.ACK,
+                                     len(master.prepared_cohorts))
         master.log(LogRecordKind.END)
 
     def master_abort_phase(self, master: MasterAgent):
@@ -50,9 +49,8 @@ class TwoPhaseCommit(CommitProtocol):
         for cohort in master.prepared_cohorts:
             yield from master.send(MessageKind.ABORT, cohort)
         master.mark_phase(CommitPhase.ACK)
-        for _ in master.prepared_cohorts:
-            message = yield master.recv()
-            assert message.kind is MessageKind.ACK, message
+        yield from self.collect_acks(master, MessageKind.ACK,
+                                     len(master.prepared_cohorts))
         master.log(LogRecordKind.END)
 
     # ------------------------------------------------------------------
@@ -68,7 +66,10 @@ class TwoPhaseCommit(CommitProtocol):
         """Receive and implement the global decision (with ACK)."""
         master = cohort.master
         assert master is not None
-        message = yield cohort.recv()
+        message = yield from self.await_decision(
+            cohort, (MessageKind.COMMIT, MessageKind.ABORT))
+        if message is None:
+            return  # resolved through recovery; no ACK to send
         if message.kind is MessageKind.COMMIT:
             yield from cohort.force_log(LogRecordKind.COMMIT)
             cohort.implement_commit()

@@ -73,7 +73,10 @@ class UnsolicitedVote(CommitProtocol):
             return  # voted NO; already aborted unilaterally
         master = cohort.master
         assert master is not None
-        message = yield cohort.recv()
+        message = yield from self.await_decision(
+            cohort, (MessageKind.COMMIT, MessageKind.ABORT))
+        if message is None:
+            return  # resolved through recovery
         if message.kind is MessageKind.COMMIT:
             yield from cohort.force_log(LogRecordKind.COMMIT)
             cohort.implement_commit()
@@ -100,16 +103,14 @@ class UnsolicitedVote(CommitProtocol):
             yield from master.force_log(LogRecordKind.COMMIT)
             for cohort in master.prepared_cohorts:
                 yield from master.send(MessageKind.COMMIT, cohort)
-            for _ in master.prepared_cohorts:
-                message = yield master.recv()
-                assert message.kind is MessageKind.ACK, message
+            yield from self.collect_acks(master, MessageKind.ACK,
+                                         len(master.prepared_cohorts))
             master.log(LogRecordKind.END)
             return TransactionOutcome.COMMITTED
         yield from master.force_log(LogRecordKind.ABORT)
         for cohort in master.prepared_cohorts:
             yield from master.send(MessageKind.ABORT, cohort)
-        for _ in master.prepared_cohorts:
-            message = yield master.recv()
-            assert message.kind is MessageKind.ACK, message
+        yield from self.collect_acks(master, MessageKind.ACK,
+                                     len(master.prepared_cohorts))
         master.log(LogRecordKind.END)
         return self.abort_outcome(master)

@@ -37,6 +37,9 @@ class MessageKind(enum.Enum):
     COMMIT = "COMMIT"
     ABORT = "ABORT"
     ACK = "ACK"
+    # Recovery (status inquiry by an in-doubt cohort, and its answer).
+    STATUS_INQ = "STATUS_INQ"
+    STATUS_ACK = "STATUS_ACK"
 
     @property
     def is_execution(self) -> bool:

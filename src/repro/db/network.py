@@ -23,11 +23,14 @@ from __future__ import annotations
 import typing
 
 from repro.obs.bus import EventBus
-from repro.obs.events import EventKind, MessageDeliver, MessageSend
+from repro.obs.events import EventKind, MessageDeliver, MessageSend, MsgDrop
 from repro.sim.events import Event
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db.messages import Message
+    from repro.db.site import Site
+    from repro.db.transaction import Agent
+    from repro.faults.injector import FaultInjector
     from repro.sim.engine import Environment
 
 
@@ -40,8 +43,11 @@ class Network:
         self.msg_cpu_ms = msg_cpu_ms
         #: instrumentation plane; a standalone network gets a private bus.
         self.bus = bus if bus is not None else EventBus()
+        #: fault plane; None means perfectly reliable (the default).
+        self.faults: "FaultInjector | None" = None
         self.messages_sent = 0
         self.local_messages = 0
+        self.messages_dropped = 0
 
     def send(self, message: "Message",
              ) -> typing.Generator[Event, typing.Any, None]:
@@ -66,17 +72,77 @@ class Network:
             bus.publish(MessageSend(self.env.now, message, local=False))
         self._count_for_transaction(message)
         yield from sender_site.message_cpu(self.msg_cpu_ms)
+        delay = 0.0
+        if self.faults is not None:
+            if self.faults.lose_message(message):
+                self._drop(message, "loss")
+                return
+            delay = self.faults.delay_message(message)
         # Receive side: an independent process so the sender is not
         # blocked while the receiver's CPU works through its queue.
-        self.env.process(self._deliver(message),
+        self.env.process(self._deliver(message, delay),
                          name=f"deliver-{message.kind.value}")
 
-    def _deliver(self, message: "Message",
+    def _deliver(self, message: "Message", delay: float = 0.0,
                  ) -> typing.Generator[Event, typing.Any, None]:
+        if delay > 0.0:
+            # Injected wire latency (the healthy switch has none).
+            yield self.env.timeout(delay)
+        faults = self.faults
+        if faults is not None and not message.receiver.site.up:
+            # Receiver's site is down: nobody pays the receive cost.
+            self._drop(message, "site_down")
+            return
         yield from message.receiver.site.message_cpu(self.msg_cpu_ms)
+        if faults is not None and not message.receiver.site.up:
+            # Site crashed while the receive CPU was being served; the
+            # in-flight delivery is part of the lost volatile state.
+            self._drop(message, "site_down")
+            return
         if self.bus.has_subscribers(EventKind.MSG_DELIVER):
             self.bus.publish(MessageDeliver(self.env.now, message))
         message.receiver.inbox.put(message)
+
+    def _drop(self, message: "Message", reason: str) -> None:
+        self.messages_dropped += 1
+        if self.faults is not None:
+            self.faults.messages_dropped += 1
+        if self.bus.has_subscribers(EventKind.MSG_DROP):
+            self.bus.publish(MsgDrop(self.env.now, message, reason))
+
+    def inquiry_round_trip(self, agent: "Agent", remote_site: "Site",
+                           ) -> typing.Generator[Event, typing.Any, None]:
+        """One status-inquiry round trip from ``agent`` to ``remote_site``.
+
+        Recovery traffic (STATUS_INQ out, STATUS_ACK back) is modeled as
+        a reliable exchange that bypasses inboxes: the caller decides
+        what the answer *means* by reading the remote site's WAL, so no
+        payload needs routing, but the message costs are real -- two
+        commit-class messages and four MsgCPU services.  Inquiries are
+        retried by the protocol layer until they succeed, which is why
+        they are not subject to stochastic loss.
+        """
+        from repro.db.messages import Message, MessageKind
+
+        own_site = agent.site
+        if own_site.site_id == remote_site.site_id:
+            self.local_messages += 2
+            return
+        bus = self.bus
+        for kind in (MessageKind.STATUS_INQ, MessageKind.STATUS_ACK):
+            message = Message(kind, agent, agent, agent.txn.txn_id,
+                              agent.txn.incarnation)
+            self.messages_sent += 1
+            agent.txn.messages_commit += 1
+            if bus.has_subscribers(EventKind.MSG_SEND):
+                bus.publish(MessageSend(self.env.now, message, local=False))
+            send_site, recv_site = ((own_site, remote_site)
+                                    if kind is MessageKind.STATUS_INQ
+                                    else (remote_site, own_site))
+            yield from send_site.message_cpu(self.msg_cpu_ms)
+            yield from recv_site.message_cpu(self.msg_cpu_ms)
+            if bus.has_subscribers(EventKind.MSG_DELIVER):
+                bus.publish(MessageDeliver(self.env.now, message))
 
     @staticmethod
     def _count_for_transaction(message: "Message") -> None:

@@ -77,6 +77,9 @@ class Site:
             on_lender_abort=on_lender_abort,
             bus=bus)
 
+        #: operational flag; only the fault injector ever clears it.
+        self.up = True
+
         # Counters.
         self.pages_read = 0
         self.pages_written = 0

@@ -19,6 +19,7 @@ from repro.db.site import Site
 from repro.db.transaction import (
     AbortReason,
     CohortAgent,
+    CohortState,
     MasterAgent,
     Transaction,
     TransactionOutcome,
@@ -42,6 +43,8 @@ from repro.sim.rng import RandomStreams
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.base import CommitProtocol
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultConfig, FaultTimeouts
 
 
 @dataclasses.dataclass
@@ -82,7 +85,8 @@ class DistributedSystem:
     """One configured instance of the simulated DBMS."""
 
     def __init__(self, params: ModelParams, protocol: "CommitProtocol",
-                 seed: int | None = None) -> None:
+                 seed: int | None = None,
+                 faults: "FaultConfig | None" = None) -> None:
         params.validate()
         self.params = params
         self.protocol = protocol
@@ -117,6 +121,17 @@ class DistributedSystem:
         self._surprise_rng = self.streams.stream("surprise-aborts")
         self.transactions_started = 0
         self._started = False
+        #: fault plane: None unless an *active* FaultConfig is attached,
+        #: so the healthy path stays byte-identical (golden-sweep pin).
+        self.faults: "FaultInjector | None" = None
+        self.fault_timeouts: "FaultTimeouts | None" = None
+        if faults is not None:
+            faults.validate()
+            if faults.is_active:
+                from repro.faults.injector import FaultInjector
+                self.faults = FaultInjector(self, faults)
+                self.fault_timeouts = faults.timeouts
+                self.network.faults = self.faults
 
     # ------------------------------------------------------------------
     # Construction
@@ -177,6 +192,8 @@ class DistributedSystem:
         if self._started:
             return
         self._started = True
+        if self.faults is not None:
+            self.faults.start()
         for logical_site in range(self.params.num_sites):
             for slot in range(self.params.mpl):
                 self.env.process(
@@ -193,11 +210,18 @@ class DistributedSystem:
             while True:
                 if self.admission is not None:
                     yield from self.admission.admit()
+                if self.faults is not None:
+                    # A down origin site cannot accept new transactions.
+                    yield from self.faults.wait_until_up(
+                        self.site_for(spec.origin_site))
                 txn = self._launch(spec, incarnation, first_submit)
                 assert txn.master is not None
                 outcome = yield txn.master.process
                 if self.admission is not None:
                     self.admission.release()
+                if self.faults is not None:
+                    self.faults.untrack(txn)
+                    self._reap_stragglers(txn)
                 if outcome is TransactionOutcome.COMMITTED:
                     self.bus.publish(TxnCommit(env.now, txn))
                     break
@@ -237,7 +261,26 @@ class DistributedSystem:
             cohort.process = env.process(
                 cohort.run(), name=f"{txn.name}-cohort@{cohort.site.site_id}")
         master.process = env.process(master.run(), name=f"{txn.name}-master")
+        if self.faults is not None:
+            self.faults.track(txn)
         return txn
+
+    def _reap_stragglers(self, txn: Transaction) -> None:
+        """After the master finished, kill cohorts still executing.
+
+        Prepared/precommitted cohorts are left alone: they are either
+        in-doubt (locks held until WAL replay) or mid-resolution, and
+        terminate through the recovery machinery.  Anything earlier in
+        its lifecycle is simply an orphan of an already-decided
+        incarnation.
+        """
+        for cohort in txn.cohorts:
+            if cohort.state in (CohortState.PREPARED,
+                                CohortState.PRECOMMITTED):
+                continue
+            if cohort.process is not None and cohort.process.is_alive:
+                cohort.process.interrupt(
+                    txn.abort_reason or AbortReason.TIMEOUT)
 
     def abort_transaction(self, txn: Transaction, reason: AbortReason) -> None:
         """Kill an incarnation (deadlock victim or lender-abort cascade).

@@ -19,7 +19,13 @@ import typing
 
 from repro.db.messages import Message, MessageKind
 from repro.db.wal import LogRecordKind
-from repro.obs.events import CommitPhase, EventKind, PhaseTransition, ShelfEnter
+from repro.obs.events import (
+    CommitPhase,
+    EventKind,
+    PhaseTransition,
+    ShelfEnter,
+    TimeoutFired,
+)
 from repro.sim.events import Event
 from repro.sim.process import Interrupt, Process
 from repro.sim.resources import Store
@@ -48,6 +54,10 @@ class AbortReason(enum.Enum):
     SURPRISE_VOTE = "surprise_vote"
     #: Cancelled by the Half-and-Half load controller (extension).
     LOAD_CONTROL = "load_control"
+    #: A protocol-layer timeout expired (fault injection only).
+    TIMEOUT = "timeout"
+    #: The hosting site crashed (fault injection only).
+    SITE_CRASH = "site_crash"
 
 
 class CohortState(enum.Enum):
@@ -187,6 +197,10 @@ class Agent:
         self.site = site
         self.inbox = Store(system.env, name=f"{self!r}-inbox")
         self.process: Process | None = None
+        #: a get() that timed out without a message; recv_wait reuses it
+        #: so the mailbox's FIFO getter queue never holds stale entries
+        #: that would swallow later messages.
+        self._pending_get: Event | None = None
 
     # ------------------------------------------------------------------
     # Protocol primitives
@@ -204,15 +218,41 @@ class Agent:
         """Event yielding the next inbox message."""
         return self.inbox.get()
 
+    def recv_wait(self, timeout_ms: float, wait: str = "recv",
+                  ) -> typing.Generator[Event, typing.Any, typing.Any]:
+        """Coroutine: next inbox message, or None after ``timeout_ms``.
+
+        Used by every protocol wait while faults are active.  A timed-out
+        get is kept (``_pending_get``) and reused by the next call: the
+        Store queues getters FIFO, so abandoning a get would let a later
+        message resolve the stale event and vanish.
+        """
+        get = self._pending_get
+        if get is None:
+            get = self.inbox.get()
+        if not get.triggered:
+            deadline = self.env.timeout(timeout_ms)
+            yield self.env.any_of([get, deadline])
+        if get.triggered:
+            self._pending_get = None
+            return get.value
+        self._pending_get = get
+        bus = self.system.bus
+        if bus.has_subscribers(EventKind.TIMEOUT_FIRED):
+            bus.publish(TimeoutFired(self.env.now, self, wait, timeout_ms))
+        return None
+
     def force_log(self, kind: LogRecordKind,
                   ) -> typing.Generator[Event, typing.Any, None]:
         """Coroutine: force-write a log record at this agent's site."""
         self.txn.forced_writes += 1
-        yield from self.site.log_manager.force_write(kind, self.txn.txn_id)
+        yield from self.site.log_manager.force_write(
+            kind, self.txn.txn_id, incarnation=self.txn.incarnation)
 
     def log(self, kind: LogRecordKind) -> None:
         """Write a non-forced log record (free, per the paper's model)."""
-        self.site.log_manager.write(kind, self.txn.txn_id)
+        self.site.log_manager.write(kind, self.txn.txn_id,
+                                    incarnation=self.txn.incarnation)
 
     @property
     def env(self):
@@ -272,7 +312,17 @@ class CohortAgent(Agent):
         """The cohort's life: STARTWORK, data accesses, shelf, WORKDONE,
         then the protocol's cohort commit phase."""
         try:
-            message = yield self.recv()
+            ft = self.system.fault_timeouts
+            if ft is None:
+                message = yield self.recv()
+            else:
+                message = yield from self.recv_wait(ft.work_timeout_ms,
+                                                    wait="startwork")
+                if message is None:
+                    # STARTWORK was lost; nothing was done, just quit.
+                    self.state = CohortState.ABORTED
+                    self.site.lock_manager.finalize(self, committed=False)
+                    return
             assert message.kind is MessageKind.STARTWORK
             self.state = CohortState.EXECUTING
             yield from self._execute()
@@ -283,8 +333,8 @@ class CohortAgent(Agent):
             assert self.master is not None
             yield from self.system.protocol.send_workdone(self)
             yield from self.system.protocol.cohort_commit(self)
-        except Interrupt:
-            self._cleanup_after_interrupt()
+        except Interrupt as interrupt:
+            self._cleanup_after_interrupt(interrupt.cause)
 
     def _execute(self) -> typing.Generator[Event, typing.Any, None]:
         """Perform the access sequence: lock, disk read, CPU, per page."""
@@ -324,13 +374,30 @@ class CohortAgent(Agent):
     # ------------------------------------------------------------------
     # Abort path
     # ------------------------------------------------------------------
-    def _cleanup_after_interrupt(self) -> None:
-        """Undo local state when this incarnation is killed externally."""
+    def _cleanup_after_interrupt(self, cause: object = None) -> None:
+        """Undo local state when this incarnation is killed externally.
+
+        A site crash that hits a prepared (or precommitted) cohort does
+        *not* release its locks: the cohort becomes in-doubt -- that is
+        2PC's blocking problem -- and is handed to the fault injector for
+        resolution when the site recovers and replays its WAL.
+        """
+        if cause is AbortReason.SITE_CRASH and self.state in (
+                CohortState.PREPARED, CohortState.PRECOMMITTED):
+            faults = self.system.faults
+            if faults is not None:
+                faults.register_in_doubt(self)
+                return
         self.state = CohortState.ABORTED
         self.site.lock_manager.finalize(self, committed=False)
 
     def __repr__(self) -> str:
         return f"<Cohort {self.txn.name}@{self.site.site_id}>"
+
+
+class _WorkTimeout(Exception):
+    """Raised inside the master's work-await when a completion report
+    never arrives (faults active only); handled in :meth:`MasterAgent.run`."""
 
 
 class MasterAgent(Agent):
@@ -348,6 +415,26 @@ class MasterAgent(Agent):
         #: votes piggybacked on work-completion reports (Unsolicited
         #: Vote style protocols); consumed by their master_commit.
         self.early_votes: list[Message] = []
+        #: the decision this master logged (set the instant a COMMIT or
+        #: ABORT record hits the WAL) -- what survives a master crash.
+        self.decided: TransactionOutcome | None = None
+
+    def force_log(self, kind: LogRecordKind,
+                  ) -> typing.Generator[Event, typing.Any, None]:
+        self._note_decision(kind)
+        yield from super().force_log(kind)
+
+    def log(self, kind: LogRecordKind) -> None:
+        self._note_decision(kind)
+        super().log(kind)
+
+    def _note_decision(self, kind: LogRecordKind) -> None:
+        # Record kinds append to the WAL synchronously, so ``decided``
+        # always agrees with what recovery would read back.
+        if kind is LogRecordKind.COMMIT:
+            self.decided = TransactionOutcome.COMMITTED
+        elif kind is LogRecordKind.ABORT:
+            self.decided = TransactionOutcome.ABORTED
 
     def mark_phase(self, phase: CommitPhase) -> None:
         """Publish entry into a commit-processing phase (guarded)."""
@@ -370,7 +457,18 @@ class MasterAgent(Agent):
             outcome = yield from self.system.protocol.master_commit(self)
             self.txn.outcome = outcome
             return outcome
-        except Interrupt:
+        except _WorkTimeout:
+            outcome = self._abort_after_work_timeout()
+            self.txn.outcome = outcome
+            return outcome
+        except Interrupt as interrupt:
+            if interrupt.cause is AbortReason.SITE_CRASH \
+                    and self.decided is TransactionOutcome.COMMITTED:
+                # The decision was already durable: the transaction *is*
+                # committed, the crash only killed the coordinator's
+                # process.  Cohorts resolve from the WAL.
+                self.txn.outcome = TransactionOutcome.COMMITTED
+                return TransactionOutcome.COMMITTED
             self.txn.outcome = TransactionOutcome.ABORTED
             return TransactionOutcome.ABORTED
 
@@ -388,19 +486,51 @@ class MasterAgent(Agent):
         """Start all cohorts together; wait for every completion report."""
         for cohort in self.cohorts:
             yield from self.send(MessageKind.STARTWORK, cohort)
+        ft = self.system.fault_timeouts
         pending = len(self.cohorts)
         while pending:
-            message = yield self.recv()
+            if ft is None:
+                message = yield self.recv()
+            else:
+                message = yield from self.recv_wait(ft.work_timeout_ms,
+                                                    wait="work")
+                if message is None:
+                    raise _WorkTimeout
+                if message.kind not in self._WORK_REPORT_KINDS:
+                    continue  # stray (late/duplicate) traffic; ignore
             self._take_work_report(message)
             pending -= 1
 
     def _start_and_await_sequential(
             self) -> typing.Generator[Event, typing.Any, None]:
         """Start cohorts one after another (paper Section 4.1)."""
+        ft = self.system.fault_timeouts
         for cohort in self.cohorts:
             yield from self.send(MessageKind.STARTWORK, cohort)
-            message = yield self.recv()
+            while True:
+                if ft is None:
+                    message = yield self.recv()
+                else:
+                    message = yield from self.recv_wait(ft.work_timeout_ms,
+                                                        wait="work")
+                    if message is None:
+                        raise _WorkTimeout
+                    if message.kind not in self._WORK_REPORT_KINDS:
+                        continue
+                break
             self._take_work_report(message)
+
+    def _abort_after_work_timeout(self) -> TransactionOutcome:
+        """A cohort never reported (lost STARTWORK/WORKDONE or a crashed
+        site): abort the incarnation and reap its surviving cohorts."""
+        txn = self.txn
+        txn.aborting = True
+        if txn.abort_reason is None:
+            txn.abort_reason = AbortReason.TIMEOUT
+        for cohort in self.cohorts:
+            if cohort.process is not None and cohort.process.is_alive:
+                cohort.process.interrupt(AbortReason.TIMEOUT)
+        return TransactionOutcome.ABORTED
 
     def __repr__(self) -> str:
         return f"<Master {self.txn.name}@{self.site.site_id}>"

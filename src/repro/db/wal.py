@@ -46,6 +46,9 @@ class LogRecord:
     site_id: int
     forced: bool
     time: float
+    #: which incarnation of the transaction wrote the record; -1 when the
+    #: writer did not say (pre-fault-plane call sites).
+    incarnation: int = -1
 
 
 class LogManager:
@@ -68,6 +71,8 @@ class LogManager:
         self.write_time_ms = write_time_ms
         self.group_commit = group_commit
         self.records: list[LogRecord] = []
+        #: (txn_id, incarnation) -> records, for O(1) recovery lookups.
+        self._by_txn: dict[tuple[int, int], list[LogRecord]] = {}
         self.forced_count = 0
         self.unforced_count = 0
         self._next_disk = 0
@@ -78,11 +83,13 @@ class LogManager:
         self.group_flushes = 0
 
     # ------------------------------------------------------------------
-    def write(self, kind: LogRecordKind, txn_id: int) -> LogRecord:
+    def write(self, kind: LogRecordKind, txn_id: int,
+              incarnation: int = -1) -> LogRecord:
         """Append a non-forced record (no cost)."""
         record = LogRecord(kind, txn_id, self.site_id, forced=False,
-                           time=self.env.now)
+                           time=self.env.now, incarnation=incarnation)
         self.records.append(record)
+        self._by_txn.setdefault((txn_id, incarnation), []).append(record)
         self.unforced_count += 1
         if self.bus.has_subscribers(EventKind.LOG_WRITE):
             self.bus.publish(LogWrite(self.env.now, self.site_id, kind,
@@ -90,6 +97,7 @@ class LogManager:
         return record
 
     def force_write(self, kind: LogRecordKind, txn_id: int,
+                    incarnation: int = -1,
                     ) -> typing.Generator[Event, typing.Any, LogRecord]:
         """Coroutine: append a record and flush it to a log disk.
 
@@ -97,8 +105,9 @@ class LogManager:
         any queueing at the log disk).
         """
         record = LogRecord(kind, txn_id, self.site_id, forced=True,
-                           time=self.env.now)
+                           time=self.env.now, incarnation=incarnation)
         self.records.append(record)
+        self._by_txn.setdefault((txn_id, incarnation), []).append(record)
         self.forced_count += 1
         if self.bus.has_subscribers(EventKind.LOG_FORCE):
             self.bus.publish(LogForce(self.env.now, self.site_id, kind,
@@ -163,6 +172,18 @@ class LogManager:
             self._flushing = False
 
     # ------------------------------------------------------------------
+    def txn_kinds(self, txn_id: int,
+                  incarnation: int = -1) -> set[LogRecordKind]:
+        """Record kinds this site's stable log holds for one incarnation.
+
+        This is what a recovery process "reads from the WAL": the basis
+        for decision-record lookup and the presumption rules.
+        """
+        records = self._by_txn.get((txn_id, incarnation))
+        if not records:
+            return set()
+        return {record.kind for record in records}
+
     def counts_by_kind(self) -> dict[LogRecordKind, int]:
         """Number of records of each kind (forced and non-forced)."""
         counts: dict[LogRecordKind, int] = {}

@@ -7,6 +7,11 @@ series.  ``python -m repro.cli`` runs them from the command line; the
 ``benchmarks/`` directory wraps them for pytest-benchmark.
 """
 
+from repro.experiments.availability import (
+    AvailabilityPoint,
+    AvailabilityResults,
+    AvailabilitySweep,
+)
 from repro.experiments.base import (
     ExperimentDefinition,
     ExperimentResults,
@@ -26,6 +31,9 @@ from repro.experiments.runner import (
 )
 
 __all__ = [
+    "AvailabilityPoint",
+    "AvailabilityResults",
+    "AvailabilitySweep",
     "EXPERIMENTS",
     "ExperimentDefinition",
     "ExperimentResults",

@@ -1,0 +1,163 @@
+"""Availability under failures: what the commit protocols deliver when
+sites actually crash.
+
+The paper's experiments are failure-free; its *arguments* about
+blocking, presumption and non-blocking termination are about failures.
+This sweep (an extension, like :mod:`repro.failures`) makes those
+arguments measurable for **every** registered protocol: each grid point
+runs one protocol under a seeded :class:`repro.faults.FaultConfig` --
+stochastic site crash/recover cycles (exponential MTTF/MTTR) and
+optional message loss -- and reports the throughput the protocol
+sustains alongside the injector's accounting (crashes survived, messages
+dropped, in-doubt transactions resolved by recovery).
+
+The x-axis is the site MTTF: shorter MTTF means a harsher environment.
+``mttf_ms=0`` disables crashes at that point (the failure-free
+baseline), which makes the degradation visible in one table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import repro
+from repro.config import ModelParams
+from repro.db.system import DistributedSystem, SimulationResult
+from repro.faults import FaultConfig, FaultTimeouts
+
+DEFAULT_MTTFS: tuple[float, ...] = (0.0, 400_000.0, 200_000.0, 100_000.0)
+
+
+@dataclasses.dataclass
+class AvailabilityPoint:
+    """One (protocol, mttf) grid point."""
+
+    protocol: str
+    mttf_ms: float
+    result: SimulationResult
+    crashes: int
+    recoveries: int
+    messages_dropped: int
+    in_doubt_resolved: int
+
+    @property
+    def throughput(self) -> float:
+        return self.result.throughput
+
+    @property
+    def abort_ratio(self) -> float:
+        return self.result.abort_ratio
+
+
+@dataclasses.dataclass
+class AvailabilityResults:
+    """All points of one availability sweep, with rendering helpers."""
+
+    points: dict[tuple[str, float], AvailabilityPoint]
+    protocols: tuple[str, ...]
+    mttfs: tuple[float, ...]
+
+    def point(self, protocol: str, mttf_ms: float) -> AvailabilityPoint:
+        return self.points[(protocol, mttf_ms)]
+
+    def series(self, protocol: str) -> list[tuple[float, float]]:
+        """[(mttf_ms, throughput), ...] for one protocol's curve."""
+        return [(mttf, self.points[(protocol, mttf)].throughput)
+                for mttf in self.mttfs]
+
+    def table(self, precision: int = 2) -> str:
+        """Text table: rows are MTTFs, one throughput column per
+        protocol (``inf`` row label for the failure-free baseline)."""
+        width = max(8, max(len(p) for p in self.protocols) + 1)
+        header = f"{'MTTF(s)':>9} " + "".join(
+            f"{p:>{width}}" for p in self.protocols)
+        lines = [header, "-" * len(header)]
+        for mttf in self.mttfs:
+            label = "inf" if mttf == 0 else f"{mttf / 1000:.0f}"
+            row = f"{label:>9} "
+            for protocol in self.protocols:
+                value = self.points[(protocol, mttf)].throughput
+                row += f"{value:>{width}.{precision}f}"
+            lines.append(row)
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        lines = ["== availability: throughput vs site MTTF =="]
+        lines.append(self.table())
+        totals = {}
+        for point in self.points.values():
+            entry = totals.setdefault(point.protocol, [0, 0, 0])
+            entry[0] += point.crashes
+            entry[1] += point.messages_dropped
+            entry[2] += point.in_doubt_resolved
+        for protocol in self.protocols:
+            crashes, dropped, resolved = totals[protocol]
+            lines.append(
+                f"{protocol:>8}: {crashes} crashes survived, "
+                f"{dropped} messages dropped, "
+                f"{resolved} in-doubt transactions resolved")
+        return "\n".join(lines)
+
+
+class AvailabilitySweep:
+    """Runs a protocol x MTTF grid of fault-injected simulations.
+
+    Every grid point of one sweep shares ``seed``: the workload *and*
+    the fault plan draws are reproducible, so two sweeps with the same
+    arguments produce identical results (the determinism contract the
+    fault tests pin).
+    """
+
+    def __init__(self, protocols: typing.Sequence[str],
+                 mttfs: typing.Sequence[float] = DEFAULT_MTTFS,
+                 mttr_ms: float = 5_000.0,
+                 msg_loss_prob: float = 0.0,
+                 mpl: int = 2,
+                 params: ModelParams | None = None,
+                 measured_transactions: int = 300,
+                 timeouts: FaultTimeouts | None = None,
+                 seed: int = 20250705) -> None:
+        self.protocols = tuple(protocols)
+        self.mttfs = tuple(mttfs)
+        self.mttr_ms = mttr_ms
+        self.msg_loss_prob = msg_loss_prob
+        self.params = (params if params is not None
+                       else ModelParams()).replace(mpl=mpl)
+        self.measured_transactions = measured_transactions
+        self.timeouts = timeouts if timeouts is not None else FaultTimeouts()
+        self.seed = seed
+
+    def fault_config(self, mttf_ms: float) -> FaultConfig:
+        return FaultConfig(mttf_ms=mttf_ms, mttr_ms=self.mttr_ms,
+                           msg_loss_prob=self.msg_loss_prob,
+                           timeouts=self.timeouts)
+
+    def run_point(self, protocol: str, mttf_ms: float) -> AvailabilityPoint:
+        captured: list[DistributedSystem] = []
+        result = repro.simulate(
+            protocol, params=self.params,
+            measured_transactions=self.measured_transactions,
+            warmup_transactions=0, seed=self.seed,
+            on_system=captured.append,
+            faults=self.fault_config(mttf_ms))
+        injector = captured[0].faults
+        if injector is None:  # failure-free baseline point
+            return AvailabilityPoint(protocol, mttf_ms, result, 0, 0, 0, 0)
+        return AvailabilityPoint(
+            protocol, mttf_ms, result,
+            crashes=injector.crashes,
+            recoveries=injector.recoveries,
+            messages_dropped=injector.messages_dropped,
+            in_doubt_resolved=injector.in_doubt_resolved)
+
+    def run(self, progress: typing.Callable[[str], None] | None = None,
+            ) -> AvailabilityResults:
+        points: dict[tuple[str, float], AvailabilityPoint] = {}
+        for protocol in self.protocols:
+            for mttf in self.mttfs:
+                if progress is not None:
+                    label = "inf" if mttf == 0 else f"{mttf / 1000:.0f}s"
+                    progress(f"availability: {protocol} @ MTTF {label}")
+                points[(protocol, mttf)] = self.run_point(protocol, mttf)
+        return AvailabilityResults(points, self.protocols, self.mttfs)

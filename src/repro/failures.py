@@ -125,6 +125,14 @@ class CrashingPC(_CrashingBlockingProtocol, PresumedCommit):
     pass
 
 
+#: Scenario classes for the blocking protocols, keyed by protocol name.
+_CRASHING = {
+    "2PC": Crashing2PC,
+    "PA": CrashingPA,
+    "PC": CrashingPC,
+}
+
+
 class Crashing3PC(ThreePhaseCommit):
     """3PC with a master crash after the precommit round, and the
     cohort-side termination protocol that makes 3PC non-blocking."""
@@ -178,19 +186,16 @@ class Crashing3PC(ThreePhaseCommit):
         assert cohort.master is not None
         yield from cohort.send(MessageKind.PRECOMMIT_ACK, cohort.master)
         # Await the decision -- with a timeout, because masters fail.
-        env = cohort.env
-        decision = cohort.recv()
-        timeout = env.timeout(self.decision_timeout_ms)
-        yield env.any_of([decision, timeout])
-        if not decision.processed:
-            # Termination protocol: contact the peer cohorts (one round
-            # of messages each way), learn that every reachable peer is
-            # precommitted, and commit without the master.
+        message = yield from cohort.recv_wait(self.decision_timeout_ms,
+                                              wait="decision")
+        if message is None:
+            # Termination protocol: a status-inquiry round trip with
+            # each peer cohort, routed through the network so the
+            # messages are counted, costed and published like any other
+            # traffic (not free same-site CPU spins).  Every reachable
+            # peer is precommitted, so commit without the master.
             self.terminations += 1
-            peers = len(cohort.txn.cohorts) - 1
-            for _ in range(2 * peers):
-                yield from cohort.site.message_cpu(
-                    self.system.params.msg_cpu_ms)
+            yield from self.termination_round(cohort)
         yield from cohort.force_log(LogRecordKind.COMMIT)
         cohort.implement_commit()
 
@@ -218,14 +223,12 @@ def run_crash_scenario(protocol: str,
                                            decision_timeout_ms)
     else:
         try:
-            base = BLOCKING_BASES[name]
+            scenario = _CRASHING[name]
         except KeyError:
             raise KeyError(
                 f"no crash scenario for {protocol!r}; "
                 f"choose from {(*BLOCKING_BASES, '3PC')}") from None
-        instance = type(f"Crashing{name}", (type(
-            f"_{name}", (_CrashingBlockingProtocol, base), {}),), {})(
-            target_txn_id, crash_duration_ms)
+        instance = scenario(target_txn_id, crash_duration_ms)
     system = DistributedSystem(params, instance, seed=seed)
     if event_log is not None:
         event_log.attach(system.bus)
@@ -277,14 +280,18 @@ def compare_blocking(crash_duration_ms: float = 20_000.0,
                      measured_transactions: int = 600,
                      params: ModelParams | None = None,
                      protocols: typing.Sequence[str] = ("2PC", "3PC"),
+                     seed: int | None = None,
                      ) -> dict[str, BlockingReport]:
     """Run the crash scenario under each protocol; return the reports.
 
     Defaults to the headline 2PC-vs-3PC comparison; pass
     ``protocols=("2PC", "PA", "PC", "3PC")`` for every registered
-    blocking protocol plus the non-blocking termination path.
+    blocking protocol plus the non-blocking termination path.  A shared
+    ``seed`` gives every protocol the identical workload, so differences
+    in the reports are the protocols' alone.
     """
     return {name: run_crash_scenario(
         name, crash_duration_ms=crash_duration_ms,
-        measured_transactions=measured_transactions, params=params)
+        measured_transactions=measured_transactions, params=params,
+        seed=seed)
         for name in protocols}

@@ -1,0 +1,191 @@
+"""The fault injector: executes a :class:`FaultPlan` against a system.
+
+Crash semantics (docs/MODEL.md, "Failure model & recovery"):
+
+- A crashing site loses its volatile state: every agent process hosted
+  there is killed and its inbox flushed; in-flight deliveries addressed
+  to it are dropped by the network.  The WAL (``LogManager.records``)
+  is stable storage and survives.
+- Cohorts killed in the PREPARED/PRECOMMITTED state become *in-doubt*:
+  they keep their update locks (that is the blocking phenomenon the
+  paper argues about) and are recorded for resolution at recovery.
+- On recovery the site replays its WAL: each in-doubt cohort runs the
+  protocol's status-inquiry / presumption / termination logic
+  (:meth:`repro.core.base.CommitProtocol.resolve_in_doubt`) until it
+  commits or aborts, releasing its locks.
+
+Everything here is driven by ordinary simulation processes and named
+RNG streams, so runs are deterministic and reproducible.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.db.transaction import AbortReason, CohortState
+from repro.faults.plan import FaultConfig, FaultPlan
+from repro.obs.events import (
+    EventKind,
+    SiteCrash,
+    SiteRecover,
+    SiteRecoveryReplay,
+)
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.messages import Message
+    from repro.db.site import Site
+    from repro.db.system import DistributedSystem
+    from repro.db.transaction import CohortAgent, Transaction
+
+#: cohort states whose volatile context is lost without consequence --
+#: a crash simply aborts them (locks released, work redone on restart).
+_VOLATILE_STATES = (CohortState.IDLE, CohortState.EXECUTING,
+                    CohortState.ON_SHELF, CohortState.EXECUTED)
+
+
+class FaultInjector:
+    """Schedules crashes/recoveries and tracks in-doubt cohorts."""
+
+    def __init__(self, system: "DistributedSystem",
+                 config: FaultConfig) -> None:
+        self.system = system
+        self.config = config
+        self.plan = FaultPlan(config, system.streams, len(system.sites))
+        # Counters (reported by the availability experiment).
+        self.crashes = 0
+        self.recoveries = 0
+        self.messages_dropped = 0
+        self.in_doubt_resolved = 0
+        self.replays = 0
+        #: in-doubt cohorts per crashed site, in registration order.
+        self._in_doubt: dict[int, list["CohortAgent"]] = {}
+        #: live incarnations, insertion-ordered (determinism: iteration
+        #: order at crash time must not depend on object hashes).
+        self._live: dict["Transaction", None] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the per-site crash drivers (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        env = self.system.env
+        for site in self.system.sites:
+            schedule = self.plan.scheduled_crashes(site.site_id)
+            if schedule:
+                env.process(self._scheduled_driver(site, schedule),
+                            name=f"faults-sched@{site.site_id}")
+        for site_id in self.plan.stochastic_sites():
+            site = self.system.sites[site_id]
+            env.process(self._stochastic_driver(site),
+                        name=f"faults-mttf@{site_id}")
+
+    def track(self, txn: "Transaction") -> None:
+        self._live[txn] = None
+
+    def untrack(self, txn: "Transaction") -> None:
+        self._live.pop(txn, None)
+
+    # ------------------------------------------------------------------
+    # Queries (used by the network and the protocol layer)
+    # ------------------------------------------------------------------
+    def site_is_up(self, site: "Site") -> bool:
+        return site.up
+
+    def lose_message(self, message: "Message") -> bool:
+        return self.plan.lose_message(message.kind.value)
+
+    def delay_message(self, message: "Message") -> float:
+        """Extra wire delay (ms) for one remote message; 0 = none."""
+        return self.plan.message_delay(message.kind.value)
+
+    def wait_until_up(self, site: "Site"):
+        """Coroutine: poll until ``site`` is operational again."""
+        retry = self.config.timeouts.resolve_retry_ms
+        while not site.up:
+            yield self.system.env.timeout(retry)
+
+    # ------------------------------------------------------------------
+    # Crash / recover drivers
+    # ------------------------------------------------------------------
+    def _scheduled_driver(self, site: "Site", schedule):
+        env = self.system.env
+        for event in schedule:
+            if event.at_ms > env.now:
+                yield env.timeout(event.at_ms - env.now)
+            if not site.up:
+                continue  # overlaps a stochastic outage; skip
+            self._crash(site)
+            yield env.timeout(event.duration_ms)
+            self._recover(site)
+
+    def _stochastic_driver(self, site: "Site"):
+        env = self.system.env
+        for uptime, downtime in self.plan.crash_cycle(site.site_id):
+            yield env.timeout(uptime)
+            if not site.up:
+                continue  # already down via the explicit schedule
+            self._crash(site)
+            yield env.timeout(downtime)
+            self._recover(site)
+
+    def _crash(self, site: "Site") -> None:
+        """Take a site down: kill hosted agents, flush their inboxes."""
+        env = self.system.env
+        site.up = False
+        self.crashes += 1
+        bus = self.system.bus
+        if bus.has_subscribers(EventKind.SITE_CRASH):
+            bus.publish(SiteCrash(env.now, site.site_id))
+        for txn in list(self._live):
+            master = txn.master
+            if master is not None and master.site is site:
+                if master.process is not None and master.process.is_alive:
+                    master.process.interrupt(AbortReason.SITE_CRASH)
+                master.inbox.clear()
+            for cohort in txn.cohorts:
+                if cohort.site is not site:
+                    continue
+                if cohort.process is not None and cohort.process.is_alive:
+                    # The cleanup hook decides: volatile states abort,
+                    # prepared/precommitted states go in-doubt (keeping
+                    # their locks) via register_in_doubt().
+                    cohort.process.interrupt(AbortReason.SITE_CRASH)
+                cohort.inbox.clear()
+
+    def register_in_doubt(self, cohort: "CohortAgent") -> None:
+        """A prepared/precommitted cohort lost its process to a crash."""
+        self._in_doubt.setdefault(cohort.site.site_id, []).append(cohort)
+
+    def _recover(self, site: "Site") -> None:
+        env = self.system.env
+        site.up = True
+        self.recoveries += 1
+        bus = self.system.bus
+        if bus.has_subscribers(EventKind.SITE_RECOVER):
+            bus.publish(SiteRecover(env.now, site.site_id))
+        pending = self._in_doubt.pop(site.site_id, [])
+        self.replays += 1
+        if bus.has_subscribers(EventKind.SITE_RECOVERY_REPLAY):
+            bus.publish(SiteRecoveryReplay(env.now, site.site_id,
+                                           len(pending)))
+        if pending:
+            env.process(self._replay(site, pending),
+                        name=f"wal-replay@{site.site_id}")
+
+    def _replay(self, site: "Site", pending: list["CohortAgent"]):
+        """Resolve the recovered site's in-doubt cohorts, one by one."""
+        protocol = self.system.protocol
+        for cohort in pending:
+            if cohort.state not in (CohortState.PREPARED,
+                                    CohortState.PRECOMMITTED):
+                continue  # already resolved (defensive; should not happen)
+            yield from protocol.resolve_in_doubt(cohort)
+
+    def __repr__(self) -> str:
+        return (f"<FaultInjector crashes={self.crashes} "
+                f"dropped={self.messages_dropped} "
+                f"in_doubt_resolved={self.in_doubt_resolved}>")

@@ -35,14 +35,18 @@ from repro.obs.events import (
     LogWrite,
     MessageDeliver,
     MessageSend,
+    MsgDrop,
     PhaseTransition,
     ShelfEnter,
     SimEvent,
     SiteCrash,
     SiteRecover,
+    SiteRecoveryReplay,
+    TimeoutFired,
     TxnAbort,
     TxnBlock,
     TxnCommit,
+    TxnResolvedInDoubt,
     TxnRestart,
     TxnSubmit,
     TxnUnblock,
@@ -69,6 +73,7 @@ __all__ = [
     "LogWrite",
     "MessageDeliver",
     "MessageSend",
+    "MsgDrop",
     "PhaseLatencyObserver",
     "PhaseStats",
     "PhaseTransition",
@@ -76,10 +81,13 @@ __all__ = [
     "SimEvent",
     "SiteCrash",
     "SiteRecover",
+    "SiteRecoveryReplay",
     "Subscription",
+    "TimeoutFired",
     "TxnAbort",
     "TxnBlock",
     "TxnCommit",
+    "TxnResolvedInDoubt",
     "TxnRestart",
     "TxnSubmit",
     "TxnUnblock",

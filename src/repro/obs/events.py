@@ -49,6 +49,8 @@ class EventKind(enum.Enum):
     # Network.
     MSG_SEND = "msg_send"
     MSG_DELIVER = "msg_deliver"
+    #: a message was lost on the wire or addressed to a crashed site.
+    MSG_DROP = "msg_drop"
     # Write-ahead log.
     LOG_WRITE = "log_write"
     LOG_FORCE = "log_force"
@@ -57,6 +59,12 @@ class EventKind(enum.Enum):
     # Failure injection.
     SITE_CRASH = "site_crash"
     SITE_RECOVER = "site_recover"
+    #: a protocol-layer timeout expired (vote wait, decision wait, ...).
+    TIMEOUT_FIRED = "timeout_fired"
+    #: a recovering site started replaying its WAL (in-doubt resolution).
+    SITE_RECOVERY_REPLAY = "site_recovery_replay"
+    #: an in-doubt cohort was resolved per the protocol's presumption rule.
+    TXN_RESOLVED_IN_DOUBT = "txn_resolved_in_doubt"
     # Commit-protocol phase transitions (master side).
     PHASE = "phase"
 
@@ -211,6 +219,17 @@ class MessageDeliver(SimEvent):
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
+class MsgDrop(SimEvent):
+    """A message was dropped: lost on the wire, or its receiver's site
+    is down (in-flight deliveries to a crashed site are discarded)."""
+
+    kind = EventKind.MSG_DROP
+    message: "Message"
+    #: ``"loss"`` (stochastic) or ``"site_down"``.
+    reason: str
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
 class LogWrite(SimEvent):
     """A non-forced log record (free, per the paper's cost model)."""
 
@@ -238,18 +257,57 @@ class DeadlockVictim(SimEvent):
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class SiteCrash(SimEvent):
-    """A (simulated) process failure -- e.g. a master going silent."""
+    """A failure: a whole site (``txn_id == -1``) or -- in the scripted
+    blocking scenarios -- a single master process going silent."""
 
     kind = EventKind.SITE_CRASH
     site_id: int
-    txn_id: int
+    txn_id: int = -1
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class SiteRecover(SimEvent):
     kind = EventKind.SITE_RECOVER
     site_id: int
-    txn_id: int
+    txn_id: int = -1
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TimeoutFired(SimEvent):
+    """A protocol-layer wait expired before the expected message."""
+
+    kind = EventKind.TIMEOUT_FIRED
+    #: the agent whose wait expired (master or cohort).
+    agent: object
+    #: which wait: ``"startwork"``, ``"work"``, ``"votes"``,
+    #: ``"prepare"``, ``"decision"``, ``"acks"``, ``"precommit-acks"``.
+    wait: str
+    waited_ms: float
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SiteRecoveryReplay(SimEvent):
+    """A recovered site is replaying its WAL to resolve in-doubt
+    transactions."""
+
+    kind = EventKind.SITE_RECOVERY_REPLAY
+    site_id: int
+    #: number of in-doubt cohorts found at the site.
+    in_doubt: int
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TxnResolvedInDoubt(SimEvent):
+    """An in-doubt (prepared/precommitted) cohort reached a decision via
+    status inquiry, WAL replay, or the 3PC termination protocol."""
+
+    kind = EventKind.TXN_RESOLVED_IN_DOUBT
+    cohort: "CohortAgent"
+    #: ``"commit"`` or ``"abort"``.
+    outcome: str
+    #: which rule decided: ``"decision-record"``, ``"presumed-abort"``,
+    #: ``"presumed-commit"``, ``"termination-protocol"``, ...
+    rule: str
 
 
 @dataclasses.dataclass(frozen=True, slots=True)

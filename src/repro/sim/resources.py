@@ -308,5 +308,15 @@ class Store:
             self._getters.append(event)
         return event
 
+    def clear(self) -> None:
+        """Discard all queued items and pending getters.
+
+        Models the loss of volatile state: a crashed site's mailboxes are
+        emptied and processes waiting on them are never woken (the fault
+        injector interrupts those processes separately).
+        """
+        self._items.clear()
+        self._getters.clear()
+
     def __len__(self) -> int:
         return len(self._items)

@@ -1,0 +1,360 @@
+"""Fault-injection subsystem tests (ISSUE PR 4 tentpole).
+
+Three contracts are pinned here:
+
+1. **Determinism** -- the fault plan draws from named RNG streams, so the
+   same seed reproduces the same crashes, drops, timeouts, and results,
+   event for event.
+2. **Free when inactive** -- an inactive :class:`FaultConfig` wires
+   nothing: the simulated trajectory stays byte-identical to the golden
+   fixture (``tests/data/golden_sweep.json``).
+3. **Liveness + correctness under faults** -- every registered protocol
+   completes a crash-rate sweep with no hung simulation, and in-doubt
+   cohorts resolve according to each protocol's presumption rule.
+"""
+
+import dataclasses
+import json
+import pathlib
+
+import pytest
+
+import repro
+from repro.config import ModelParams
+from repro.db.messages import MessageKind
+from repro.db.wal import LogRecordKind
+from repro.experiments.availability import AvailabilitySweep
+from repro.experiments.runner import point_seed
+from repro.faults import (
+    CrashEvent,
+    FaultConfig,
+    FaultInjector,
+    FaultPlan,
+    FaultTimeouts,
+)
+from repro.obs import EventLog
+from repro.obs.events import EventKind, event_to_dict
+from repro.sim.rng import RandomStreams
+
+pytestmark = pytest.mark.faults
+
+GOLDEN = pathlib.Path(__file__).parent / "data" / "golden_sweep.json"
+
+#: a moderately harsh environment every protocol must survive.
+HARSH = dict(mttf_ms=25_000.0, mttr_ms=2_000.0, msg_loss_prob=0.02)
+
+
+def _faulty_run(protocol, seed=42, transactions=80, log_kinds=None,
+                **fault_kwargs):
+    """One fault-injected run; returns (result, injector, event log)."""
+    captured = []
+    log = EventLog(kinds=log_kinds)
+    result = repro.simulate(
+        protocol, mpl=3, measured_transactions=transactions,
+        warmup_transactions=0, seed=seed,
+        on_system=lambda s: (captured.append(s), log.attach(s.bus)),
+        faults=FaultConfig(**(fault_kwargs or HARSH)))
+    return result, captured[0].faults, log
+
+
+# ----------------------------------------------------------------------
+# Config and plan plumbing
+# ----------------------------------------------------------------------
+class TestFaultConfig:
+    def test_default_config_is_inactive(self):
+        assert not FaultConfig().is_active
+
+    def test_active_configs(self):
+        assert FaultConfig(mttf_ms=1.0).is_active
+        assert FaultConfig(msg_loss_prob=0.1).is_active
+        assert FaultConfig(msg_delay_ms=10.0).is_active
+        assert FaultConfig(
+            crash_schedule=(CrashEvent(0, 10.0, 5.0),)).is_active
+
+    @pytest.mark.parametrize("bad", [
+        dict(mttf_ms=-1.0),
+        dict(mttr_ms=0.0),
+        dict(msg_loss_prob=-0.1),
+        dict(msg_loss_prob=1.0),
+        dict(msg_delay_ms=-5.0),
+        dict(faulty_kinds=("NO_SUCH_KIND",)),
+        dict(crash_schedule=(CrashEvent(0, -5.0, 10.0),)),
+        dict(crash_schedule=(CrashEvent(0, 5.0, 0.0),)),
+    ])
+    def test_validate_rejects(self, bad):
+        with pytest.raises(ValueError):
+            FaultConfig(**bad).validate()
+
+    def test_timeouts_must_be_positive(self):
+        with pytest.raises(ValueError, match="work_timeout_ms"):
+            FaultTimeouts(work_timeout_ms=0.0).validate()
+
+    def test_inactive_config_wires_nothing(self):
+        system = repro.build_system("2PC", faults=FaultConfig())
+        assert system.faults is None
+        assert system.fault_timeouts is None
+        assert system.network.faults is None
+
+    def test_active_config_wires_injector(self):
+        system = repro.build_system("2PC", faults=FaultConfig(mttf_ms=1e6))
+        assert isinstance(system.faults, FaultInjector)
+        assert system.network.faults is system.faults
+        assert system.fault_timeouts is not None
+
+
+class TestFaultPlan:
+    def test_same_seed_same_draws(self):
+        config = FaultConfig(mttf_ms=10_000.0, msg_loss_prob=0.1)
+
+        def draws(seed):
+            plan = FaultPlan(config, RandomStreams(seed), num_sites=4)
+            cycle = plan.crash_cycle(2)
+            return ([next(cycle) for _ in range(5)],
+                    [plan.lose_message("COMMIT") for _ in range(50)])
+
+        assert draws(7) == draws(7)
+        assert draws(7) != draws(8)
+
+    def test_site_streams_are_independent(self):
+        config = FaultConfig(mttf_ms=10_000.0)
+        plan_a = FaultPlan(config, RandomStreams(7), num_sites=4)
+        plan_b = FaultPlan(config, RandomStreams(7), num_sites=4)
+        # Draining site 0's cycle must not perturb site 1's draws.
+        cycle = plan_a.crash_cycle(0)
+        for _ in range(100):
+            next(cycle)
+        assert next(plan_a.crash_cycle(1)) == next(plan_b.crash_cycle(1))
+
+    def test_schedule_and_eligibility(self):
+        schedule = (CrashEvent(1, 50.0, 10.0), CrashEvent(1, 20.0, 10.0),
+                    CrashEvent(0, 30.0, 10.0))
+        plan = FaultPlan(FaultConfig(crash_schedule=schedule),
+                         RandomStreams(1), num_sites=4)
+        assert [e.at_ms for e in plan.scheduled_crashes(1)] == [20.0, 50.0]
+        assert plan.stochastic_sites() == []
+        limited = FaultPlan(
+            FaultConfig(mttf_ms=1.0, crashable_sites=(0, 2, 99)),
+            RandomStreams(1), num_sites=4)
+        assert limited.stochastic_sites() == [0, 2]
+
+
+# ----------------------------------------------------------------------
+# Determinism under faults
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_same_seed_identical_results_and_event_streams(self):
+        first_result, _, first_log = _faulty_run("OPT-3PC", **HARSH)
+        second_result, _, second_log = _faulty_run("OPT-3PC", **HARSH)
+        assert dataclasses.asdict(first_result) == \
+            dataclasses.asdict(second_result)
+        first = [event_to_dict(e) for e in first_log.events]
+        second = [event_to_dict(e) for e in second_log.events]
+        assert first == second
+
+    def test_different_seed_diverges(self):
+        first, _, _ = _faulty_run("2PC", seed=1, **HARSH)
+        second, _, _ = _faulty_run("2PC", seed=2, **HARSH)
+        assert dataclasses.asdict(first) != dataclasses.asdict(second)
+
+    def test_availability_sweep_reproducible(self):
+        def run():
+            sweep = AvailabilitySweep(("2PC",), mttfs=(40_000.0,),
+                                      mttr_ms=2_000.0,
+                                      measured_transactions=50, seed=5)
+            point = sweep.run().point("2PC", 40_000.0)
+            return (dataclasses.asdict(point.result), point.crashes,
+                    point.messages_dropped, point.in_doubt_resolved)
+
+        assert run() == run()
+
+
+# ----------------------------------------------------------------------
+# Free when inactive: golden byte-identity
+# ----------------------------------------------------------------------
+class TestInactiveIsFree:
+    def test_zero_fault_config_matches_golden_tier1(self):
+        grid = json.loads(GOLDEN.read_text())["tier1"]
+        mismatched = []
+        for protocol in grid["protocols"]:
+            for mpl in grid["mpls"]:
+                result = repro.simulate(
+                    protocol, params=ModelParams(mpl=mpl),
+                    measured_transactions=grid["transactions"],
+                    seed=point_seed(20250705, 0),
+                    faults=FaultConfig())  # inactive: must change nothing
+                got = json.loads(json.dumps(dataclasses.asdict(result)))
+                if got != grid["points"][f"{protocol}@{mpl}"]:
+                    mismatched.append(f"{protocol}@{mpl}")
+        assert not mismatched, (
+            f"an inactive FaultConfig perturbed {mismatched}; the "
+            f"injector must be free when nothing is injected")
+
+
+# ----------------------------------------------------------------------
+# Liveness: every protocol survives every fault mix
+# ----------------------------------------------------------------------
+class TestSurvival:
+    @pytest.mark.parametrize("protocol", repro.PROTOCOL_NAMES)
+    def test_protocol_survives_crash_sweep(self, protocol):
+        result, injector, _ = _faulty_run(protocol, transactions=60, **HARSH)
+        # run() returns only once `measured_transactions` commits have
+        # happened: returning at all is the no-hang proof.
+        assert result.committed == 60
+        assert injector.crashes >= 1, "environment too mild to test"
+        assert injector.recoveries <= injector.crashes
+
+    def test_scheduled_crash_fires_and_recovers(self):
+        schedule = (CrashEvent(site_id=1, at_ms=500.0, duration_ms=800.0),)
+        result, injector, log = _faulty_run(
+            "2PC", transactions=40, mttf_ms=0.0, mttr_ms=2_000.0,
+            crash_schedule=schedule,
+            log_kinds=(EventKind.SITE_CRASH, EventKind.SITE_RECOVER))
+        assert result.committed == 40
+        assert injector.crashes == 1 and injector.recoveries == 1
+        crash, recover = log.events
+        assert (crash.kind, crash.site_id) == (EventKind.SITE_CRASH, 1)
+        assert (recover.kind, recover.site_id) == (EventKind.SITE_RECOVER, 1)
+        assert crash.time == 500.0
+        assert recover.time == pytest.approx(1300.0)
+
+    def test_message_loss_only_still_completes(self):
+        result, injector, log = _faulty_run(
+            "3PC", transactions=60, mttf_ms=0.0, msg_loss_prob=0.05,
+            log_kinds=(EventKind.MSG_DROP,))
+        assert result.committed == 60
+        assert injector.messages_dropped >= 1
+        assert {e.reason for e in log.events} == {"loss"}
+
+    def test_message_delay_only_still_completes(self):
+        plain, _, _ = _faulty_run("2PC", transactions=60, mttf_ms=0.0,
+                                  msg_loss_prob=0.01)
+        slow, _, _ = _faulty_run("2PC", transactions=60, mttf_ms=0.0,
+                                 msg_loss_prob=0.01, msg_delay_ms=30.0)
+        assert slow.committed == 60
+        # Injected latency reshuffles the whole trajectory (contention,
+        # aborts), so no per-seed monotonicity claim -- just that the
+        # delays actually happened and nothing hung.
+        assert slow.elapsed_ms != plain.elapsed_ms
+        plan = FaultPlan(FaultConfig(msg_delay_ms=30.0), RandomStreams(1),
+                         num_sites=4)
+        draws = [plan.message_delay("COMMIT") for _ in range(200)]
+        assert all(d > 0 for d in draws)
+        assert sum(draws) / len(draws) == pytest.approx(30.0, rel=0.3)
+        assert plan.message_delay("VOTE_YES") > 0  # every kind by default
+        picky = FaultPlan(FaultConfig(msg_delay_ms=30.0,
+                                      faulty_kinds=("VOTE_YES",)),
+                          RandomStreams(1), num_sites=4)
+        assert picky.message_delay("COMMIT") == 0.0
+
+    def test_loss_respects_faulty_kinds(self):
+        _, _, log = _faulty_run(
+            "2PC", transactions=60, mttf_ms=0.0, msg_loss_prob=0.3,
+            faulty_kinds=("VOTE_YES",),
+            log_kinds=(EventKind.MSG_DROP,))
+        assert log.events, "0.3 loss on votes must drop something"
+        assert {e.message.kind for e in log.events} == \
+            {MessageKind.VOTE_YES}
+
+    def test_timeout_aborts_are_attributed(self):
+        result, _, _ = _faulty_run("2PC", transactions=60, mttf_ms=0.0,
+                                   msg_loss_prob=0.08)
+        assert result.aborts_by_reason.get("timeout", 0) >= 1
+
+
+# ----------------------------------------------------------------------
+# Presumption rules: what recovery reads from the WAL
+# ----------------------------------------------------------------------
+class TestPresumptionRules:
+    """Unit-level classification: presumed_outcome maps stable log
+    records to decisions exactly as each protocol's rule dictates."""
+
+    def outcome(self, protocol, kinds):
+        return repro.create_protocol(protocol).presumed_outcome(
+            None, frozenset(kinds))
+
+    def test_2pc_presumes_abort_without_a_decision_record(self):
+        assert self.outcome("2PC", {LogRecordKind.PREPARE}) == \
+            ("abort", "no-decision-record")
+
+    def test_pa_presumes_abort(self):
+        assert self.outcome("PA", set()) == ("abort", "presumed-abort")
+
+    def test_pc_collecting_record_means_commit(self):
+        assert self.outcome("PC", {LogRecordKind.COLLECTING}) == \
+            ("commit", "presumed-commit")
+        assert self.outcome("PC", set()) == ("abort", "no-collecting-record")
+
+    def test_ep_reads_like_pc(self):
+        assert self.outcome("EP", {LogRecordKind.COLLECTING}) == \
+            ("commit", "presumed-commit")
+        assert self.outcome("EP", set()) == ("abort", "no-collecting-record")
+
+    def test_3pc_precommit_record_means_commit(self):
+        assert self.outcome("3PC", {LogRecordKind.PRECOMMIT,
+                                    LogRecordKind.PREPARE}) == \
+            ("commit", "precommit-record")
+        assert self.outcome("3PC", {LogRecordKind.PREPARE}) == \
+            ("abort", "no-decision-record")
+
+    RULES = {
+        "2PC": {"decision-record", "no-decision-record"},
+        "PA": {"decision-record", "presumed-abort"},
+        "PC": {"decision-record", "presumed-commit",
+               "no-collecting-record"},
+        "3PC": {"decision-record", "termination-protocol",
+                "precommit-record", "no-decision-record"},
+        "LIN-2PC": {"decision-record", "no-decision-record"},
+    }
+
+    @pytest.mark.parametrize("protocol", sorted(RULES))
+    def test_runtime_resolutions_use_the_protocol_rules(self, protocol):
+        _, injector, log = _faulty_run(
+            protocol, transactions=100, seed=9,
+            log_kinds=(EventKind.TXN_RESOLVED_IN_DOUBT,), **HARSH)
+        assert injector.in_doubt_resolved == len(log.events)
+        assert log.events, "environment too mild: nothing went in doubt"
+        for event in log.events:
+            assert event.rule in self.RULES[protocol], event
+            assert event.outcome in ("commit", "abort")
+            if event.rule in ("presumed-commit", "precommit-record",
+                              "termination-protocol"):
+                assert event.outcome == "commit"
+            if event.rule in ("presumed-abort", "no-decision-record",
+                              "no-collecting-record"):
+                assert event.outcome == "abort"
+
+    def test_recovery_replay_publishes_site_events(self):
+        _, injector, log = _faulty_run(
+            "PA", transactions=100, seed=9,
+            log_kinds=(EventKind.SITE_RECOVERY_REPLAY,), **HARSH)
+        assert injector.replays == len(log.events)
+        assert injector.replays == injector.recoveries
+
+
+# ----------------------------------------------------------------------
+# Scripted blocking scenarios ride on the same machinery
+# ----------------------------------------------------------------------
+class TestCrashScenarioIntegration:
+    def test_3pc_termination_round_is_network_traffic(self):
+        from repro.failures import run_crash_scenario
+        log = EventLog(kinds=(EventKind.MSG_SEND,))
+        run_crash_scenario("3PC", crash_duration_ms=5_000.0,
+                           decision_timeout_ms=500.0,
+                           measured_transactions=150, seed=11,
+                           event_log=log)
+        inquiries = [e for e in log.events
+                     if e.message.kind is MessageKind.STATUS_INQ]
+        assert inquiries, (
+            "the termination protocol must route its state-exchange "
+            "round through the network, not burn anonymous CPU")
+
+    def test_compare_blocking_accepts_shared_seed(self):
+        from repro.failures import compare_blocking
+        reports = compare_blocking(crash_duration_ms=5_000.0,
+                                   measured_transactions=150,
+                                   protocols=("2PC",), seed=11)
+        again = compare_blocking(crash_duration_ms=5_000.0,
+                                 measured_transactions=150,
+                                 protocols=("2PC",), seed=11)
+        assert dataclasses.asdict(reports["2PC"]) == \
+            dataclasses.asdict(again["2PC"])
