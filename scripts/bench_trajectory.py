@@ -46,6 +46,11 @@ SMOKE_FLOOR_BUS_GUARDS_PER_SEC = 1_000_000.0
 #: is a handful of ``is None`` attribute tests on hot paths.  Best-of-N
 #: wall-clock ratio vs a plain run must stay within 2%.
 SMOKE_CEIL_FAULT_OVERHEAD = 1.02
+#: The open-system machinery (Poisson arrivals, bounded queues, extra
+#: bus events, percentile samples) rides on the same kernel; a mid-load
+#: open point must clear the same order-of-magnitude floor as the
+#: closed end-to-end run.
+SMOKE_FLOOR_OPEN_TXNS_PER_SEC = 100.0
 
 
 def _best_of(fn, repeats: int) -> tuple[float, object]:
@@ -210,6 +215,27 @@ def bench_end_to_end(transactions: int, repeats: int) -> dict:
             "txns_per_sec": committed / wall}
 
 
+def bench_open_saturation_point(transactions: int, repeats: int) -> dict:
+    """One open-mode mid-load point (wall-clock cost of the arrival,
+    admission-queue, and percentile machinery on top of the kernel)."""
+    import repro
+    from repro.config import open_system
+
+    params = open_system(arrival_rate_tps=1.0)
+
+    def run():
+        return repro.simulate("2PC", params,
+                              measured_transactions=transactions,
+                              warmup_transactions=transactions // 10)
+
+    wall, result = _best_of(run, repeats)
+    return {"wall_s": wall, "txns": result.committed,
+            "txns_per_sec": result.committed / wall,
+            "arrival_rate_tps": params.arrival_rate_tps,
+            "carried_tps_sim": result.throughput,
+            "shed_ratio": result.shed_ratio}
+
+
 def bench_fault_overhead(transactions: int, repeats: int) -> dict:
     """Cost of the fault-injection plane when nothing is injected.
 
@@ -312,6 +338,8 @@ def main(argv=None) -> int:
                                            sizes["repeats"]),
         "end_to_end": bench_end_to_end(sizes["transactions"],
                                        sizes["repeats"]),
+        "open_saturation_point": bench_open_saturation_point(
+            sizes["transactions"], sizes["repeats"]),
         # Wall-clock ratios need best-of-N even in smoke mode.
         "fault_overhead": bench_fault_overhead(sizes["transactions"],
                                                max(sizes["repeats"], 3)),
@@ -360,6 +388,12 @@ def main(argv=None) -> int:
                 f"end-to-end below floor: "
                 f"{kernel['end_to_end']['txns_per_sec']:,.0f} < "
                 f"{SMOKE_FLOOR_TXNS_PER_SEC:,.0f} txns/s")
+        if kernel["open_saturation_point"]["txns_per_sec"] < \
+                SMOKE_FLOOR_OPEN_TXNS_PER_SEC:
+            failures.append(
+                f"open-mode point below floor: "
+                f"{kernel['open_saturation_point']['txns_per_sec']:,.0f} < "
+                f"{SMOKE_FLOOR_OPEN_TXNS_PER_SEC:,.0f} txns/s")
         if kernel["fault_overhead"]["overhead_ratio"] > \
                 SMOKE_CEIL_FAULT_OVERHEAD:
             failures.append(

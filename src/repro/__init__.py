@@ -26,9 +26,11 @@ from repro.config import (
     ModelParams,
     Topology,
     TransactionType,
+    WorkloadMode,
     baseline_rc_dc,
     fast_network,
     high_distribution,
+    open_system,
     pure_data_contention,
     sequential_transactions,
     surprise_aborts,
@@ -39,7 +41,12 @@ from repro.core import (
     create_protocol,
     protocol_requires_centralized_topology,
 )
-from repro.db.system import DistributedSystem, SimulationResult
+from repro.db.system import (
+    DistributedSystem,
+    OpenSimulationResult,
+    SimulationResult,
+)
+from repro.db.workload import AccessSkew, SkewKind
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults import FaultConfig
@@ -48,17 +55,22 @@ __version__ = "1.0.0"
 
 __all__ = [
     "PROTOCOL_NAMES",
+    "AccessSkew",
     "CommitProtocol",
     "DistributedSystem",
     "ModelParams",
+    "OpenSimulationResult",
     "SimulationResult",
+    "SkewKind",
     "Topology",
     "TransactionType",
+    "WorkloadMode",
     "baseline_rc_dc",
     "build_system",
     "create_protocol",
     "fast_network",
     "high_distribution",
+    "open_system",
     "protocol_requires_centralized_topology",
     "pure_data_contention",
     "sequential_transactions",

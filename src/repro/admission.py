@@ -1,4 +1,5 @@
-"""Admission control: the Half-and-Half load controller.
+"""Admission control: the Half-and-Half load controller and the
+open-system bounded admission queue.
 
 The paper reports *peak* throughput because "by using a suitable
 admission control policy (for example, Half-and-Half [7]), the
@@ -29,11 +30,85 @@ import typing
 
 from repro.obs.events import EventKind
 from repro.sim.events import Event
+from repro.sim.stats import TimeWeightedAverage
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db.transaction import CohortAgent, Transaction
     from repro.obs.bus import EventBus, Subscription
     from repro.sim.engine import Environment
+
+
+class BoundedAdmissionQueue:
+    """A bounded FIFO admission queue for the open-system workload.
+
+    The gate counterpart of :class:`HalfAndHalfController` for open
+    arrivals: arrivals :meth:`offer` themselves; a full queue rejects the
+    arrival (the caller counts it as shed load); per-site server slots
+    :meth:`get` the oldest waiting arrival.  The queue tracks its
+    time-weighted length so mean backlog can be reported per run.
+
+    Unlike :class:`repro.sim.resources.Store`, ``put`` can fail -- that
+    is the point: in an open system the queue bound is the knob that
+    turns overload into shed load instead of unbounded latency.
+    """
+
+    def __init__(self, env: "Environment", limit: int) -> None:
+        if limit < 1:
+            raise ValueError(f"queue limit must be >= 1, got {limit}")
+        self.env = env
+        self.limit = limit
+        self._items: collections.deque[typing.Any] = collections.deque()
+        self._getters: collections.deque[Event] = collections.deque()
+        # Lifetime counters (diagnostics; measured-period accounting
+        # lives in the metrics collector, fed by bus events).
+        self.offered = 0
+        self.shed = 0
+        self.admitted = 0
+        self.length = TimeWeightedAverage(initial_time=env.now)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.limit
+
+    def offer(self, item: typing.Any) -> bool:
+        """Admit ``item`` if there is room; False means it was shed."""
+        self.offered += 1
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                # An idle server is waiting: hand over directly, the
+                # item never occupies a queue slot.
+                self.admitted += 1
+                getter.succeed(item)
+                return True
+        if len(self._items) >= self.limit:
+            self.shed += 1
+            return False
+        self.admitted += 1
+        self._items.append(item)
+        self.length.update(len(self._items), self.env.now)
+        return True
+
+    def get(self) -> Event:
+        """Event yielding the oldest queued arrival."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+            self.length.update(len(self._items), self.env.now)
+        else:
+            self._getters.append(event)
+        return event
+
+    def reset_stats(self, now: float) -> None:
+        """End of warmup: discard the time-weighted length history."""
+        self.length.reset(now)
+
+    def __repr__(self) -> str:
+        return (f"<BoundedAdmissionQueue {len(self._items)}/{self.limit} "
+                f"shed={self.shed}>")
 
 
 class HalfAndHalfController:

@@ -7,16 +7,20 @@ Examples::
     repro-commit run E5-DC
     repro-commit tables --transactions 80
     repro-commit simulate OPT --mpl 6 --transactions 2000
+    repro-commit simulate 2PC --open --arrival-rate 1.5 --skew hotspot:10:90
+    repro-commit saturation --rates 0.5,1,1.5,2 --skew zipf:0.8
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 import typing
 
 import repro
+from repro.config import DEFAULT_OPEN_ARRIVAL_TPS
 from repro.analysis.tables import render_comparison
 from repro.experiments import get_experiment
 from repro.experiments.registry import EXPERIMENTS
@@ -42,6 +46,63 @@ def _parse_mpls(text: str) -> tuple[int, ...]:
     except ValueError:
         raise argparse.ArgumentTypeError(
             f"--mpls wants comma-separated integers, got {text!r}")
+
+
+def _parse_skew(text: str):
+    from repro.db.workload import AccessSkew
+    try:
+        return AccessSkew.parse(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
+
+
+def _parse_rates(text: str) -> tuple[float, ...]:
+    try:
+        rates = tuple(float(part) for part in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--rates wants comma-separated numbers, got {text!r}")
+    if not rates or any(rate <= 0 for rate in rates):
+        raise argparse.ArgumentTypeError(
+            f"--rates wants positive arrival rates, got {text!r}")
+    return rates
+
+
+def _add_open_args(parser: argparse.ArgumentParser) -> None:
+    """Open-system workload flags (simulate and run)."""
+    parser.add_argument("--open", action="store_true",
+                        help="open-system mode: per-site Poisson arrivals "
+                             "feed a bounded admission queue; mpl becomes "
+                             "the per-site concurrency cap")
+    parser.add_argument("--arrival-rate", type=float, default=None,
+                        metavar="TPS",
+                        help="per-site arrival rate in txns/s (with "
+                             f"--open; default {DEFAULT_OPEN_ARRIVAL_TPS})")
+    parser.add_argument("--queue-limit", type=int, default=64,
+                        help="per-site admission queue bound; arrivals "
+                             "beyond it are shed (with --open)")
+    parser.add_argument("--skew", type=_parse_skew, default=None,
+                        metavar="SPEC",
+                        help="page-access skew: 'uniform', "
+                             "'hotspot:<page%%>:<access%%>' (e.g. "
+                             "hotspot:10:90), or 'zipf:<theta>'; applies "
+                             "in closed mode too")
+
+
+def _open_overrides(args: argparse.Namespace) -> dict[str, object]:
+    """Translate the open-system flags into ModelParams overrides."""
+    overrides: dict[str, object] = {}
+    if args.skew is not None:
+        overrides["skew"] = args.skew
+    if args.open:
+        rate = (args.arrival_rate if args.arrival_rate is not None
+                else DEFAULT_OPEN_ARRIVAL_TPS)
+        overrides["workload_mode"] = repro.WorkloadMode.OPEN
+        overrides["arrival_rate_tps"] = rate
+        overrides["admission_queue_limit"] = args.queue_limit
+    elif args.arrival_rate is not None:
+        raise ValueError("--arrival-rate requires --open")
+    return overrides
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="stream every simulation event to this JSONL "
                           "file (one meta line per sweep point; "
                           "requires --jobs 1)")
+    _add_open_args(run)
 
     tables = sub.add_parser("tables",
                             help="regenerate overhead Tables 3 and 4")
@@ -96,7 +158,31 @@ def build_parser() -> argparse.ArgumentParser:
                           "file")
     sim.add_argument("--phases", action="store_true",
                      help="report the per-phase commit latency breakdown")
+    _add_open_args(sim)
     _add_fault_args(sim)
+
+    sat = sub.add_parser(
+        "saturation",
+        help="open-system carried load vs offered load, per protocol")
+    sat.add_argument("--protocols", default="2PC,PA,PC,3PC,OPT",
+                     help="comma-separated protocol names "
+                          "(default 2PC,PA,PC,3PC,OPT; 'all' = every "
+                          "registered protocol)")
+    sat.add_argument("--rates", type=_parse_rates, default=None,
+                     help="comma-separated per-site arrival rates in "
+                          "txns/s (default 0.5,1,1.5,2,3,5)")
+    sat.add_argument("--mpl", type=int, default=8,
+                     help="per-site concurrency cap")
+    sat.add_argument("--skew", type=_parse_skew, default=None,
+                     metavar="SPEC",
+                     help="page-access skew (see simulate --skew)")
+    sat.add_argument("--queue-limit", type=int, default=64,
+                     help="per-site admission queue bound")
+    sat.add_argument("--transactions", type=int, default=300,
+                     help="measured transactions per point")
+    sat.add_argument("--seed", type=int, default=20250705)
+    sat.add_argument("--quiet", action="store_true",
+                     help="suppress per-point progress output")
 
     avail = sub.add_parser(
         "availability",
@@ -153,6 +239,17 @@ def cmd_run(args: argparse.Namespace, out: typing.TextIO) -> int:
     if args.events_out is not None and resolve_jobs(args.jobs) != 1:
         out.write("error: --events-out requires --jobs 1\n")
         return 2
+    try:
+        overrides = _open_overrides(args)
+    except ValueError as error:
+        out.write(f"error: {error}\n")
+        return 2
+    if overrides:
+        base_factory = definition.params_factory
+        definition = dataclasses.replace(
+            definition,
+            params_factory=lambda mpl, _base=base_factory:
+                _base(mpl).replace(**overrides))
     progress = None if args.quiet else (
         lambda text: out.write(f"  ... {text}\n"))
     started = time.time()
@@ -227,11 +324,23 @@ def cmd_simulate(args: argparse.Namespace, out: typing.TextIO) -> int:
             update_prob=args.update_prob,
             msg_cpu_ms=args.msg_cpu_ms,
             infinite_resources=args.pure_dc,
-            surprise_abort_prob=args.surprise_abort_prob)
+            surprise_abort_prob=args.surprise_abort_prob,
+            **_open_overrides(args))
+    except ValueError as error:
+        # Bad protocol name or inconsistent parameters: a CLI error,
+        # not a traceback.
+        out.write(f"error: {error}\n")
+        return 2
     finally:
         if exporter is not None:
             exporter.close()
     out.write(result.summary() + "\n")
+    if isinstance(result, repro.OpenSimulationResult):
+        out.write(f"open system: offered={result.offered} "
+                  f"({result.offered_per_second:.2f}/s) "
+                  f"shed={result.shed} ({result.shed_ratio:.1%}) "
+                  f"mean queue={result.mean_queue_length:.2f} "
+                  f"qwait={result.queue_wait_mean_ms:.1f}ms\n")
     out.write(f"overheads per committing txn: "
               f"exec_msgs={result.overheads.execution_messages:.2f} "
               f"forced={result.overheads.forced_writes:.2f} "
@@ -278,6 +387,30 @@ def cmd_availability(args: argparse.Namespace, out: typing.TextIO) -> int:
     return 0
 
 
+def cmd_saturation(args: argparse.Namespace, out: typing.TextIO) -> int:
+    from repro.experiments.saturation import DEFAULT_RATES, SaturationSweep
+    if args.protocols.strip().lower() == "all":
+        protocols: typing.Sequence[str] = repro.PROTOCOL_NAMES
+    else:
+        protocols = tuple(p.strip() for p in args.protocols.split(","))
+    progress = None if args.quiet else (
+        lambda text: out.write(f"  ... {text}\n"))
+    started = time.time()
+    sweep = SaturationSweep(
+        protocols,
+        rates=args.rates if args.rates is not None else DEFAULT_RATES,
+        mpl=args.mpl, skew=args.skew, queue_limit=args.queue_limit,
+        measured_transactions=args.transactions, seed=args.seed)
+    try:
+        results = sweep.run(progress=progress)
+    except ValueError as error:
+        out.write(f"error: {error}\n")
+        return 2
+    out.write(results.summary() + "\n")
+    out.write(f"(completed in {time.time() - started:.1f}s wall time)\n")
+    return 0
+
+
 def main(argv: typing.Sequence[str] | None = None,
          out: typing.TextIO = sys.stdout) -> int:
     args = build_parser().parse_args(argv)
@@ -291,6 +424,8 @@ def main(argv: typing.Sequence[str] | None = None,
         return cmd_simulate(args, out)
     if args.command == "availability":
         return cmd_availability(args, out)
+    if args.command == "saturation":
+        return cmd_saturation(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -13,6 +13,23 @@ from __future__ import annotations
 import dataclasses
 import enum
 import math
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.workload import AccessSkew
+
+
+class WorkloadMode(enum.Enum):
+    """How transactions enter the system."""
+
+    #: The paper's closed queueing model: a fixed multiprogramming level
+    #: of ``mpl`` transactions per site, each slot refilled on commit.
+    CLOSED = "closed"
+    #: Open system: per-site Poisson arrivals at ``arrival_rate_tps``,
+    #: a bounded admission queue (``admission_queue_limit``) shedding
+    #: load when full, and at most ``mpl`` concurrently executing
+    #: transactions per site.
+    OPEN = "open"
 
 
 class TransactionType(enum.Enum):
@@ -93,6 +110,18 @@ class ModelParams:
     #: "Group Commit").
     group_commit: bool = False
 
+    # ----- open-system workload (extension; see docs/MODEL.md) ---------
+    #: CLOSED keeps the paper's fixed-MPL model byte-identical; OPEN
+    #: turns ``mpl`` into a per-site concurrency cap fed by arrivals.
+    workload_mode: WorkloadMode = WorkloadMode.CLOSED
+    #: mean Poisson arrival rate per site, transactions/second (OPEN).
+    arrival_rate_tps: float = 0.0
+    #: per-site admission queue bound; arrivals beyond it are shed (OPEN).
+    admission_queue_limit: int = 64
+    #: page-access skew (None = the paper's uniform model).  An
+    #: :class:`repro.db.workload.AccessSkew`; applies in both modes.
+    skew: "AccessSkew | None" = None
+
     # ----- run control --------------------------------------------------
     seed: int = 20250705
 
@@ -110,7 +139,8 @@ class ModelParams:
             raise ValueError("mpl must be >= 1")
         if not 1 <= self.dist_degree <= self.num_sites:
             raise ValueError(
-                f"dist_degree must be in [1, num_sites], got {self.dist_degree}")
+                f"dist_degree must be in [1, num_sites={self.num_sites}] "
+                f"(one cohort per distinct site), got {self.dist_degree}")
         if self.cohort_size < 1:
             raise ValueError("cohort_size must be >= 1")
         if not 0.0 <= self.update_prob <= 1.0:
@@ -126,8 +156,24 @@ class ModelParams:
         max_cohort_pages = self.max_cohort_pages
         if self.pages_per_site < max_cohort_pages:
             raise ValueError(
-                "a site must hold at least max cohort size pages: "
-                f"{self.pages_per_site} < {max_cohort_pages}")
+                f"a site must hold at least the largest cohort access set "
+                f"(1.5 x cohort_size = {max_cohort_pages} pages), but "
+                f"db_size={self.db_size} over num_sites={self.num_sites} "
+                f"leaves only {self.pages_per_site} pages per site")
+        if self.arrival_rate_tps < 0:
+            raise ValueError(
+                f"arrival_rate_tps must be >= 0, got {self.arrival_rate_tps}")
+        if self.workload_mode is WorkloadMode.OPEN \
+                and self.arrival_rate_tps <= 0:
+            raise ValueError(
+                "the open workload mode needs arrival_rate_tps > 0 "
+                "(per-site Poisson arrival rate in transactions/second)")
+        if self.admission_queue_limit < 1:
+            raise ValueError(
+                f"admission_queue_limit must be >= 1, got "
+                f"{self.admission_queue_limit}")
+        if self.skew is not None:
+            self.skew.validate()
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -222,5 +268,32 @@ def surprise_aborts(cohort_abort_prob: float, pure_dc: bool = False,
 def sequential_transactions(**overrides: object) -> ModelParams:
     """Section 5.8: sequential (rather than parallel) cohort execution."""
     params: dict[str, object] = {"trans_type": TransactionType.SEQUENTIAL}
+    params.update(overrides)
+    return ModelParams(**params)  # type: ignore[arg-type]
+
+
+#: Per-site arrival rate used when the CLI enables ``--open`` without an
+#: explicit ``--arrival-rate`` (a mid-load point under the baseline
+#: hardware: each site sustains ~1.6 committed txns/s at mpl=8, so 1.0
+#: offered txns/s/site is roughly 60% utilization).
+DEFAULT_OPEN_ARRIVAL_TPS = 1.0
+
+
+def open_system(arrival_rate_tps: float = DEFAULT_OPEN_ARRIVAL_TPS,
+                skew: "AccessSkew | None" = None,
+                admission_queue_limit: int = 64,
+                **overrides: object) -> ModelParams:
+    """Open-system extension: Poisson arrivals + bounded admission queue.
+
+    ``mpl`` becomes the per-site concurrency cap (service parallelism)
+    rather than a fixed population; ``skew`` optionally concentrates
+    accesses on hot pages (see :class:`repro.db.workload.AccessSkew`).
+    """
+    params: dict[str, object] = {
+        "workload_mode": WorkloadMode.OPEN,
+        "arrival_rate_tps": arrival_rate_tps,
+        "admission_queue_limit": admission_queue_limit,
+        "skew": skew,
+    }
     params.update(overrides)
     return ModelParams(**params)  # type: ignore[arg-type]

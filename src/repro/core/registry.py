@@ -47,13 +47,15 @@ PROTOCOL_NAMES: tuple[str, ...] = tuple(_FACTORIES)
 def create_protocol(name: str) -> CommitProtocol:
     """Instantiate the protocol registered under ``name``.
 
-    Raises ``KeyError`` with the list of valid names on a miss.
+    Raises ``ValueError`` (a bad *input*, not a bad lookup -- callers
+    like the CLI surface it as a usage error) naming the valid choices.
     """
     try:
         factory = _FACTORIES[name.upper()]
     except KeyError:
-        raise KeyError(
-            f"unknown protocol {name!r}; choose from {PROTOCOL_NAMES}"
+        raise ValueError(
+            f"unknown protocol {name!r}; choose from "
+            f"{', '.join(PROTOCOL_NAMES)}"
         ) from None
     return factory()
 

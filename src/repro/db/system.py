@@ -11,7 +11,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-from repro.config import ModelParams, Topology
+from repro.config import ModelParams, Topology, WorkloadMode
 from repro.db.deadlock import WaitForGraph
 from repro.db.network import Network
 from repro.db.pages import PageDirectory
@@ -33,8 +33,11 @@ from repro.obs.events import (
     EventKind,
     LenderAbort,
     TxnAbort,
+    TxnArrive,
     TxnCommit,
+    TxnDequeue,
     TxnRestart,
+    TxnShed,
     TxnSubmit,
 )
 from repro.sim.engine import Environment
@@ -42,6 +45,7 @@ from repro.sim.events import Event
 from repro.sim.rng import RandomStreams
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.admission import BoundedAdmissionQueue
     from repro.core.base import CommitProtocol
     from repro.faults.injector import FaultInjector
     from repro.faults.plan import FaultConfig, FaultTimeouts
@@ -81,6 +85,43 @@ class SimulationResult:
                 f"aborts={self.abort_ratio:5.3f}")
 
 
+@dataclasses.dataclass
+class OpenSimulationResult(SimulationResult):
+    """A run under ``WorkloadMode.OPEN``: adds the open-system metrics.
+
+    A subclass (rather than new fields on :class:`SimulationResult`) so
+    closed-mode results keep their exact ``dataclasses.asdict`` shape --
+    the golden-sweep fixture pins that byte-for-byte.  All fields must
+    default because the parent ends with defaulted fields.
+    """
+
+    #: configured per-site Poisson arrival rate (txns/second).
+    arrival_rate_tps: float = 0.0
+    #: arrivals reaching the admission queues in the measured period.
+    offered: int = 0
+    #: arrivals dropped on a full queue.
+    shed: int = 0
+    shed_ratio: float = 0.0
+    #: measured offered load, transactions/second (all sites combined).
+    offered_per_second: float = 0.0
+    queue_wait_mean_ms: float = 0.0
+    queue_wait_p95_ms: float = 0.0
+    response_p50_ms: float = 0.0
+    response_p95_ms: float = 0.0
+    response_p99_ms: float = 0.0
+    #: time-averaged admission-queue backlog summed over sites.
+    mean_queue_length: float = 0.0
+
+    def summary(self) -> str:
+        return (f"{self.protocol:>8}  rate={self.arrival_rate_tps:6.1f}/s "
+                f"carried={self.throughput:7.2f}/s  "
+                f"shed={self.shed_ratio:5.3f}  "
+                f"qwait={self.queue_wait_mean_ms:7.1f}ms  "
+                f"p50={self.response_p50_ms:7.1f}  "
+                f"p95={self.response_p95_ms:7.1f}  "
+                f"p99={self.response_p99_ms:7.1f}")
+
+
 class DistributedSystem:
     """One configured instance of the simulated DBMS."""
 
@@ -98,9 +139,11 @@ class DistributedSystem:
         #: publishes typed events here; observers subscribe.
         self.bus = EventBus()
         total_slots = params.mpl * params.num_sites
+        self.open_mode = params.workload_mode is WorkloadMode.OPEN
         self.metrics = MetricsCollector(
             self.env, total_slots,
-            initial_response_estimate=params.initial_response_time_estimate())
+            initial_response_estimate=params.initial_response_time_estimate(),
+            open_system=self.open_mode)
         # Subscription order is semantic: metrics must see block/unblock
         # transitions before the admission controller acts on them.
         self.metrics.subscribe(self.bus)
@@ -118,6 +161,14 @@ class DistributedSystem:
                                        params.num_data_disks)
         self.sites = self._build_sites()
         self.workload = WorkloadGenerator(params, self.directory, self.streams)
+        #: per-logical-site bounded admission queues (open mode only;
+        #: empty list in closed mode so the attribute is always present).
+        self.open_queues: list["BoundedAdmissionQueue"] = []
+        if self.open_mode:
+            from repro.admission import BoundedAdmissionQueue
+            self.open_queues = [
+                BoundedAdmissionQueue(self.env, params.admission_queue_limit)
+                for _ in range(params.num_sites)]
         self._surprise_rng = self.streams.stream("surprise-aborts")
         self.transactions_started = 0
         self._started = False
@@ -188,12 +239,27 @@ class DistributedSystem:
     # Transaction lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Spawn the closed-system workload slots (idempotent)."""
+        """Spawn the workload processes (idempotent).
+
+        Closed mode: ``mpl`` always-busy slots per site.  Open mode: one
+        Poisson arrival process per site feeding its bounded admission
+        queue, and ``mpl`` server slots per site draining it.
+        """
         if self._started:
             return
         self._started = True
         if self.faults is not None:
             self.faults.start()
+        if self.open_mode:
+            for logical_site in range(self.params.num_sites):
+                self.env.process(
+                    self._open_arrivals(logical_site),
+                    name=f"arrivals-{logical_site}")
+                for slot in range(self.params.mpl):
+                    self.env.process(
+                        self._open_worker(logical_site),
+                        name=f"server-{logical_site}.{slot}")
+            return
         for logical_site in range(self.params.num_sites):
             for slot in range(self.params.mpl):
                 self.env.process(
@@ -205,32 +271,73 @@ class DistributedSystem:
         env = self.env
         while True:
             spec = self.workload.generate(origin_site)
-            first_submit = env.now
-            incarnation = 0
-            while True:
-                if self.admission is not None:
-                    yield from self.admission.admit()
-                if self.faults is not None:
-                    # A down origin site cannot accept new transactions.
-                    yield from self.faults.wait_until_up(
-                        self.site_for(spec.origin_site))
-                txn = self._launch(spec, incarnation, first_submit)
-                assert txn.master is not None
-                outcome = yield txn.master.process
-                if self.admission is not None:
-                    self.admission.release()
-                if self.faults is not None:
-                    self.faults.untrack(txn)
-                    self._reap_stragglers(txn)
-                if outcome is TransactionOutcome.COMMITTED:
-                    self.bus.publish(TxnCommit(env.now, txn))
-                    break
-                reason = txn.abort_reason or AbortReason.SURPRISE_VOTE
-                self.bus.publish(TxnAbort(env.now, txn, reason))
-                # "A transaction that is aborted is restarted after a
-                # delay ... equal to the average response time."
-                yield env.timeout(self.metrics.restart_delay())
-                incarnation += 1
+            yield from self._run_to_commit(spec, env.now)
+
+    def _open_arrivals(self, origin_site: int):
+        """Poisson arrival source for one site's admission queue."""
+        env = self.env
+        params = self.params
+        # A dedicated substream per site: arrival timing is independent
+        # of every workload-shape draw (common random numbers hold
+        # across protocols, and closed-mode streams are untouched).
+        rng = self.streams.indexed_stream("open-arrivals", origin_site)
+        mean_interarrival_ms = 1000.0 / params.arrival_rate_tps
+        queue = self.open_queues[origin_site]
+        bus = self.bus
+        while True:
+            yield env.timeout(rng.expovariate(1.0 / mean_interarrival_ms))
+            spec = self.workload.generate(origin_site)
+            admitted = queue.offer((spec, env.now))
+            if bus.has_subscribers(EventKind.TXN_ARRIVE):
+                bus.publish(TxnArrive(env.now, origin_site, spec.txn_id,
+                                      admitted))
+            if not admitted and bus.has_subscribers(EventKind.TXN_SHED):
+                bus.publish(TxnShed(env.now, origin_site, spec.txn_id,
+                                    len(queue)))
+
+    def _open_worker(self, origin_site: int):
+        """One of a site's ``mpl`` server slots: drain the queue."""
+        env = self.env
+        queue = self.open_queues[origin_site]
+        bus = self.bus
+        while True:
+            spec, arrival_time = yield queue.get()
+            if bus.has_subscribers(EventKind.TXN_DEQUEUE):
+                bus.publish(TxnDequeue(env.now, origin_site, spec.txn_id,
+                                       env.now - arrival_time))
+            # Response time is measured from *arrival*, so queue wait is
+            # part of it -- the open-system latency the paper's closed
+            # model cannot show.
+            yield from self._run_to_commit(spec, arrival_time)
+
+    def _run_to_commit(self, spec: TransactionSpec, first_submit: float):
+        """Drive one transaction through retries until it commits."""
+        env = self.env
+        incarnation = 0
+        while True:
+            if self.admission is not None:
+                yield from self.admission.admit()
+            if self.faults is not None:
+                # A down origin site cannot accept new transactions.
+                yield from self.faults.wait_until_up(
+                    self.site_for(spec.origin_site))
+            txn = self._launch(spec, incarnation, first_submit)
+            assert txn.master is not None
+            outcome = yield txn.master.process
+            if self.admission is not None:
+                self.admission.release()
+            if self.faults is not None:
+                self.faults.untrack(txn)
+                self._reap_stragglers(txn)
+            if outcome is TransactionOutcome.COMMITTED:
+                self.bus.publish(TxnCommit(env.now, txn))
+                return
+            reason = txn.abort_reason or AbortReason.SURPRISE_VOTE
+            self.bus.publish(TxnAbort(env.now, txn, reason))
+            # "A transaction that is aborted is restarted after a
+            # delay ... equal to the average response time."
+            yield env.timeout(self.metrics.restart_delay())
+            incarnation += 1
 
     def _launch(self, spec: TransactionSpec, incarnation: int,
                 first_submit: float) -> Transaction:
@@ -336,6 +443,8 @@ class DistributedSystem:
             self.env.run(until=self.metrics.when_committed(
                 warmup_transactions))
         self.metrics.reset()
+        for queue in self.open_queues:
+            queue.reset_stats(self.env.now)
         self._snapshot_utilization()
         self.env.run(until=self.metrics.when_committed(
             measured_transactions))
@@ -371,13 +480,17 @@ class DistributedSystem:
         return out
 
     def result(self) -> SimulationResult:
-        """Snapshot the measured-period statistics."""
+        """Snapshot the measured-period statistics.
+
+        Open mode returns an :class:`OpenSimulationResult`; closed mode
+        keeps the exact historical :class:`SimulationResult` shape.
+        """
         metrics = self.metrics
         overheads = ProtocolOverheads(
             execution_messages=metrics.exec_messages.mean,
             forced_writes=metrics.forced_writes.mean,
             commit_messages=metrics.commit_messages.mean)
-        return SimulationResult(
+        common: dict[str, typing.Any] = dict(
             protocol=self.protocol.name,
             mpl=self.params.mpl,
             committed=metrics.committed,
@@ -396,6 +509,23 @@ class DistributedSystem:
             response_ci_rel_half_width=(
                 metrics.response_batches.relative_half_width(0.90)),
             utilization=self._measured_utilization())
+        if not self.open_mode:
+            return SimulationResult(**common)
+        now = self.env.now
+        return OpenSimulationResult(
+            **common,
+            arrival_rate_tps=self.params.arrival_rate_tps,
+            offered=metrics.offered,
+            shed=metrics.shed,
+            shed_ratio=metrics.shed_ratio(),
+            offered_per_second=metrics.offered_per_second(),
+            queue_wait_mean_ms=metrics.queue_waits.mean,
+            queue_wait_p95_ms=metrics.queue_wait_sample.percentile(0.95),
+            response_p50_ms=metrics.response_sample.percentile(0.50),
+            response_p95_ms=metrics.response_sample.percentile(0.95),
+            response_p99_ms=metrics.response_sample.percentile(0.99),
+            mean_queue_length=sum(q.length.average(now)
+                                  for q in self.open_queues))
 
     def __repr__(self) -> str:
         return (f"<DistributedSystem {self.protocol.name} "

@@ -481,6 +481,26 @@ class MasterAgent(Agent):
             # An unsolicited vote piggybacked on the completion report.
             self.early_votes.append(message)
 
+    def _recv_work_report(self, deadline: float,
+                          ) -> typing.Generator[Event, typing.Any, "Message"]:
+        """One work report, or ``_WorkTimeout`` once ``deadline`` passes.
+
+        The deadline bounds the *total* wait for this report: stray
+        (late/duplicate) traffic is skipped with the remaining budget,
+        never a fresh ``work_timeout_ms`` window.  (Resetting the window
+        per message let a trickle of strays -- e.g. duplicate ACKs from
+        a recovering site -- postpone the timeout indefinitely.)
+        """
+        while True:
+            remaining = deadline - self.env.now
+            if remaining <= 0:
+                raise _WorkTimeout
+            message = yield from self.recv_wait(remaining, wait="work")
+            if message is None:
+                raise _WorkTimeout
+            if message.kind in self._WORK_REPORT_KINDS:
+                return message
+
     def _start_and_await_parallel(
             self) -> typing.Generator[Event, typing.Any, None]:
         """Start all cohorts together; wait for every completion report."""
@@ -488,16 +508,16 @@ class MasterAgent(Agent):
             yield from self.send(MessageKind.STARTWORK, cohort)
         ft = self.system.fault_timeouts
         pending = len(self.cohorts)
+        deadline = 0.0 if ft is None else self.env.now + ft.work_timeout_ms
         while pending:
             if ft is None:
                 message = yield self.recv()
             else:
-                message = yield from self.recv_wait(ft.work_timeout_ms,
-                                                    wait="work")
-                if message is None:
-                    raise _WorkTimeout
-                if message.kind not in self._WORK_REPORT_KINDS:
-                    continue  # stray (late/duplicate) traffic; ignore
+                message = yield from self._recv_work_report(deadline)
+                # Each accepted report grants the remaining cohorts a
+                # fresh window, so the phase waits at most
+                # ``len(cohorts) * work_timeout_ms`` in total.
+                deadline = self.env.now + ft.work_timeout_ms
             self._take_work_report(message)
             pending -= 1
 
@@ -507,17 +527,14 @@ class MasterAgent(Agent):
         ft = self.system.fault_timeouts
         for cohort in self.cohorts:
             yield from self.send(MessageKind.STARTWORK, cohort)
-            while True:
-                if ft is None:
-                    message = yield self.recv()
-                else:
-                    message = yield from self.recv_wait(ft.work_timeout_ms,
-                                                        wait="work")
-                    if message is None:
-                        raise _WorkTimeout
-                    if message.kind not in self._WORK_REPORT_KINDS:
-                        continue
-                break
+            if ft is None:
+                message = yield self.recv()
+            else:
+                # A fresh deadline per cohort: total wait is bounded by
+                # ``len(cohorts) * work_timeout_ms`` even under stray
+                # traffic.
+                message = yield from self._recv_work_report(
+                    self.env.now + ft.work_timeout_ms)
             self._take_work_report(message)
 
     def _abort_after_work_timeout(self) -> TransactionOutcome:

@@ -1,4 +1,4 @@
-"""Closed-system workload generation.
+"""Workload generation: closed-system slots and open-system arrivals.
 
 Per the paper (Section 4): the per-site multiprogramming level is fixed;
 each transaction executes at ``DistDegree`` sites -- the originating site
@@ -8,6 +8,17 @@ accesses a uniformly random number of pages between 0.5 and 1.5 times
 updated with probability ``UpdateProb``.  Aborted transactions retain
 their access sets across restarts.
 
+Two extensions beyond the paper's closed uniform model:
+
+- :class:`AccessSkew` selects *which* pages a cohort touches: uniform
+  (the paper's model, and the default), a hot-spot rule (``b``% of
+  accesses go to the first ``a``% of a site's pages), or a Zipf(theta)
+  rank distribution.  Uniform skew takes the exact historical sampling
+  path, so closed-mode trajectories stay byte-identical.
+- Under ``WorkloadMode.OPEN`` the same generator feeds per-site Poisson
+  arrival processes instead of fixed slots (see
+  :meth:`repro.db.system.DistributedSystem.start`).
+
 Sites here are *logical* partitions: under the CENT (centralized)
 topology every logical site maps to the single physical site, keeping the
 workload identical so that only the effect of distribution is removed.
@@ -15,15 +26,108 @@ workload identical so that only the effect of distribution is removed.
 
 from __future__ import annotations
 
+import bisect
+import dataclasses
+import enum
 import itertools
 import typing
 
 from repro.db.transaction import CohortAccess, TransactionSpec
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    import random
+
     from repro.config import ModelParams
     from repro.db.pages import PageDirectory
     from repro.sim.rng import RandomStreams
+
+
+class SkewKind(enum.Enum):
+    """How a cohort's page accesses are distributed over its site."""
+
+    #: Every page of the site is equally likely (the paper's model).
+    UNIFORM = "uniform"
+    #: ``hot_access_frac`` of accesses hit the first ``hot_page_frac``
+    #: of the site's pages (the classic "b% of accesses to a% of data").
+    HOTSPOT = "hotspot"
+    #: Page ranks follow a Zipf distribution with parameter ``theta``
+    #: (page slot 0 is the hottest).
+    ZIPF = "zipf"
+
+
+@dataclasses.dataclass(frozen=True)
+class AccessSkew:
+    """The page-access skew knob (CLI syntax in :meth:`parse`).
+
+    Hot pages are the *low-numbered* page slots of each site, so the hot
+    set is the same logical data across restarts, protocols, and seeds.
+    """
+
+    kind: SkewKind = SkewKind.UNIFORM
+    #: hot-spot: fraction of each site's pages forming the hot set (the
+    #: ``a%`` in "b% of accesses to a% of pages").
+    hot_page_frac: float = 0.10
+    #: hot-spot: fraction of accesses directed at the hot set (``b%``).
+    hot_access_frac: float = 0.90
+    #: Zipf exponent; larger is more skewed (0 degenerates to uniform).
+    zipf_theta: float = 0.8
+
+    @property
+    def is_uniform(self) -> bool:
+        return self.kind is SkewKind.UNIFORM
+
+    def validate(self) -> None:
+        if self.kind is SkewKind.HOTSPOT:
+            if not 0.0 < self.hot_page_frac < 1.0:
+                raise ValueError(
+                    f"hot_page_frac must be in (0, 1), got "
+                    f"{self.hot_page_frac}")
+            if not 0.0 < self.hot_access_frac < 1.0:
+                raise ValueError(
+                    f"hot_access_frac must be in (0, 1), got "
+                    f"{self.hot_access_frac}")
+        elif self.kind is SkewKind.ZIPF:
+            if self.zipf_theta <= 0:
+                raise ValueError(
+                    f"zipf_theta must be > 0, got {self.zipf_theta}")
+
+    @classmethod
+    def parse(cls, text: str) -> "AccessSkew":
+        """Parse the CLI syntax.
+
+        - ``uniform``
+        - ``hotspot:<page%>:<access%>`` -- e.g. ``hotspot:10:90`` sends
+          90% of accesses to the hottest 10% of each site's pages.
+        - ``zipf:<theta>`` -- e.g. ``zipf:0.8``.
+        """
+        parts = text.strip().lower().split(":")
+        kind = parts[0]
+        try:
+            if kind == "uniform" and len(parts) == 1:
+                return cls()
+            if kind == "hotspot" and len(parts) == 3:
+                skew = cls(kind=SkewKind.HOTSPOT,
+                           hot_page_frac=float(parts[1]) / 100.0,
+                           hot_access_frac=float(parts[2]) / 100.0)
+                skew.validate()
+                return skew
+            if kind == "zipf" and len(parts) == 2:
+                skew = cls(kind=SkewKind.ZIPF, zipf_theta=float(parts[1]))
+                skew.validate()
+                return skew
+        except ValueError as error:
+            raise ValueError(f"bad skew spec {text!r}: {error}") from None
+        raise ValueError(
+            f"bad skew spec {text!r}; expected 'uniform', "
+            f"'hotspot:<page%>:<access%>', or 'zipf:<theta>'")
+
+    def describe(self) -> str:
+        if self.kind is SkewKind.UNIFORM:
+            return "uniform"
+        if self.kind is SkewKind.HOTSPOT:
+            return (f"hotspot {self.hot_access_frac:.0%} of accesses -> "
+                    f"{self.hot_page_frac:.0%} of pages")
+        return f"zipf theta={self.zipf_theta}"
 
 
 class WorkloadGenerator:
@@ -38,6 +142,11 @@ class WorkloadGenerator:
         self._size_rng = streams.stream("workload-sizes")
         self._update_rng = streams.stream("workload-updates")
         self._txn_ids = itertools.count(1)
+        self.skew = params.skew if params.skew is not None else AccessSkew()
+        self.skew.validate()
+        self._uniform = self.skew.is_uniform
+        #: cache of Zipf cumulative weights, keyed by site page count.
+        self._zipf_cum: dict[int, list[float]] = {}
 
     def generate(self, origin_site: int) -> TransactionSpec:
         """A fresh transaction spec originating at ``origin_site``."""
@@ -57,11 +166,80 @@ class WorkloadGenerator:
         count = self._size_rng.randint(params.min_cohort_pages,
                                        params.max_cohort_pages)
         site_pages = self.directory.pages_at(site)
-        pages = tuple(self._page_rng.sample(range(len(site_pages)), count))
-        pages = tuple(site_pages[i] for i in pages)
+        # Uniform skew takes the historical path untouched: closed-mode
+        # trajectories are pinned byte-identical by the golden fixture.
+        if self._uniform:
+            indexes = self._page_rng.sample(range(len(site_pages)), count)
+        else:
+            indexes = self._sample_skewed(len(site_pages), count)
+        pages = tuple(site_pages[i] for i in indexes)
         updates = tuple(self._update_rng.random() < params.update_prob
                         for _ in pages)
         return CohortAccess(site_id=site, pages=pages, updates=updates)
 
+    # ------------------------------------------------------------------
+    # Skewed page sampling (distinct page slots, rejection on repeats)
+    # ------------------------------------------------------------------
+    def _sample_skewed(self, num_pages: int, count: int) -> list[int]:
+        if count > num_pages:
+            raise ValueError(
+                f"cannot sample {count} distinct pages from a site "
+                f"holding {num_pages}")
+        if self.skew.kind is SkewKind.HOTSPOT:
+            return self._sample_hotspot(num_pages, count)
+        return self._sample_zipf(num_pages, count)
+
+    def _sample_hotspot(self, num_pages: int, count: int) -> list[int]:
+        rng = self._page_rng
+        skew = self.skew
+        hot = max(1, min(num_pages - 1, round(num_pages
+                                              * skew.hot_page_frac)))
+        chosen: set[int] = set()
+        out: list[int] = []
+        hot_left = hot
+        cold_left = num_pages - hot
+        while len(out) < count:
+            want_hot = rng.random() < skew.hot_access_frac
+            # Redirect once a region is exhausted so the loop always
+            # terminates (e.g. 9 distinct pages from a 6-page hot set).
+            if want_hot and hot_left == 0:
+                want_hot = False
+            elif not want_hot and cold_left == 0:
+                want_hot = True
+            slot = (rng.randrange(hot) if want_hot
+                    else rng.randrange(hot, num_pages))
+            if slot in chosen:
+                continue
+            chosen.add(slot)
+            out.append(slot)
+            if want_hot:
+                hot_left -= 1
+            else:
+                cold_left -= 1
+        return out
+
+    def _sample_zipf(self, num_pages: int, count: int) -> list[int]:
+        rng = self._page_rng
+        cum = self._zipf_cum.get(num_pages)
+        if cum is None:
+            theta = self.skew.zipf_theta
+            total = 0.0
+            cum = []
+            for rank in range(1, num_pages + 1):
+                total += rank ** -theta
+                cum.append(total)
+            self._zipf_cum[num_pages] = cum
+        total = cum[-1]
+        chosen: set[int] = set()
+        out: list[int] = []
+        while len(out) < count:
+            slot = bisect.bisect_left(cum, rng.random() * total)
+            if slot in chosen:
+                continue
+            chosen.add(slot)
+            out.append(slot)
+        return out
+
     def __repr__(self) -> str:
-        return f"<WorkloadGenerator dist_degree={self.params.dist_degree}>"
+        return (f"<WorkloadGenerator dist_degree={self.params.dist_degree} "
+                f"skew={self.skew.describe()}>")

@@ -29,6 +29,11 @@ from repro.experiments.runner import (
     point_seed,
     resolve_jobs,
 )
+from repro.experiments.saturation import (
+    SaturationPoint,
+    SaturationResults,
+    SaturationSweep,
+)
 
 __all__ = [
     "AvailabilityPoint",
@@ -40,6 +45,9 @@ __all__ = [
     "MplSweep",
     "ParallelSweepRunner",
     "PointSpec",
+    "SaturationPoint",
+    "SaturationResults",
+    "SaturationSweep",
     "SweepPoint",
     "experiment_ids",
     "get_experiment",

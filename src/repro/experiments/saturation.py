@@ -1,0 +1,169 @@
+"""Saturation sweep: open-system throughput versus offered load.
+
+The paper's closed model reports throughput at a fixed multiprogramming
+level; an open system instead asks *how much offered load each commit
+protocol can carry before the admission queues overflow*.  This sweep
+(an extension; see docs/MODEL.md, "Open-system workload") runs every
+requested protocol across a grid of per-site Poisson arrival rates and
+reports, per point:
+
+- **carried** throughput (committed transactions/second) against the
+  **offered** load -- the two coincide until saturation, then carried
+  flattens at the protocol's service ceiling;
+- the **shed ratio** (arrivals dropped on a full admission queue);
+- mean admission-queue wait and the p50/p95/p99 response percentiles,
+  which diverge from the mean far below the point where throughput
+  visibly flattens -- the behaviour the closed model cannot show.
+
+Faster commit protocols (e.g. OPT's lending) saturate later: their
+curves separate exactly where the paper's MPL sweeps predict.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import repro
+from repro.config import ModelParams, open_system
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.system import OpenSimulationResult
+    from repro.db.workload import AccessSkew
+
+#: Per-site arrival rates (txns/second) bracketing the baseline
+#: hardware's ~1.6 txns/s/site service ceiling at mpl=8: linear region,
+#: the knee, saturation (latency blows up), deep overload (queues
+#: overflow and load is shed).
+DEFAULT_RATES: tuple[float, ...] = (0.5, 1.0, 1.5, 2.0, 3.0, 5.0)
+
+
+@dataclasses.dataclass
+class SaturationPoint:
+    """One (protocol, arrival rate) grid point."""
+
+    protocol: str
+    arrival_rate_tps: float
+    result: "OpenSimulationResult"
+
+    @property
+    def carried(self) -> float:
+        return self.result.throughput
+
+    @property
+    def shed_ratio(self) -> float:
+        return self.result.shed_ratio
+
+    @property
+    def p95_ms(self) -> float:
+        return self.result.response_p95_ms
+
+
+@dataclasses.dataclass
+class SaturationResults:
+    """All points of one saturation sweep, with rendering helpers."""
+
+    points: dict[tuple[str, float], SaturationPoint]
+    protocols: tuple[str, ...]
+    rates: tuple[float, ...]
+
+    def point(self, protocol: str, rate: float) -> SaturationPoint:
+        return self.points[(protocol, rate)]
+
+    def series(self, protocol: str) -> list[tuple[float, float]]:
+        """[(arrival_rate_tps, carried_tps), ...] for one protocol."""
+        return [(rate, self.points[(protocol, rate)].carried)
+                for rate in self.rates]
+
+    def table(self, precision: int = 2) -> str:
+        """Text table: rows are rates; carried/shed/p95 per protocol."""
+        width = max(20, max(len(p) for p in self.protocols) + 13)
+        header = f"{'rate/site':>10} " + "".join(
+            f"{p + ' (car/shed/p95)':>{width}}" for p in self.protocols)
+        lines = [header, "-" * len(header)]
+        for rate in self.rates:
+            row = f"{rate:>10.2f} "
+            for protocol in self.protocols:
+                point = self.points[(protocol, rate)]
+                cell = (f"{point.carried:.{precision}f}"
+                        f"/{point.shed_ratio:.2f}"
+                        f"/{point.p95_ms:.0f}ms")
+                row += f"{cell:>{width}}"
+            lines.append(row)
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        lines = ["== saturation: carried load vs offered load "
+                 "(per-site txns/s) =="]
+        lines.append(self.table())
+        for protocol in self.protocols:
+            knee = next((rate for rate in self.rates
+                         if self.points[(protocol, rate)].shed_ratio > 0.01),
+                        None)
+            if knee is None:
+                lines.append(f"{protocol:>8}: no shedding up to "
+                             f"{self.rates[-1]:.2f} txns/s/site")
+            else:
+                lines.append(f"{protocol:>8}: sheds load from "
+                             f"{knee:.2f} txns/s/site")
+        return "\n".join(lines)
+
+
+class SaturationSweep:
+    """Runs a protocol x arrival-rate grid of open-system simulations.
+
+    Every grid point of one sweep shares ``seed``: arrival timing and
+    workload shape are drawn from the same substreams everywhere, so the
+    protocols face literally the same offered load (common random
+    numbers) and two sweeps with the same arguments are identical.
+    """
+
+    def __init__(self, protocols: typing.Sequence[str],
+                 rates: typing.Sequence[float] = DEFAULT_RATES,
+                 mpl: int = 8,
+                 skew: "AccessSkew | None" = None,
+                 queue_limit: int = 64,
+                 params: ModelParams | None = None,
+                 measured_transactions: int = 300,
+                 seed: int = 20250705) -> None:
+        if not rates:
+            raise ValueError("rates must be non-empty")
+        self.protocols = tuple(protocols)
+        self.rates = tuple(rates)
+        self.skew = skew
+        self.queue_limit = queue_limit
+        self.base_params = params
+        self.mpl = mpl
+        self.measured_transactions = measured_transactions
+        self.seed = seed
+
+    def point_params(self, rate: float) -> ModelParams:
+        if self.base_params is not None:
+            return self.base_params.replace(
+                workload_mode=repro.WorkloadMode.OPEN,
+                arrival_rate_tps=rate,
+                admission_queue_limit=self.queue_limit,
+                skew=self.skew,
+                mpl=self.mpl)
+        return open_system(arrival_rate_tps=rate, skew=self.skew,
+                           admission_queue_limit=self.queue_limit,
+                           mpl=self.mpl)
+
+    def run_point(self, protocol: str, rate: float) -> SaturationPoint:
+        result = repro.simulate(
+            protocol, params=self.point_params(rate),
+            measured_transactions=self.measured_transactions,
+            seed=self.seed)
+        return SaturationPoint(protocol, rate,
+                               typing.cast("OpenSimulationResult", result))
+
+    def run(self, progress: typing.Callable[[str], None] | None = None,
+            ) -> SaturationResults:
+        points: dict[tuple[str, float], SaturationPoint] = {}
+        for protocol in self.protocols:
+            for rate in self.rates:
+                if progress is not None:
+                    progress(f"saturation: {protocol} @ "
+                             f"{rate:.2f} txns/s/site")
+                points[(protocol, rate)] = self.run_point(protocol, rate)
+        return SaturationResults(points, self.protocols, self.rates)

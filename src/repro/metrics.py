@@ -12,7 +12,11 @@ Implements the paper's reported metrics:
   messages, and forced log writes per committing transaction;
 - response times, abort/restart counts, and the running mean response
   time used as the restart delay ("the same heuristic as that used in
-  most transaction management studies").
+  most transaction management studies");
+- **open-system results** (extension): offered vs. carried load, shed
+  ratio, admission-queue waits, and p50/p95/p99 response percentiles --
+  the quantities the saturation experiment plots, which the paper's
+  closed model (means only) cannot express.
 """
 
 from __future__ import annotations
@@ -23,7 +27,12 @@ import typing
 from repro.db.wal import LogRecordKind
 from repro.obs.events import EventKind
 from repro.sim.events import Event
-from repro.sim.stats import BatchMeans, TimeWeightedAverage, WelfordAccumulator
+from repro.sim.stats import (
+    BatchMeans,
+    PercentileSample,
+    TimeWeightedAverage,
+    WelfordAccumulator,
+)
 
 #: batch size for the single-run batch-means confidence interval on
 #: response times (the paper's 90%-CI methodology).
@@ -45,11 +54,15 @@ class MetricsCollector:
     """
 
     def __init__(self, env: "Environment", total_slots: int,
-                 initial_response_estimate: float) -> None:
+                 initial_response_estimate: float,
+                 open_system: bool = False) -> None:
         self.env = env
         self.total_slots = total_slots
         self._initial_response_estimate = initial_response_estimate
         self._measure_start = env.now
+        #: collect open-system accumulators (percentiles, queue waits)?
+        #: Off in closed mode so the hot commit path stays untouched.
+        self.open_system = open_system
 
         # Measured-period accumulators.
         self.committed = 0
@@ -64,6 +77,12 @@ class MetricsCollector:
         self.shelf_entries = 0
         self.forced_by_kind: dict[LogRecordKind, int] = {}
         self.blocked_txns = TimeWeightedAverage(initial_time=env.now)
+        # Open-system accumulators (only fed under WorkloadMode.OPEN).
+        self.offered = 0
+        self.shed = 0
+        self.queue_waits = WelfordAccumulator()
+        self.queue_wait_sample = PercentileSample()
+        self.response_sample = PercentileSample()
 
         # Model state (never reset): restart delay heuristic.
         self._lifetime_response = WelfordAccumulator()
@@ -90,6 +109,9 @@ class MetricsCollector:
             EventKind.BORROW: lambda e: self.borrow(e.cohort, e.page),
             EventKind.SHELF_ENTER: lambda e: self.shelf_entered(),
             EventKind.LOG_FORCE: lambda e: self.forced_write(e.record_kind),
+            EventKind.TXN_ARRIVE: lambda e: self.transaction_arrived(),
+            EventKind.TXN_SHED: lambda e: self.transaction_shed(),
+            EventKind.TXN_DEQUEUE: lambda e: self.queue_wait(e.wait_ms),
         })
         return self._subscription
 
@@ -104,6 +126,8 @@ class MetricsCollector:
         self.committed += 1
         self.response_times.add(response)
         self.response_batches.add(response)
+        if self.open_system:
+            self.response_sample.add(response)
         self.exec_messages.add(txn.messages_execution)
         self.commit_messages.add(txn.messages_commit)
         self.forced_writes.add(txn.forced_writes)
@@ -122,6 +146,19 @@ class MetricsCollector:
 
     def forced_write(self, kind: LogRecordKind) -> None:
         self.forced_by_kind[kind] = self.forced_by_kind.get(kind, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Open-system recording (TXN_ARRIVE / TXN_SHED / TXN_DEQUEUE)
+    # ------------------------------------------------------------------
+    def transaction_arrived(self) -> None:
+        self.offered += 1
+
+    def transaction_shed(self) -> None:
+        self.shed += 1
+
+    def queue_wait(self, wait_ms: float) -> None:
+        self.queue_waits.add(wait_ms)
+        self.queue_wait_sample.add(wait_ms)
 
     def wait_change(self, cohort: "CohortAgent", waiting: bool) -> None:
         """Direct-drive lock-wait transition (unit tests).
@@ -166,6 +203,11 @@ class MetricsCollector:
         self.shelf_entries = 0
         self.forced_by_kind = {}
         self.blocked_txns.reset(self.env.now)
+        self.offered = 0
+        self.shed = 0
+        self.queue_waits = WelfordAccumulator()
+        self.queue_wait_sample = PercentileSample()
+        self.response_sample = PercentileSample()
         self._measure_start = self.env.now
 
     def when_committed(self, count: int) -> Event:
@@ -214,6 +256,18 @@ class MetricsCollector:
         if total == 0:
             return 0.0
         return self.aborted / total
+
+    def shed_ratio(self) -> float:
+        """Fraction of offered arrivals dropped on a full queue (OPEN)."""
+        if self.offered == 0:
+            return 0.0
+        return self.shed / self.offered
+
+    def offered_per_second(self) -> float:
+        """Measured offered load in transactions/second (OPEN)."""
+        if self.elapsed_ms <= 0:
+            return 0.0
+        return self.offered / (self.elapsed_ms / 1000.0)
 
 
 @dataclasses.dataclass

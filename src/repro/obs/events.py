@@ -65,6 +65,13 @@ class EventKind(enum.Enum):
     SITE_RECOVERY_REPLAY = "site_recovery_replay"
     #: an in-doubt cohort was resolved per the protocol's presumption rule.
     TXN_RESOLVED_IN_DOUBT = "txn_resolved_in_doubt"
+    # Open-system workload (Poisson arrivals + bounded admission queue).
+    #: a transaction arrived at a site's admission queue (offered load).
+    TXN_ARRIVE = "txn_arrive"
+    #: an arrival was dropped because the admission queue was full.
+    TXN_SHED = "txn_shed"
+    #: a queued arrival was picked up by a free server slot.
+    TXN_DEQUEUE = "txn_dequeue"
     # Commit-protocol phase transitions (master side).
     PHASE = "phase"
 
@@ -308,6 +315,39 @@ class TxnResolvedInDoubt(SimEvent):
     #: which rule decided: ``"decision-record"``, ``"presumed-abort"``,
     #: ``"presumed-commit"``, ``"termination-protocol"``, ...
     rule: str
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TxnArrive(SimEvent):
+    """An open-system arrival reached a site's admission queue."""
+
+    kind = EventKind.TXN_ARRIVE
+    site_id: int
+    txn_id: int
+    #: False when the arrival was dropped on a full queue (a matching
+    #: :class:`TxnShed` is published as well).
+    admitted: bool
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TxnShed(SimEvent):
+    """An arrival was dropped: the site's admission queue was full."""
+
+    kind = EventKind.TXN_SHED
+    site_id: int
+    txn_id: int
+    queue_length: int
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TxnDequeue(SimEvent):
+    """A queued arrival was handed to a free per-site server slot."""
+
+    kind = EventKind.TXN_DEQUEUE
+    site_id: int
+    txn_id: int
+    #: time the transaction spent in the admission queue.
+    wait_ms: float
 
 
 @dataclasses.dataclass(frozen=True, slots=True)

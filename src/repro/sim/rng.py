@@ -39,6 +39,16 @@ class RandomStreams:
             self._streams[name] = stream
         return stream
 
+    def indexed_stream(self, name: str, index: int) -> random.Random:
+        """The stream for the ``index``-th instance of a per-entity
+        component (e.g. one Poisson arrival stream per site).
+
+        Equivalent to ``stream(f"{name}-{index}")``; the helper exists so
+        call sites spell the derivation one way and instances stay
+        independent of each other and of every other named stream.
+        """
+        return self.stream(f"{name}-{index}")
+
     def spawn(self, salt: int) -> "RandomStreams":
         """A new independent family (used for replications)."""
         return RandomStreams(self.seed * 1_000_003 + salt)

@@ -10,6 +10,9 @@ module supplies the pieces needed to reproduce that methodology:
   variables (number of blocked transactions, queue lengths).
 - :class:`BatchMeans` -- batch-means confidence intervals for steady-state
   means from a single long run.
+- :class:`PercentileSample` -- retained-observation tail percentiles
+  (p50/p95/p99) for the open-system latency reports, where means hide
+  exactly the queueing behaviour the experiment is about.
 - :func:`confidence_interval` -- Student-t interval on a sample of
   replication means.
 """
@@ -177,6 +180,48 @@ class BatchMeans:
         if mean == 0:
             return math.inf
         return abs(half / mean)
+
+
+class PercentileSample:
+    """Exact empirical percentiles over retained observations.
+
+    The measured period of a run is bounded (tens of thousands of
+    observations), so keeping every value and sorting on demand is both
+    exact and cheap; the sorted order is cached until the next ``add``.
+    """
+
+    def __init__(self) -> None:
+        self._values: list[float] = []
+        self._sorted: list[float] | None = None
+
+    def add(self, value: float) -> None:
+        self._values.append(value)
+        self._sorted = None
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-quantile (``p`` in [0, 1]), linearly interpolated.
+
+        Returns 0.0 on an empty sample (consistent with the Welford
+        accumulators' "no data" convention).
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        values = self._sorted
+        if values is None:
+            values = self._sorted = sorted(self._values)
+        if not values:
+            return 0.0
+        if len(values) == 1:
+            return values[0]
+        position = p * (len(values) - 1)
+        low = int(position)
+        high = min(low + 1, len(values) - 1)
+        fraction = position - low
+        return values[low] * (1.0 - fraction) + values[high] * fraction
 
 
 def confidence_interval(samples: typing.Sequence[float],

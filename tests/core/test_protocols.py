@@ -43,7 +43,7 @@ class TestBasicCommitment:
         assert result.overheads.rounded() == (4, 1, 0)
 
     def test_unknown_protocol_rejected(self):
-        with pytest.raises(KeyError, match="unknown protocol"):
+        with pytest.raises(ValueError, match="unknown protocol"):
             repro.create_protocol("4PC")
 
     def test_protocol_names_case_insensitive(self):

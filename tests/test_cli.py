@@ -43,9 +43,11 @@ class TestSimulate:
         assert code == 0
         assert "surprise_vote" in text
 
-    def test_unknown_protocol_raises(self):
-        with pytest.raises(KeyError):
-            run_cli("simulate", "9PC", "--transactions", "10")
+    def test_unknown_protocol_is_a_cli_error(self):
+        code, text = run_cli("simulate", "9PC", "--transactions", "10")
+        assert code == 2
+        assert text.startswith("error: unknown protocol")
+        assert "2PC" in text  # the message lists the valid names
 
 
 class TestRun:

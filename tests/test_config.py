@@ -3,12 +3,15 @@
 import pytest
 
 from repro.config import (
+    DEFAULT_OPEN_ARRIVAL_TPS,
     ModelParams,
     Topology,
     TransactionType,
+    WorkloadMode,
     baseline_rc_dc,
     fast_network,
     high_distribution,
+    open_system,
     pure_data_contention,
     sequential_transactions,
     surprise_aborts,
@@ -79,10 +82,21 @@ class TestValidation:
         with pytest.raises(ValueError):
             ModelParams(db_size=4)
 
+    def test_dist_degree_bounds(self):
+        # One cohort per distinct site: [1, num_sites] inclusive.
+        assert ModelParams(dist_degree=1).dist_degree == 1
+        assert ModelParams(dist_degree=8).dist_degree == 8
+        with pytest.raises(ValueError, match=r"num_sites=8.*got 9"):
+            ModelParams(dist_degree=9)
+        with pytest.raises(ValueError, match="dist_degree"):
+            ModelParams(dist_degree=4, num_sites=3)
+
     def test_site_must_hold_max_cohort(self):
         # 1.5 x 400 = 600 pages needed; exactly 4800/8 = 600 per site: ok
         ModelParams(cohort_size=400)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError,
+                           match=r"601 pages.*db_size=4800.*"
+                                 r"only 600 pages per site"):
             ModelParams(cohort_size=401)
 
     def test_replace_revalidates(self):
@@ -94,6 +108,39 @@ class TestValidation:
         p = ModelParams()
         q = p.replace(mpl=4)
         assert p.mpl == 8 and q.mpl == 4
+
+
+class TestOpenSystemParams:
+    def test_closed_is_the_default(self):
+        p = ModelParams()
+        assert p.workload_mode is WorkloadMode.CLOSED
+        assert p.arrival_rate_tps == 0.0
+        assert p.skew is None
+
+    def test_open_requires_positive_rate(self):
+        with pytest.raises(ValueError, match="arrival_rate_tps"):
+            ModelParams(workload_mode=WorkloadMode.OPEN)
+        with pytest.raises(ValueError, match="arrival_rate_tps"):
+            ModelParams(arrival_rate_tps=-1.0)
+
+    def test_queue_limit_must_be_positive(self):
+        with pytest.raises(ValueError, match="admission_queue_limit"):
+            ModelParams(admission_queue_limit=0)
+
+    def test_skew_is_validated(self):
+        from repro.db.workload import AccessSkew, SkewKind
+        with pytest.raises(ValueError, match="hot_page_frac"):
+            ModelParams(skew=AccessSkew(kind=SkewKind.HOTSPOT,
+                                        hot_page_frac=1.5))
+
+    def test_open_preset(self):
+        p = open_system()
+        assert p.workload_mode is WorkloadMode.OPEN
+        assert p.arrival_rate_tps == DEFAULT_OPEN_ARRIVAL_TPS
+        q = open_system(arrival_rate_tps=2.5, mpl=4,
+                        admission_queue_limit=16)
+        assert q.arrival_rate_tps == 2.5
+        assert q.mpl == 4 and q.admission_queue_limit == 16
 
 
 class TestPresets:

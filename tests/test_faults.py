@@ -358,3 +358,117 @@ class TestCrashScenarioIntegration:
                                  protocols=("2PC",), seed=11)
         assert dataclasses.asdict(reports["2PC"]) == \
             dataclasses.asdict(again["2PC"])
+
+
+# ----------------------------------------------------------------------
+# Master work-phase timeout: strays must not postpone the deadline
+# ----------------------------------------------------------------------
+class TestMasterWorkTimeoutDeadline:
+    """Regression: the master's work-phase wait used to restart its
+    ``work_timeout_ms`` window on *every* inbox message, so a trickle of
+    stray traffic (duplicate ACKs from a recovering site, late reports
+    from a dead incarnation) arriving faster than the timeout postponed
+    the abort forever.  The wait is now deadline-based: strays consume
+    the remaining budget, and only an accepted work report grants a
+    fresh window."""
+
+    TIMEOUT_MS = 500.0
+
+    def _wedged_master(self, protocol="2PC"):
+        """A launched transaction whose cohorts will never report, with
+        a pest dripping stray ACKs into the master's inbox."""
+        from repro.db.messages import Message
+        from repro.db.transaction import AbortReason
+
+        faults = FaultConfig(
+            # Active-but-inert: one crash far beyond the test horizon
+            # arms the fault plane (and its timeouts) without firing.
+            crash_schedule=(CrashEvent(site_id=0, at_ms=1e9,
+                                       duration_ms=1.0),),
+            timeouts=FaultTimeouts(work_timeout_ms=self.TIMEOUT_MS))
+        system = repro.build_system(protocol, faults=faults)
+        env = system.env
+        spec = system.workload.generate(0)
+        txn = system._launch(spec, 0, env.now)
+
+        def sabotage():
+            # Kill every cohort before any WORKDONE can be produced...
+            yield env.timeout(1.0)
+            for cohort in txn.cohorts:
+                cohort.process.interrupt(AbortReason.TIMEOUT)
+            # ... then keep the master's inbox busy with stray traffic,
+            # five messages per timeout window.
+            sender = txn.cohorts[0]
+            while txn.master.process.is_alive:
+                txn.master.inbox.put(Message(
+                    kind=MessageKind.ACK, sender=sender,
+                    receiver=txn.master, txn_id=txn.txn_id,
+                    incarnation=txn.incarnation))
+                yield env.timeout(self.TIMEOUT_MS / 5)
+
+        env.process(sabotage(), name="sabotage")
+        return system, txn
+
+    def test_stray_messages_do_not_postpone_work_timeout(self):
+        from repro.db.transaction import AbortReason, TransactionOutcome
+
+        system, txn = self._wedged_master()
+        env = system.env
+        death_time = []
+
+        def waiter():
+            yield txn.master.process
+            death_time.append(env.now)
+
+        env.process(waiter(), name="waiter")
+        # A watchdog horizon, NOT run-until-master: with the old
+        # restart-per-message behaviour the master never dies and
+        # running until its process would hang the test.
+        env.run(until=env.timeout(20 * self.TIMEOUT_MS))
+        assert death_time, "master still waiting: strays reset its timeout"
+        # One un-reported phase => at most one full window per cohort,
+        # plus STARTWORK message-CPU costs; 4x covers dist_degree=3.
+        assert death_time[0] <= 4 * self.TIMEOUT_MS
+        assert txn.outcome is TransactionOutcome.ABORTED
+        assert txn.abort_reason is AbortReason.TIMEOUT
+
+    def test_sequential_master_is_also_bounded(self):
+        from repro.db.transaction import TransactionOutcome
+
+        params = ModelParams(
+            trans_type=repro.TransactionType.SEQUENTIAL)
+        faults = FaultConfig(
+            crash_schedule=(CrashEvent(site_id=0, at_ms=1e9,
+                                       duration_ms=1.0),),
+            timeouts=FaultTimeouts(work_timeout_ms=self.TIMEOUT_MS))
+        system = repro.build_system("2PC", params=params, faults=faults)
+        env = system.env
+        spec = system.workload.generate(0)
+        txn = system._launch(spec, 0, env.now)
+        from repro.db.messages import Message
+        from repro.db.transaction import AbortReason
+
+        def sabotage():
+            yield env.timeout(1.0)
+            for cohort in txn.cohorts:
+                cohort.process.interrupt(AbortReason.TIMEOUT)
+            sender = txn.cohorts[0]
+            while txn.master.process.is_alive:
+                txn.master.inbox.put(Message(
+                    kind=MessageKind.ACK, sender=sender,
+                    receiver=txn.master, txn_id=txn.txn_id,
+                    incarnation=txn.incarnation))
+                yield env.timeout(self.TIMEOUT_MS / 5)
+
+        env.process(sabotage(), name="sabotage")
+        death_time = []
+
+        def waiter():
+            yield txn.master.process
+            death_time.append(env.now)
+
+        env.process(waiter(), name="waiter")
+        env.run(until=env.timeout(20 * self.TIMEOUT_MS))
+        assert death_time, "master still waiting: strays reset its timeout"
+        assert death_time[0] <= 4 * self.TIMEOUT_MS
+        assert txn.outcome is TransactionOutcome.ABORTED
