@@ -51,6 +51,12 @@ SMOKE_CEIL_FAULT_OVERHEAD = 1.02
 #: open point must clear the same order-of-magnitude floor as the
 #: closed end-to-end run.
 SMOKE_FLOOR_OPEN_TXNS_PER_SEC = 100.0
+#: Warm-pool chunked sweeps must actually scale: jobs=4 below 1.5x of
+#: serial means pool/IPC overhead regressed (BENCH_5 recorded 0.74x on
+#: the old cold-pool path).  Only meaningful with cores to use, so the
+#: gate applies when the runner has >= 4 CPUs and is skipped (loudly)
+#: otherwise.
+SMOKE_FLOOR_SWEEP_SPEEDUP_J4 = 1.5
 
 
 def _best_of(fn, repeats: int) -> tuple[float, object]:
@@ -272,25 +278,43 @@ def bench_fault_overhead(transactions: int, repeats: int) -> dict:
 
 
 # ----------------------------------------------------------------------
-# Sweep benchmark (serial vs parallel wall-clock)
+# Sweep scaling benchmark (serial vs warm-pool chunked wall-clock)
 # ----------------------------------------------------------------------
-def bench_sweep(transactions: int, mpls: tuple[int, ...],
-                jobs_list: tuple[int, ...]) -> dict:
-    from repro.experiments import get_experiment
+def bench_sweep_scaling(transactions: int, mpls: tuple[int, ...],
+                        jobs_list: tuple[int, ...]) -> dict:
+    """E1 sweep wall-clock at several ``jobs`` values.
+
+    Exercises the warm-pool chunked execution path: for each parallel
+    jobs value the pool is pre-warmed with a throwaway one-point sweep
+    (matching how a CLI invocation amortizes startup across its
+    sweeps), then the grid is timed.  ``speedup_vs_serial`` only means
+    much when the machine actually has spare cores -- ``cpus`` is
+    recorded alongside so the artifact is honest on 1-core runners.
+    """
+    import os
+
+    from repro.experiments import get_experiment, shutdown_pool
 
     definition = get_experiment("E1")
     timings = {}
     for jobs in jobs_list:
+        if jobs > 1:
+            # Warm the pool outside the timed window, as a long-lived
+            # CLI/session would have it warm from earlier sweeps.
+            definition.run(measured_transactions=5, mpls=(1,), jobs=jobs)
         start = time.perf_counter()
         definition.run(measured_transactions=transactions, mpls=mpls,
                        jobs=jobs)
         timings[str(jobs)] = time.perf_counter() - start
+    shutdown_pool()
     serial = timings.get("1")
     speedups = ({j: serial / t for j, t in timings.items()}
                 if serial else {})
     return {"experiment": "E1", "transactions": transactions,
-            "mpls": list(mpls), "wall_s_by_jobs": timings,
-            "speedup_vs_serial": speedups}
+            "mpls": list(mpls), "cpus": os.cpu_count() or 1,
+            "wall_s_by_jobs": timings,
+            "speedup_vs_serial": speedups,
+            "path": "warm-pool chunked"}
 
 
 # ----------------------------------------------------------------------
@@ -310,9 +334,9 @@ def main(argv=None) -> int:
                              "(default: next free number)")
     parser.add_argument("--output", default=None,
                         help="explicit output path (overrides --pr)")
-    parser.add_argument("--jobs", default="1,4",
+    parser.add_argument("--jobs", default="1,2,4",
                         help="comma-separated jobs values for the sweep "
-                             "benchmark (default 1,4)")
+                             "scaling benchmark (default 1,2,4)")
     args = parser.parse_args(argv)
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -321,7 +345,7 @@ def main(argv=None) -> int:
     if args.smoke:
         sizes = dict(events=5_000, processes=2_000, cycles=1_000,
                      bus_ops=50_000, transactions=60, repeats=1)
-        sweep_txns, sweep_mpls = 30, (1,)
+        sweep_txns, sweep_mpls = 30, (1, 2)
     else:
         sizes = dict(events=20_000, processes=5_000, cycles=2_000,
                      bus_ops=200_000, transactions=300, repeats=3)
@@ -353,20 +377,21 @@ def main(argv=None) -> int:
             detail = f"{row['overhead_ratio']:12.3f} x plain"
         print(f"  {name:<20} {row['wall_s'] * 1e3:8.1f} ms   {detail}")
 
-    print("== sweep benchmark ==")
-    sweep = bench_sweep(sweep_txns, sweep_mpls, jobs_list)
+    print("== sweep scaling benchmark (warm-pool chunked path) ==")
+    sweep = bench_sweep_scaling(sweep_txns, sweep_mpls, jobs_list)
     for jobs, wall in sweep["wall_s_by_jobs"].items():
         speedup = sweep["speedup_vs_serial"].get(jobs)
         extra = f"  ({speedup:.2f}x vs serial)" if speedup else ""
         print(f"  jobs={jobs:<3} {wall * 1e3:8.1f} ms{extra}")
+    print(f"  ({sweep['cpus']} CPU core(s) available)")
 
     report = {
-        "schema": 1,
+        "schema": 2,
         "smoke": args.smoke,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "kernel_micro": kernel,
-        "sweep": sweep,
+        "sweep_scaling": sweep,
     }
 
     if args.smoke:
@@ -400,6 +425,18 @@ def main(argv=None) -> int:
                 f"inactive fault injector above ceiling: "
                 f"{kernel['fault_overhead']['overhead_ratio']:.3f}x > "
                 f"{SMOKE_CEIL_FAULT_OVERHEAD}x plain")
+        speedup_j4 = sweep["speedup_vs_serial"].get("4")
+        if sweep["cpus"] >= 4 and speedup_j4 is not None:
+            if speedup_j4 < SMOKE_FLOOR_SWEEP_SPEEDUP_J4:
+                failures.append(
+                    f"warm-pool sweep scaling below floor: "
+                    f"{speedup_j4:.2f}x < "
+                    f"{SMOKE_FLOOR_SWEEP_SPEEDUP_J4}x at jobs=4 "
+                    f"({sweep['cpus']} cpus)")
+        elif speedup_j4 is not None:
+            print(f"smoke: sweep-scaling floor skipped "
+                  f"({sweep['cpus']} cpu(s) < 4; jobs=4 measured "
+                  f"{speedup_j4:.2f}x)")
         if failures:
             for failure in failures:
                 print(f"SMOKE FAIL: {failure}", file=sys.stderr)
@@ -416,6 +453,7 @@ def main(argv=None) -> int:
             # Preserve hand-recorded context (e.g. the seed baseline).
             existing.pop("kernel_micro", None)
             existing.pop("sweep", None)
+            existing.pop("sweep_scaling", None)
         existing.update(report)
         path.write_text(json.dumps(existing, indent=2) + "\n")
         print(f"wrote {path}")

@@ -19,6 +19,9 @@ if [ "${CI_SKIP_TIER2:-0}" != "1" ]; then
     python -m pytest -q -m tier2
 fi
 
+# Perf floors: kernel micros, end-to-end txn rate, idle-bus/fault
+# overhead ceilings, and the warm-pool sweep-scaling floor
+# (speedup_vs_serial["4"] >= 1.5 -- auto-skipped on < 4-core runners).
 echo "== benchmark smoke (perf floors) =="
 python scripts/bench_trajectory.py --smoke
 

@@ -40,6 +40,19 @@ def _parse_jobs(text: str) -> int:
     return jobs
 
 
+def _parse_target_ci(text: str) -> float:
+    try:
+        target = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--target-ci wants a number, got {text!r}")
+    if not 0.0 < target < 1.0:
+        raise argparse.ArgumentTypeError(
+            f"--target-ci wants a relative half-width in (0, 1), "
+            f"got {target}")
+    return target
+
+
 def _parse_mpls(text: str) -> tuple[int, ...]:
     try:
         return tuple(int(part) for part in text.split(","))
@@ -120,10 +133,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="measured transactions per point")
     run.add_argument("--mpls", type=_parse_mpls, default=None,
                      help="comma-separated MPL values")
-    run.add_argument("--replications", type=int, default=1)
+    run.add_argument("--replications", type=int, default=1,
+                     help="independent replications per point (with "
+                          "--target-ci: the per-point cap)")
     run.add_argument("--jobs", type=_parse_jobs, default=1, metavar="N",
-                     help="worker processes for the sweep grid "
-                          "(0 = one per CPU core; default 1, in-process)")
+                     help="worker processes for the sweep grid, reused "
+                          "from a warm shared pool (0 = all CPU cores, a "
+                          "CLI-only convenience -- library APIs reject "
+                          "jobs=0; default 1, in-process)")
+    run.add_argument("--target-ci", type=_parse_target_ci, default=None,
+                     metavar="W",
+                     help="adaptive replication: run waves of reps per "
+                          "point and stop once the 90%% CI relative "
+                          "half-width of throughput is <= W (e.g. 0.1); "
+                          "default off (fixed replications)")
     run.add_argument("--quiet", action="store_true",
                      help="suppress per-point progress output")
     run.add_argument("--export", metavar="DIR", default=None,
@@ -139,7 +162,16 @@ def build_parser() -> argparse.ArgumentParser:
     tables.add_argument("--transactions", type=int, default=60)
     tables.add_argument("--jobs", type=_parse_jobs, default=1, metavar="N",
                         help="worker processes for the per-protocol "
-                             "measurement runs (0 = one per CPU core)")
+                             "measurement runs, reused from a warm "
+                             "shared pool (0 = all CPU cores, a "
+                             "CLI-only convenience -- library APIs "
+                             "reject jobs=0)")
+    tables.add_argument("--target-ci", type=_parse_target_ci, default=None,
+                        metavar="W",
+                        help="replicate each row's measurement with "
+                             "fresh seeds until every overhead mean's "
+                             "90%% CI relative half-width is <= W; "
+                             "default off (one run per row)")
 
     sim = sub.add_parser("simulate", help="run a single configuration")
     sim.add_argument("protocol", help="protocol name, e.g. OPT")
@@ -239,6 +271,10 @@ def cmd_run(args: argparse.Namespace, out: typing.TextIO) -> int:
     if args.events_out is not None and resolve_jobs(args.jobs) != 1:
         out.write("error: --events-out requires --jobs 1\n")
         return 2
+    if args.events_out is not None and args.target_ci is not None:
+        out.write("error: --events-out requires fixed replications "
+                  "(drop --target-ci)\n")
+        return 2
     try:
         overrides = _open_overrides(args)
     except ValueError as error:
@@ -258,8 +294,15 @@ def cmd_run(args: argparse.Namespace, out: typing.TextIO) -> int:
                              replications=args.replications,
                              progress=progress,
                              jobs=resolve_jobs(args.jobs),
-                             events_out=args.events_out)
+                             events_out=args.events_out,
+                             target_ci=args.target_ci)
     out.write(results.summary() + "\n")
+    if args.target_ci is not None:
+        out.write(f"adaptive replication: "
+                  f"{results.total_measured_transactions} measured "
+                  f"transactions total; loosest 90% CI half-width "
+                  f"{results.max_rel_half_width():.3f} "
+                  f"(target {args.target_ci})\n")
     for metric in definition.metrics[1:]:
         out.write(results.table(metric) + "\n")
     out.write(render_comparison(results) + "\n")
@@ -277,9 +320,9 @@ def cmd_run(args: argparse.Namespace, out: typing.TextIO) -> int:
 def cmd_tables(args: argparse.Namespace, out: typing.TextIO) -> int:
     jobs = resolve_jobs(args.jobs)
     out.write(render_table(3, 6, transactions=args.transactions,
-                           jobs=jobs) + "\n\n")
+                           jobs=jobs, target_ci=args.target_ci) + "\n\n")
     out.write(render_table(6, 3, transactions=args.transactions,
-                           jobs=jobs) + "\n")
+                           jobs=jobs, target_ci=args.target_ci) + "\n")
     return 0
 
 

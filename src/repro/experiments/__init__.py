@@ -18,6 +18,7 @@ from repro.experiments.base import (
     MplSweep,
     SweepPoint,
 )
+from repro.experiments.pool import shutdown_pool
 from repro.experiments.registry import (
     EXPERIMENTS,
     experiment_ids,
@@ -26,6 +27,9 @@ from repro.experiments.registry import (
 from repro.experiments.runner import (
     ParallelSweepRunner,
     PointSpec,
+    PointSummary,
+    SweepCounts,
+    SweepWorkerError,
     point_seed,
     resolve_jobs,
 )
@@ -45,12 +49,16 @@ __all__ = [
     "MplSweep",
     "ParallelSweepRunner",
     "PointSpec",
+    "PointSummary",
     "SaturationPoint",
     "SaturationResults",
     "SaturationSweep",
+    "SweepCounts",
     "SweepPoint",
+    "SweepWorkerError",
     "experiment_ids",
     "get_experiment",
     "point_seed",
     "resolve_jobs",
+    "shutdown_pool",
 ]

@@ -22,9 +22,14 @@ from repro.db.system import SimulationResult
 from repro.experiments.runner import (
     ParallelSweepRunner,
     PointSpec,
+    PointSummary,
     point_seed,
 )
-from repro.sim.stats import confidence_interval
+from repro.sim.stats import StoppingRule, confidence_interval
+
+#: Replication cap in adaptive (``target_ci``) mode when the caller
+#: left ``replications`` at its fixed-mode default of 1.
+DEFAULT_ADAPTIVE_CAP = 8
 
 #: Builds the parameters for one sweep point.
 ParamsFactory = typing.Callable[[int], ModelParams]
@@ -45,15 +50,21 @@ DEFAULT_MPLS: tuple[int, ...] = (1, 2, 3, 4, 6, 8, 10)
 
 @dataclasses.dataclass
 class SweepPoint:
-    """One (protocol, mpl) grid point, possibly replicated."""
+    """One (protocol, mpl) grid point, possibly replicated.
+
+    ``results`` holds full :class:`SimulationResult` objects on the
+    default paths, or lean :class:`PointSummary` objects when the sweep
+    ran with the compact wire format (adaptive mode, ``lean=True``) --
+    both expose the metric attributes :data:`METRICS` reads.
+    """
 
     protocol: str
     mpl: int
-    results: list[SimulationResult]
+    results: list[SimulationResult | PointSummary]
 
     @property
-    def result(self) -> SimulationResult:
-        """The first (or only) replication's full result."""
+    def result(self) -> SimulationResult | PointSummary:
+        """The first (or only) replication's result."""
         return self.results[0]
 
     def metric(self, name: str) -> float:
@@ -79,9 +90,28 @@ class ExperimentResults:
     points: dict[tuple[str, int], SweepPoint]
     protocols: tuple[str, ...]
     mpls: tuple[int, ...]
+    #: simulated work actually executed: the sum of configured measured
+    #: transactions over every replication run (adaptive mode stops
+    #: early, so this is how much work ``target_ci`` saved).
+    total_measured_transactions: int = 0
+    #: the CI target the sweep ran under (None = fixed replications).
+    target_ci: float | None = None
 
     def point(self, protocol: str, mpl: int) -> SweepPoint:
         return self.points[(protocol, mpl)]
+
+    def max_rel_half_width(self, metric: str = "throughput",
+                           confidence: float = 0.90) -> float:
+        """The loosest point's relative CI half-width (inf with < 2
+        replications anywhere) -- the quantity ``target_ci`` bounds."""
+        worst = 0.0
+        for point in self.points.values():
+            mean, half = point.metric_interval(metric, confidence)
+            if half == 0.0:
+                continue
+            worst = max(worst,
+                        abs(half / mean) if mean else float("inf"))
+        return worst
 
     def series(self, protocol: str, metric: str = "throughput",
                ) -> list[tuple[int, float]]:
@@ -169,22 +199,50 @@ class MplSweep:
             progress: typing.Callable[[str], None] | None = None,
             jobs: int = 1,
             events_out: str | None = None,
+            target_ci: float | None = None,
+            ci_metric: str = "throughput",
+            ci_confidence: float = 0.90,
+            lean: bool = False,
             ) -> ExperimentResults:
         """Run the whole grid.
 
         ``jobs=1`` runs in-process (the historical path); ``jobs>1``
-        fans the grid out over that many worker processes (``jobs=0``
-        means one per CPU core).  Results are identical either way --
-        each point's seed is fixed by ``(base_seed, rep)``, not by
-        execution order.
+        fans the grid out over that many processes of the warm shared
+        pool.  Results are identical either way -- each point's seed is
+        fixed by ``(base_seed, rep)``, not by execution order -- and
+        progress fires as each point *completes* on both paths.
+
+        ``target_ci`` switches to adaptive replication: each point runs
+        waves of replications (seeds continue the serial
+        ``base_seed + rep * 7919`` scheme) until its ``ci_confidence``
+        CI relative half-width on ``ci_metric`` drops to ``target_ci``,
+        up to a cap of ``replications`` (or ``DEFAULT_ADAPTIVE_CAP``
+        when ``replications`` was left at 1).  Adaptive results ship as
+        lean :class:`PointSummary` objects.
+
+        ``lean`` ships compact summaries instead of full results on the
+        parallel fixed-rep path too (cheaper IPC for big grids; the
+        default keeps full results, which the golden byte-identity
+        contract pins).
 
         ``events_out`` streams every simulation event of every point to
         a JSONL file (one ``{"meta": ...}`` line per point, then its
-        events); it requires the serial path (``jobs=1``).
+        events); it requires the serial fixed-replication path
+        (``jobs=1``, no ``target_ci``).
         """
         if events_out is not None and jobs != 1:
             raise ValueError("events_out requires jobs=1 (events are "
                              "interleaved per point, in grid order)")
+        if target_ci is not None:
+            if events_out is not None:
+                raise ValueError("events_out requires fixed replications "
+                                 "(target_ci changes how many reps run)")
+            return self._run_adaptive(experiment_id, title, progress,
+                                      jobs, target_ci, ci_metric,
+                                      ci_confidence)
+        grid_points = (len(self.protocols) * len(self.mpls)
+                       * self.replications)
+        total_txns = grid_points * self.measured_transactions
         points: dict[tuple[str, int], SweepPoint] = {}
         if jobs == 1:
             exporter = None
@@ -203,30 +261,86 @@ class MplSweep:
             try:
                 for protocol in self.protocols:
                     for mpl in self.mpls:
+                        points[(protocol, mpl)] = self.run_point(
+                            protocol, mpl, on_system=on_system)
                         if progress is not None:
                             progress(
                                 f"{experiment_id}: {protocol} @ MPL {mpl}")
-                        points[(protocol, mpl)] = self.run_point(
-                            protocol, mpl, on_system=on_system)
             finally:
                 if exporter is not None:
                     exporter.close()
-            return ExperimentResults(experiment_id, title, points,
-                                     self.protocols, self.mpls)
+            return ExperimentResults(
+                experiment_id, title, points, self.protocols, self.mpls,
+                total_measured_transactions=total_txns)
 
         specs = self.point_specs()
         runner = ParallelSweepRunner(
             jobs=jobs,
             progress=(None if progress is None else
                       (lambda label: progress(f"{experiment_id}: {label}"))))
-        results = runner.run(specs)
+        results = runner.run(specs, lean=lean)
         for spec, result in zip(specs, results):
             key = (spec.protocol, spec.mpl)
             if key not in points:
                 points[key] = SweepPoint(spec.protocol, spec.mpl, [])
             points[key].results.append(result)
-        return ExperimentResults(experiment_id, title, points,
-                                 self.protocols, self.mpls)
+        return ExperimentResults(
+            experiment_id, title, points, self.protocols, self.mpls,
+            total_measured_transactions=total_txns)
+
+    # ------------------------------------------------------------------
+    def _run_adaptive(self, experiment_id: str, title: str,
+                      progress: typing.Callable[[str], None] | None,
+                      jobs: int, target_ci: float, ci_metric: str,
+                      ci_confidence: float) -> ExperimentResults:
+        """Wave-based adaptive replication (CI-driven early stopping).
+
+        Every wave gathers the next batch of replications for every
+        still-unsettled point into one spec list and runs it through the
+        (possibly parallel) runner with the lean wire format, so a wave
+        costs one dispatch round regardless of how many points are
+        still converging.
+        """
+        metric_fn = METRICS[ci_metric]
+        cap = (self.replications if self.replications > 1
+               else DEFAULT_ADAPTIVE_CAP)
+        runner = ParallelSweepRunner(
+            jobs=jobs,
+            progress=(None if progress is None else
+                      (lambda label: progress(f"{experiment_id}: {label}"))))
+        keys = [(protocol, mpl) for protocol in self.protocols
+                for mpl in self.mpls]
+        params = {key: self.params_factory(key[1]) for key in keys}
+        # cap >= 2 always: replications=1 bumps to the adaptive default.
+        rules = {key: StoppingRule(target_ci, confidence=ci_confidence,
+                                   min_replications=2,
+                                   max_replications=cap)
+                 for key in keys}
+        points = {key: SweepPoint(key[0], key[1], []) for key in keys}
+        reps_done = dict.fromkeys(keys, 0)
+        total_txns = 0
+        while True:
+            wave: list[PointSpec] = []
+            for key in keys:
+                for rep in range(reps_done[key],
+                                 reps_done[key] + rules[key].next_wave()):
+                    wave.append(PointSpec(
+                        protocol=key[0], mpl=key[1], rep=rep,
+                        params=params[key],
+                        measured_transactions=self.measured_transactions,
+                        warmup_transactions=self.warmup_transactions,
+                        seed=point_seed(self.base_seed, rep)))
+            if not wave:
+                break
+            for spec, summary in zip(wave, runner.run(wave, lean=True)):
+                key = (spec.protocol, spec.mpl)
+                points[key].results.append(summary)
+                rules[key].observe(metric_fn(summary))
+                reps_done[key] += 1
+                total_txns += spec.measured_transactions
+        return ExperimentResults(
+            experiment_id, title, points, self.protocols, self.mpls,
+            total_measured_transactions=total_txns, target_ci=target_ci)
 
 
 @dataclasses.dataclass
@@ -261,8 +375,11 @@ class ExperimentDefinition:
             progress: typing.Callable[[str], None] | None = None,
             jobs: int = 1,
             events_out: str | None = None,
+            target_ci: float | None = None,
+            lean: bool = False,
             ) -> ExperimentResults:
         sweep = self.sweep(measured_transactions=measured_transactions,
                            mpls=mpls, replications=replications)
         return sweep.run(self.experiment_id, self.title, progress=progress,
-                         jobs=jobs, events_out=events_out)
+                         jobs=jobs, events_out=events_out,
+                         target_ci=target_ci, lean=lean)

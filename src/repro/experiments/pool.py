@@ -1,0 +1,101 @@
+"""The warm, process-wide worker pool behind parallel sweeps.
+
+Sweep grids are embarrassingly parallel but individual points are
+cheap, so pool *lifecycle* cost dominates unless it is amortized:
+spawning a fresh :class:`~concurrent.futures.ProcessPoolExecutor` per
+``run()`` call pays fork + interpreter startup + ``import repro`` per
+worker per sweep, which BENCH_5 measured at **0.74x of serial** for a
+jobs=4 E1 sweep.  This module instead keeps ONE lazily created pool per
+process and reuses it across :class:`~repro.experiments.runner.
+ParallelSweepRunner` calls, sweeps, experiments, and overhead tables in
+a single CLI invocation.
+
+Lifecycle rules:
+
+- **Lazy**: no pool exists until the first ``get_pool()`` call; serial
+  code paths (``jobs=1``) never touch this module.
+- **Warm**: workers pre-import :mod:`repro` once via the initializer,
+  so later task batches pay only IPC, never import cost.
+- **Grow-only**: a request for more workers than the current pool has
+  replaces it; a request for fewer reuses the bigger pool (idle
+  workers cost nothing).
+- **Fork-safe**: the pool handle records its creating PID.  A process
+  that inherits the module state through ``fork()`` (or a worker that
+  somehow imports this module) sees a PID mismatch, silently drops the
+  inherited handle, and builds its own pool on demand -- it never
+  touches the parent's executor machinery.
+- **Hygienic**: ``shutdown_pool()`` tears the pool down explicitly and
+  is registered with :mod:`atexit`; it is idempotent and safe to call
+  on a pool that already broke.
+"""
+
+from __future__ import annotations
+
+import atexit
+import concurrent.futures
+import os
+import typing
+
+_pool: "concurrent.futures.ProcessPoolExecutor | None" = None
+_pool_workers: int = 0
+_pool_pid: int = 0
+
+
+def _worker_init() -> None:  # pragma: no cover - runs in worker processes
+    """Pre-import the package once per worker, so every task batch the
+    worker ever receives starts hot."""
+    import repro  # noqa: F401
+
+
+def get_pool(workers: int) -> "concurrent.futures.ProcessPoolExecutor":
+    """The shared pool, created (or grown) on demand.
+
+    ``workers`` is the number of workers the caller needs *right now*;
+    the returned pool has at least that many.
+    """
+    global _pool, _pool_workers, _pool_pid
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if _pool is not None and _pool_pid != os.getpid():
+        # Inherited across a fork: the executor's queues and threads
+        # belong to the parent; just forget the handle.
+        _pool = None
+        _pool_workers = 0
+    if _pool is not None and _pool_workers < workers:
+        shutdown_pool()
+    if _pool is None:
+        _pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, initializer=_worker_init)
+        _pool_workers = workers
+        _pool_pid = os.getpid()
+    return _pool
+
+
+def active_pool() -> "concurrent.futures.ProcessPoolExecutor | None":
+    """The current pool if this process owns one (None otherwise);
+    never creates."""
+    if _pool is not None and _pool_pid == os.getpid():
+        return _pool
+    return None
+
+
+def pool_workers() -> int:
+    """Worker count of the active pool (0 when no pool exists)."""
+    return _pool_workers if active_pool() is not None else 0
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared pool (idempotent; also the atexit hook).
+
+    Safe to call on a broken pool -- ``Executor.shutdown`` tolerates
+    that -- and a no-op in processes that merely inherited the handle.
+    """
+    global _pool, _pool_workers
+    pool = active_pool()
+    _pool = None
+    _pool_workers = 0
+    if pool is not None:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(shutdown_pool)

@@ -31,6 +31,7 @@ from repro.sim.resources import (
 from repro.sim.rng import RandomStreams
 from repro.sim.stats import (
     BatchMeans,
+    StoppingRule,
     TimeWeightedAverage,
     WelfordAccumulator,
     confidence_interval,
@@ -49,6 +50,7 @@ __all__ = [
     "RandomStreams",
     "Resource",
     "Server",
+    "StoppingRule",
     "Store",
     "TimeWeightedAverage",
     "Timeout",

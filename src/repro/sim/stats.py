@@ -15,6 +15,9 @@ module supplies the pieces needed to reproduce that methodology:
   exactly the queueing behaviour the experiment is about.
 - :func:`confidence_interval` -- Student-t interval on a sample of
   replication means.
+- :class:`StoppingRule` -- sequential CI-driven early stopping: run
+  replications in waves, stop once the relative half-width hits a
+  target (the adaptive-replication mode of the sweep runner).
 """
 
 from __future__ import annotations
@@ -146,6 +149,10 @@ class BatchMeans:
         self.batch_size = batch_size
         self._current = WelfordAccumulator()
         self.batch_means: list[float] = []
+        # Incremental accumulator over completed batch means, so
+        # interval() is O(1) instead of a rebuild over every batch --
+        # stopping rules poll it after every wave.
+        self._batch_acc = WelfordAccumulator()
         self._all = WelfordAccumulator()
 
     def add(self, value: float) -> None:
@@ -153,6 +160,7 @@ class BatchMeans:
         self._all.add(value)
         if self._current.count >= self.batch_size:
             self.batch_means.append(self._current.mean)
+            self._batch_acc.add(self._current.mean)
             self._current = WelfordAccumulator()
 
     @property
@@ -165,15 +173,12 @@ class BatchMeans:
 
     def interval(self, confidence: float = 0.90) -> tuple[float, float]:
         """(mean, half-width) from the completed batches."""
-        n = len(self.batch_means)
+        n = self._batch_acc.count
         if n < 2:
             return self.mean, math.inf
-        acc = WelfordAccumulator()
-        for m in self.batch_means:
-            acc.add(m)
         t = student_t_quantile(1 - (1 - confidence) / 2, n - 1)
-        half = t * acc.stddev / math.sqrt(n)
-        return acc.mean, half
+        half = t * self._batch_acc.stddev / math.sqrt(n)
+        return self._batch_acc.mean, half
 
     def relative_half_width(self, confidence: float = 0.90) -> float:
         mean, half = self.interval(confidence)
@@ -222,6 +227,101 @@ class PercentileSample:
         high = min(low + 1, len(values) - 1)
         fraction = position - low
         return values[low] * (1.0 - fraction) + values[high] * fraction
+
+
+class StoppingRule:
+    """CI-driven early stopping for one replicated estimate.
+
+    The paper's methodology: report means whose 90%-confidence relative
+    half-widths are below 10%.  A :class:`StoppingRule` encodes that as
+    a sequential procedure -- feed it one observation per replication
+    (:meth:`observe`) and it answers *whether* the estimate is tight
+    enough (:attr:`satisfied`) and *how many more* replications the
+    next wave should run (:meth:`next_wave`).  Grids using it do the
+    minimum work: points with low variance stop at
+    ``min_replications``, noisy points keep going until
+    ``max_replications`` caps them.
+
+    The interval is the same Student-t construction as
+    :func:`confidence_interval`, maintained incrementally on a
+    :class:`WelfordAccumulator`.  A degenerate sample (zero variance,
+    e.g. deterministic overhead counts) is satisfied as soon as the
+    floor is reached, even at mean zero.
+    """
+
+    def __init__(self, target: float, confidence: float = 0.90,
+                 min_replications: int = 2,
+                 max_replications: int = 16) -> None:
+        if not target > 0.0:
+            raise ValueError(f"target must be > 0, got {target}")
+        if not 0.0 < confidence < 1.0:
+            raise ValueError(f"confidence must be in (0, 1), "
+                             f"got {confidence}")
+        if min_replications < 2:
+            raise ValueError("min_replications must be >= 2 (a CI needs "
+                             f"two samples), got {min_replications}")
+        if max_replications < min_replications:
+            raise ValueError(
+                f"max_replications ({max_replications}) must be >= "
+                f"min_replications ({min_replications})")
+        self.target = target
+        self.confidence = confidence
+        self.min_replications = min_replications
+        self.max_replications = max_replications
+        self._acc = WelfordAccumulator()
+
+    def observe(self, value: float) -> None:
+        """Record one replication's metric value."""
+        self._acc.add(value)
+
+    @property
+    def count(self) -> int:
+        return self._acc.count
+
+    def interval(self) -> tuple[float, float]:
+        """(mean, half-width) over the observations so far."""
+        n = self._acc.count
+        if n == 0:
+            return 0.0, math.inf
+        if n == 1:
+            return self._acc.mean, math.inf
+        t = student_t_quantile(1 - (1 - self.confidence) / 2, n - 1)
+        return self._acc.mean, t * self._acc.stddev / math.sqrt(n)
+
+    @property
+    def relative_half_width(self) -> float:
+        mean, half = self.interval()
+        if half == 0.0:
+            return 0.0  # degenerate sample: exactly pinned, mean or not
+        if mean == 0:
+            return math.inf
+        return abs(half / mean)
+
+    @property
+    def satisfied(self) -> bool:
+        return (self.count >= self.min_replications
+                and self.relative_half_width <= self.target)
+
+    @property
+    def exhausted(self) -> bool:
+        """The replication budget is spent (stop regardless of width)."""
+        return self.count >= self.max_replications
+
+    def next_wave(self) -> int:
+        """Replications the next wave should run (0 = stop).
+
+        The first wave fills up to ``min_replications``; later waves
+        grow roughly geometrically (half the current sample, at least
+        one) so slow-converging points need few dispatch rounds, capped
+        by the remaining budget.
+        """
+        if self.satisfied or self.exhausted:
+            return 0
+        if self.count < self.min_replications:
+            wave = self.min_replications - self.count
+        else:
+            wave = max(1, self.count // 2)
+        return min(wave, self.max_replications - self.count)
 
 
 def confidence_interval(samples: typing.Sequence[float],

@@ -11,7 +11,11 @@ from repro.sim import (
     WelfordAccumulator,
     confidence_interval,
 )
-from repro.sim.stats import normal_quantile, student_t_quantile
+from repro.sim.stats import (
+    StoppingRule,
+    normal_quantile,
+    student_t_quantile,
+)
 
 
 class TestWelford:
@@ -84,6 +88,67 @@ class TestWelford:
         assert dst.count == 1
         assert dst.mean == 5.0
 
+    @staticmethod
+    def _filled(values):
+        acc = WelfordAccumulator()
+        for v in values:
+            acc.add(v)
+        return acc
+
+    def test_merge_is_associative_within_float_tolerance(self):
+        """(A + B) + C == A + (B + C): chunk reassembly must not depend
+        on how the runner grouped the work."""
+        rng = random.Random(20250808)
+        chunks = [[rng.gauss(50, 12) for _ in range(n)]
+                  for n in (17, 3, 41)]
+        a, b, c = (self._filled(chunk) for chunk in chunks)
+        left = self._filled(chunks[0])
+        left.merge(self._filled(chunks[1]))
+        left.merge(c)
+        bc = self._filled(chunks[1])
+        bc.merge(self._filled(chunks[2]))
+        right = self._filled(chunks[0])
+        right.merge(bc)
+        assert left.count == right.count
+        assert left.mean == pytest.approx(right.mean, rel=1e-12)
+        assert left.variance == pytest.approx(right.variance, rel=1e-9)
+        assert left.total == pytest.approx(right.total, rel=1e-12)
+        assert left.minimum == right.minimum
+        assert left.maximum == right.maximum
+
+    def test_merge_is_order_independent_within_float_tolerance(self):
+        """A + B == B + A (commutativity, the other half of safe
+        out-of-order chunk reassembly)."""
+        rng = random.Random(99)
+        first = [rng.gauss(0, 1) for _ in range(25)]
+        second = [rng.gauss(100, 5) for _ in range(8)]
+        ab = self._filled(first)
+        ab.merge(self._filled(second))
+        ba = self._filled(second)
+        ba.merge(self._filled(first))
+        assert ab.count == ba.count
+        assert ab.mean == pytest.approx(ba.mean, rel=1e-12)
+        assert ab.variance == pytest.approx(ba.variance, rel=1e-9)
+        assert ab.minimum == ba.minimum
+        assert ab.maximum == ba.maximum
+
+    def test_merge_matches_single_pass_over_many_random_splits(self):
+        rng = random.Random(5)
+        values = [rng.expovariate(0.1) for _ in range(300)]
+        whole = self._filled(values)
+        for split_seed in range(5):
+            split_rng = random.Random(split_seed)
+            cuts = sorted(split_rng.sample(range(1, 300), 3))
+            merged = WelfordAccumulator()
+            start = 0
+            for cut in cuts + [300]:
+                merged.merge(self._filled(values[start:cut]))
+                start = cut
+            assert merged.count == whole.count
+            assert merged.mean == pytest.approx(whole.mean, rel=1e-12)
+            assert merged.variance == pytest.approx(whole.variance,
+                                                    rel=1e-9)
+
 
 class TestTimeWeightedAverage:
     def test_constant_value(self):
@@ -152,6 +217,113 @@ class TestBatchMeans:
         bm.add(1.0)
         mean, half = bm.interval()
         assert half == math.inf
+
+    @pytest.mark.parametrize("confidence", [0.90, 0.95, 0.99])
+    def test_incremental_interval_matches_batch_means_recompute(
+            self, confidence):
+        """The O(1) incremental interval must equal a from-scratch
+        Student-t interval over ``batch_means`` at every step."""
+        rng = random.Random(13)
+        bm = BatchMeans(batch_size=7)
+        for i in range(200):
+            bm.add(rng.gauss(40.0, 6.0))
+            inc_mean, inc_half = bm.interval(confidence)
+            ref_mean, ref_half = confidence_interval(
+                bm.batch_means, confidence)
+            if len(bm.batch_means) < 2:
+                assert inc_half == math.inf
+            else:
+                assert inc_mean == pytest.approx(ref_mean, rel=1e-12)
+                assert inc_half == pytest.approx(ref_half, rel=1e-9)
+
+    def test_partial_batch_not_counted_in_interval(self):
+        bm = BatchMeans(batch_size=4)
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]:
+            bm.add(v)
+        base_mean, base_half = bm.interval(0.90)
+        bm.add(1000.0)  # starts a new, incomplete batch
+        assert bm.interval(0.90) == (base_mean, base_half)
+        assert bm.count == 9  # ...but the raw count still sees it
+
+
+class TestStoppingRule:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="target"):
+            StoppingRule(0.0)
+        with pytest.raises(ValueError, match="target"):
+            StoppingRule(-0.1)
+        with pytest.raises(ValueError, match="confidence"):
+            StoppingRule(0.1, confidence=1.0)
+        with pytest.raises(ValueError, match="confidence"):
+            StoppingRule(0.1, confidence=0.0)
+        with pytest.raises(ValueError, match="min_replications"):
+            StoppingRule(0.1, min_replications=1)
+        with pytest.raises(ValueError, match="max_replications"):
+            StoppingRule(0.1, min_replications=4, max_replications=3)
+
+    def test_needs_minimum_before_satisfied(self):
+        rule = StoppingRule(0.5, min_replications=3)
+        rule.observe(10.0)
+        rule.observe(10.0)
+        assert not rule.satisfied  # tight but below the floor
+        assert rule.next_wave() == 1  # fill to min_replications
+        rule.observe(10.0)
+        assert rule.satisfied
+        assert rule.next_wave() == 0
+
+    def test_zero_variance_satisfied_even_at_mean_zero(self):
+        """A deterministic metric pinned at 0.0 (e.g. an abort count)
+        is exact -- half-width 0 beats any target."""
+        rule = StoppingRule(0.1)
+        rule.observe(0.0)
+        rule.observe(0.0)
+        assert rule.relative_half_width == 0.0
+        assert rule.satisfied
+
+    def test_nonzero_half_width_at_mean_zero_is_infinite(self):
+        rule = StoppingRule(0.1)
+        rule.observe(-1.0)
+        rule.observe(1.0)
+        assert rule.relative_half_width == math.inf
+        assert not rule.satisfied
+
+    def test_wave_growth_is_geometric_and_capped(self):
+        rule = StoppingRule(1e-9, min_replications=2, max_replications=16)
+        assert rule.next_wave() == 2  # fill to the floor
+        rule.observe(1.0)
+        rule.observe(2.0)
+        assert rule.next_wave() == 1  # max(1, 2 // 2)
+        rule.observe(3.0)
+        assert rule.next_wave() == 1  # max(1, 3 // 2) = 1
+        for v in (4.0, 5.0, 6.0, 7.0, 8.0):
+            rule.observe(v)
+        assert rule.count == 8
+        assert rule.next_wave() == 4  # 8 // 2
+        for v in range(4):
+            rule.observe(float(v))
+        assert rule.next_wave() == 4  # 12 // 2 = 6, capped at 16 - 12
+        for v in range(4):
+            rule.observe(float(v))
+        assert rule.exhausted
+        assert rule.next_wave() == 0
+
+    def test_interval_matches_confidence_interval(self):
+        rng = random.Random(3)
+        values = [rng.gauss(20, 4) for _ in range(9)]
+        rule = StoppingRule(0.1, confidence=0.95)
+        for v in values:
+            rule.observe(v)
+        mean, half = rule.interval()
+        ref_mean, ref_half = confidence_interval(values, 0.95)
+        assert mean == pytest.approx(ref_mean, rel=1e-12)
+        assert half == pytest.approx(ref_half, rel=1e-9)
+
+    def test_empty_and_single_sample_intervals(self):
+        rule = StoppingRule(0.1)
+        assert rule.interval() == (0.0, math.inf)
+        rule.observe(5.0)
+        assert rule.interval() == (5.0, math.inf)
+        assert not rule.satisfied
 
 
 class TestConfidenceInterval:

@@ -84,6 +84,39 @@ class TestRun:
         with pytest.raises(KeyError):
             run_cli("run", "E99", "--transactions", "10")
 
+    def test_run_target_ci_prints_adaptive_summary(self):
+        code, text = run_cli("run", "E7", "--transactions", "25",
+                             "--mpls", "1", "--replications", "4",
+                             "--target-ci", "0.5", "--quiet")
+        assert code == 0
+        assert "adaptive replication:" in text
+        assert "measured transactions total" in text
+        assert "[throughput]" in text
+
+    def test_target_ci_must_be_a_fraction(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "E1", "--target-ci", "1.5"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "E1", "--target-ci", "0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "E1", "--target-ci", "abc"])
+
+    def test_target_ci_conflicts_with_events_out(self, tmp_path):
+        code, text = run_cli("run", "E7", "--transactions", "20",
+                             "--mpls", "1", "--target-ci", "0.5",
+                             "--events-out", str(tmp_path / "ev.jsonl"))
+        assert code == 2
+        assert "fixed replications" in text
+
+    def test_jobs_zero_means_all_cores_at_the_cli(self):
+        code, text = run_cli("run", "E7", "--transactions", "20",
+                             "--mpls", "1", "--jobs", "0", "--quiet")
+        assert code == 0
+        assert "[throughput]" in text
+
 
 class TestTables:
     def test_tables_render_and_match(self):
@@ -92,6 +125,13 @@ class TestTables:
         assert "DistDegree = 3" in text
         assert "DistDegree = 6" in text
         assert "NO" not in text  # every row matches the analytic counts
+
+    def test_tables_with_target_ci_still_match(self):
+        code, text = run_cli("tables", "--transactions", "30",
+                             "--target-ci", "0.5")
+        assert code == 0
+        assert "DistDegree = 3" in text
+        assert "NO" not in text  # adaptive mode keeps the analytic match
 
 
 def test_parser_requires_command():
