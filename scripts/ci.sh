@@ -19,9 +19,16 @@ if [ "${CI_SKIP_TIER2:-0}" != "1" ]; then
     python -m pytest -q -m tier2
 fi
 
+# A killed-then-resumed soak must reproduce the identical windowed
+# JSONL stream (checkpoint/restore byte-identity, incl. torn-tail
+# recovery).
+echo "== soak-resume check (checkpoint byte-identity) =="
+python scripts/soak_resume_check.py
+
 # Perf floors: kernel micros, end-to-end txn rate, idle-bus/fault
-# overhead ceilings, and the warm-pool sweep-scaling floor
-# (speedup_vs_serial["4"] >= 1.5 -- auto-skipped on < 4-core runners).
+# overhead ceilings, the flat-RSS soak-memory ceiling, and the
+# warm-pool sweep-scaling floor (speedup_vs_serial["4"] >= 1.5 --
+# auto-skipped on < 4-core runners).
 echo "== benchmark smoke (perf floors) =="
 python scripts/bench_trajectory.py --smoke
 

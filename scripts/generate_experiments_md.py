@@ -159,12 +159,17 @@ COMMENTARY: dict[str, tuple[str, str, str]] = {
         "smaller database."),
     "EXT": (
         "Extensions — beyond the paper's experiments",
-        "Four of the paper's qualitative arguments, made measurable: "
+        "Six of the paper's qualitative arguments, made measurable: "
         "blocking halts processing on master failure (Sec 2.4); peak "
         "throughput can be *maintained* with Half-and-Half admission "
         "control (Sec 5); the Section 2.5 protocol family's "
-        "message/forcing arithmetic; and commit protocols exist to "
-        "survive failures, so measure them under failures.",
+        "message/forcing arithmetic; commit protocols exist to survive "
+        "failures, so measure them under failures; the closed model's "
+        "MPL knob answers \"at what concurrency\" but not \"at what "
+        "offered load\", so re-ask the throughput question in an open "
+        "system; and steady-state claims deserve long horizons, so "
+        "stream that open system for millions of transactions at flat "
+        "memory.",
         "(1) `repro.failures`: with a 15 s master outage, 2PC/PA/PC "
         "cohorts hold their update locks for the entire outage and "
         "system throughput collapses an order of magnitude, while "
@@ -188,7 +193,39 @@ COMMENTARY: dict[str, tuple[str, str, str]] = {
         "messages dropped, and in-doubt transactions resolved by each "
         "protocol's presumption rule.  With faults disabled the "
         "injector wires nothing and trajectories stay byte-identical "
-        "to the golden fixture (`tests/test_faults.py`)."),
+        "to the golden fixture (`tests/test_faults.py`).  "
+        "(5) `WorkloadMode.OPEN` + `repro.experiments.saturation` "
+        "(`repro-commit saturation`): per-site Poisson arrivals feed "
+        "bounded admission queues (drop-on-full = shed load) drained "
+        "by `mpl` workers per site, with optional hot-spot/Zipf access "
+        "skew (`--skew hotspot:10:90`, `--skew zipf:0.8`).  On the "
+        "default grid (300 measured txns/point, seed 20250705, queue "
+        "limit 64), carried load tracks offered load through 2.0 "
+        "txns/s/site (~15.3 system-wide, all protocols) while p95 "
+        "response climbs 0.5 s → 1.6 s; at 3.0/site the curves "
+        "flatten and separate exactly as the closed MPL sweeps "
+        "predict — OPT carries 14.95 system-wide vs PC 12.75, "
+        "2PC/PA 12.34, 3PC 11.91, with p95 at 10–14 s; by "
+        "5.0/site the queues overflow and every protocol sheds "
+        "~19–20% of offered load.  Latency saturates far below "
+        "the throughput knee — the operator-facing behaviour the "
+        "paper's closed model cannot exhibit.  Closed-mode "
+        "trajectories stay byte-identical "
+        "(`tests/test_open_system.py`).  "
+        "(6) `repro.experiments.soak` (`repro-commit soak`): the open "
+        "system streamed to 10⁶–10⁷ transactions at "
+        "O(1) memory — P² quantile sketches above a sample "
+        "cap, per-window JSONL aggregates (`--out soak.jsonl`), "
+        "bounded WAL retention, and drain-barrier checkpoints that "
+        "make a killed-then-resumed soak byte-identical to an "
+        "uninterrupted one, torn tail lines included "
+        "(`scripts/soak_resume_check.py`).  Long horizons earn "
+        "time-varying load: `--rate-curve diurnal:…`/`steps:…` "
+        "modulates arrivals via Lewis–Shedler thinning and "
+        "`--skew hotspot:b:a:drift_s` rotates the hot set through the "
+        "database.  Peak RSS grows ~1.00x from 10⁴ to 10⁵ "
+        "transactions (ceiling 1.25x, gated by "
+        "`scripts/bench_trajectory.py --smoke`)."),
 }
 
 #: experiment ids whose measured series get a table, in document order.

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""CI check: a killed-then-resumed soak reproduces the identical stream.
+
+Runs the same small soak twice: once uninterrupted, once interrupted at
+the first checkpoint barrier (with a torn partial line appended to the
+output, as a real kill mid-write would leave) and then resumed.  The two
+windowed JSONL streams must be byte-identical.
+
+Usage::
+
+    PYTHONPATH=src python scripts/soak_resume_check.py
+
+Exit 0 on byte-identity, 1 with a diff summary otherwise.  Wall-clock is
+a few seconds; ``scripts/ci.sh`` runs it as its soak-resume stage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def main() -> int:
+    from repro.config import open_system
+    from repro.experiments.soak import SoakConfig, SoakRunner
+
+    config = SoakConfig(
+        protocol="2PC",
+        params=open_system(arrival_rate_tps=10.0, num_sites=2, mpl=4,
+                           db_size=600, dist_degree=2, cohort_size=4),
+        transactions=600,
+        window_ms=5_000.0,
+        checkpoint_every=200,
+        sample_cap=50)
+
+    with tempfile.TemporaryDirectory(prefix="soak-resume-") as tmp:
+        tmp_path = pathlib.Path(tmp)
+        full = tmp_path / "full.jsonl"
+        SoakRunner(config, full, tmp_path / "full.ckpt").run()
+
+        resumed = tmp_path / "resumed.jsonl"
+        ckpt = tmp_path / "resumed.ckpt"
+        interrupted = SoakRunner(config, resumed, ckpt).run(
+            stop_after_segments=1)
+        assert interrupted["interrupted"], "soak was not interrupted"
+        # A kill mid-write leaves a torn final line; resume must cope.
+        with resumed.open("a", encoding="utf-8") as handle:
+            handle.write('{"torn": tr')
+        summary = SoakRunner(config, resumed, ckpt).run(resume=True)
+
+        full_bytes = full.read_bytes()
+        resumed_bytes = resumed.read_bytes()
+        if full_bytes == resumed_bytes:
+            print(f"soak-resume check ok: {summary['committed']} commits, "
+                  f"{summary['windows']} windows, "
+                  f"sha256 {hashlib.sha256(full_bytes).hexdigest()[:16]}")
+            return 0
+        print("soak-resume check FAILED: resumed stream differs from "
+              "the uninterrupted run", file=sys.stderr)
+        full_lines = full_bytes.decode().splitlines()
+        resumed_lines = resumed_bytes.decode().splitlines()
+        print(f"  uninterrupted: {len(full_lines)} lines, "
+              f"resumed: {len(resumed_lines)} lines", file=sys.stderr)
+        for index, (a, b) in enumerate(zip(full_lines, resumed_lines)):
+            if a != b:
+                print(f"  first difference at line {index}:",
+                      file=sys.stderr)
+                print(f"    uninterrupted: {a[:120]}", file=sys.stderr)
+                print(f"    resumed:       {b[:120]}", file=sys.stderr)
+                break
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

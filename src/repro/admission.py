@@ -106,6 +106,21 @@ class BoundedAdmissionQueue:
         """End of warmup: discard the time-weighted length history."""
         self.length.reset(now)
 
+    def capture_state(self) -> dict:
+        """Picklable snapshot (soak checkpoint; queue must be drained)."""
+        if self._items:
+            raise RuntimeError(
+                f"cannot checkpoint a non-empty admission queue "
+                f"({len(self._items)} items)")
+        return {"offered": self.offered, "shed": self.shed,
+                "admitted": self.admitted, "length": self.length}
+
+    def restore_state(self, state: dict) -> None:
+        self.offered = state["offered"]
+        self.shed = state["shed"]
+        self.admitted = state["admitted"]
+        self.length = state["length"]
+
     def __repr__(self) -> str:
         return (f"<BoundedAdmissionQueue {len(self._items)}/{self.limit} "
                 f"shed={self.shed}>")

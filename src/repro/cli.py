@@ -9,6 +9,8 @@ Examples::
     repro-commit simulate OPT --mpl 6 --transactions 2000
     repro-commit simulate 2PC --open --arrival-rate 1.5 --skew hotspot:10:90
     repro-commit saturation --rates 0.5,1,1.5,2 --skew zipf:0.8
+    repro-commit soak --transactions 1000000 --out soak.jsonl
+    repro-commit soak --resume --out soak.jsonl
 """
 
 from __future__ import annotations
@@ -65,6 +67,14 @@ def _parse_skew(text: str):
     from repro.db.workload import AccessSkew
     try:
         return AccessSkew.parse(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
+
+
+def _parse_rate_curve(text: str):
+    from repro.db.workload import RateCurve
+    try:
+        return RateCurve.parse(text)
     except ValueError as error:
         raise argparse.ArgumentTypeError(str(error))
 
@@ -215,6 +225,57 @@ def build_parser() -> argparse.ArgumentParser:
     sat.add_argument("--seed", type=int, default=20250705)
     sat.add_argument("--quiet", action="store_true",
                      help="suppress per-point progress output")
+
+    soak = sub.add_parser(
+        "soak",
+        help="long-horizon open-system run at flat RSS: streaming "
+             "percentiles, windowed JSONL output, checkpoint/resume")
+    soak.add_argument("protocol", nargs="?", default="2PC",
+                      help="protocol name (default 2PC)")
+    soak.add_argument("--transactions", type=int, default=1_000_000,
+                      help="committed-transaction target; the run stops "
+                           "at the first drain barrier at or past it "
+                           "(default 1000000)")
+    soak.add_argument("--arrival-rate", type=float,
+                      default=DEFAULT_OPEN_ARRIVAL_TPS, metavar="TPS",
+                      help="per-site arrival rate in txns/s")
+    soak.add_argument("--mpl", type=int, default=8,
+                      help="per-site concurrency cap")
+    soak.add_argument("--queue-limit", type=int, default=64,
+                      help="per-site admission queue bound")
+    soak.add_argument("--skew", type=_parse_skew, default=None,
+                      metavar="SPEC",
+                      help="page-access skew: 'uniform', "
+                           "'hotspot:<page%%>:<access%%>[:<drift_s>]' "
+                           "(drift_s rotates the hot set once per "
+                           "period), or 'zipf:<theta>'")
+    soak.add_argument("--rate-curve", type=_parse_rate_curve, default=None,
+                      metavar="SPEC",
+                      help="time-varying arrival rate: 'constant', "
+                           "'diurnal:<period_s>:<amplitude>', or "
+                           "'steps:<t_s>=<factor>,...'")
+    soak.add_argument("--window-s", type=float, default=60.0,
+                      help="simulated seconds per output window "
+                           "(default 60)")
+    soak.add_argument("--checkpoint-every", type=int, default=100_000,
+                      help="commits per segment between drain-barrier "
+                           "checkpoints (0 = no checkpointing; "
+                           "default 100000)")
+    soak.add_argument("--out", metavar="FILE", default="soak.jsonl",
+                      help="windowed JSONL output (default soak.jsonl)")
+    soak.add_argument("--checkpoint", metavar="FILE", default=None,
+                      help="checkpoint file (default: <out>.ckpt)")
+    soak.add_argument("--resume", action="store_true",
+                      help="resume from the checkpoint file; the "
+                           "completed stream is byte-identical to an "
+                           "uninterrupted run")
+    soak.add_argument("--sample-cap", type=int, default=10_000,
+                      help="retained observations before percentile "
+                           "samples switch to streaming P-squared "
+                           "estimators (default 10000)")
+    soak.add_argument("--seed", type=int, default=20250705)
+    soak.add_argument("--quiet", action="store_true",
+                      help="suppress per-segment progress output")
 
     avail = sub.add_parser(
         "availability",
@@ -405,6 +466,46 @@ def cmd_simulate(args: argparse.Namespace, out: typing.TextIO) -> int:
     return 0
 
 
+def cmd_soak(args: argparse.Namespace, out: typing.TextIO) -> int:
+    from repro.experiments.soak import SoakConfig, SoakRunner
+    try:
+        params = repro.open_system(
+            arrival_rate_tps=args.arrival_rate, skew=args.skew,
+            admission_queue_limit=args.queue_limit,
+            rate_curve=args.rate_curve, mpl=args.mpl)
+        config = SoakConfig(
+            protocol=args.protocol, params=params,
+            transactions=args.transactions, seed=args.seed,
+            window_ms=args.window_s * 1000.0,
+            checkpoint_every=args.checkpoint_every,
+            sample_cap=args.sample_cap)
+        checkpoint = (args.checkpoint if args.checkpoint is not None
+                      else args.out + ".ckpt")
+        progress = None if args.quiet else (
+            lambda text: out.write(f"  ... {text}\n"))
+        started = time.time()
+        runner = SoakRunner(config, args.out, checkpoint,
+                            progress=progress)
+        summary = runner.run(resume=args.resume)
+    except (ValueError, FileNotFoundError) as error:
+        out.write(f"error: {error}\n")
+        return 2
+    out.write(f"{summary['protocol']}: {summary['committed']} committed "
+              f"in {summary['segments']} segments, "
+              f"{summary['windows']} windows over "
+              f"{summary['clock_ms'] / 1000.0:.0f} simulated seconds\n")
+    out.write(f"wrote {summary['out']} (checkpoint "
+              f"{summary['checkpoint']})\n")
+    try:
+        import resource
+        peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        out.write(f"peak RSS {peak_kb / 1024.0:.0f} MiB\n")
+    except ImportError:  # pragma: no cover - non-POSIX
+        pass
+    out.write(f"(completed in {time.time() - started:.1f}s wall time)\n")
+    return 0
+
+
 def cmd_availability(args: argparse.Namespace, out: typing.TextIO) -> int:
     from repro.experiments.availability import AvailabilitySweep
     if args.protocols.strip().lower() == "all":
@@ -469,6 +570,8 @@ def main(argv: typing.Sequence[str] | None = None,
         return cmd_availability(args, out)
     if args.command == "saturation":
         return cmd_saturation(args, out)
+    if args.command == "soak":
+        return cmd_soak(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

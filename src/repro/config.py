@@ -16,7 +16,7 @@ import math
 import typing
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.db.workload import AccessSkew
+    from repro.db.workload import AccessSkew, RateCurve
 
 
 class WorkloadMode(enum.Enum):
@@ -121,6 +121,9 @@ class ModelParams:
     #: page-access skew (None = the paper's uniform model).  An
     #: :class:`repro.db.workload.AccessSkew`; applies in both modes.
     skew: "AccessSkew | None" = None
+    #: time-varying multiplier on ``arrival_rate_tps`` (OPEN only;
+    #: None = homogeneous Poisson).  A :class:`repro.db.workload.RateCurve`.
+    rate_curve: "RateCurve | None" = None
 
     # ----- run control --------------------------------------------------
     seed: int = 20250705
@@ -174,6 +177,11 @@ class ModelParams:
                 f"{self.admission_queue_limit}")
         if self.skew is not None:
             self.skew.validate()
+        if self.rate_curve is not None:
+            if self.workload_mode is not WorkloadMode.OPEN:
+                raise ValueError(
+                    "rate_curve only applies to the open workload mode")
+            self.rate_curve.validate()
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -282,6 +290,7 @@ DEFAULT_OPEN_ARRIVAL_TPS = 1.0
 def open_system(arrival_rate_tps: float = DEFAULT_OPEN_ARRIVAL_TPS,
                 skew: "AccessSkew | None" = None,
                 admission_queue_limit: int = 64,
+                rate_curve: "RateCurve | None" = None,
                 **overrides: object) -> ModelParams:
     """Open-system extension: Poisson arrivals + bounded admission queue.
 
@@ -294,6 +303,7 @@ def open_system(arrival_rate_tps: float = DEFAULT_OPEN_ARRIVAL_TPS,
         "arrival_rate_tps": arrival_rate_tps,
         "admission_queue_limit": admission_queue_limit,
         "skew": skew,
+        "rate_curve": rate_curve,
     }
     params.update(overrides)
     return ModelParams(**params)  # type: ignore[arg-type]

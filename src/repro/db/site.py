@@ -41,6 +41,7 @@ class Site:
                  infinite_resources: bool = False,
                  lending_enabled: bool = False,
                  group_commit: bool = False,
+                 wal_retention: bool = True,
                  on_lender_abort=None, bus=None) -> None:
         self.env = env
         self.site_id = site_id
@@ -70,7 +71,8 @@ class Site:
         self.log_manager = LogManager(env, site_id, log_disks,
                                       write_time_ms=page_disk_ms,
                                       group_commit=group_commit,
-                                      bus=bus)
+                                      bus=bus,
+                                      retain_records=wal_retention)
         self.lock_manager = LockManager(
             env, site_id, wait_for_graph,
             lending_enabled=lending_enabled,

@@ -127,12 +127,22 @@ class DistributedSystem:
 
     def __init__(self, params: ModelParams, protocol: "CommitProtocol",
                  seed: int | None = None,
-                 faults: "FaultConfig | None" = None) -> None:
+                 faults: "FaultConfig | None" = None,
+                 initial_time: float = 0.0,
+                 percentile_sample_cap: int | None = None,
+                 wal_retention: bool = True) -> None:
         params.validate()
         self.params = params
         self.protocol = protocol
         protocol.bind(self)
-        self.env = Environment()
+        #: retain the full WAL record history?  Soak runs turn this off:
+        #: completed transactions' recovery-index entries are pruned per
+        #: commit so memory stays bounded by the in-flight population.
+        self.wal_retention = wal_retention
+        # ``initial_time`` starts the kernel clock mid-stream: a soak
+        # segment resumed from a checkpoint continues at the checkpointed
+        # simulated time instead of 0.
+        self.env = Environment(initial_time=initial_time)
         self.streams = RandomStreams(seed if seed is not None else params.seed)
 
         #: the instrumentation plane (docs/MODEL.md): every layer
@@ -143,7 +153,8 @@ class DistributedSystem:
         self.metrics = MetricsCollector(
             self.env, total_slots,
             initial_response_estimate=params.initial_response_time_estimate(),
-            open_system=self.open_mode)
+            open_system=self.open_mode,
+            percentile_sample_cap=percentile_sample_cap)
         # Subscription order is semantic: metrics must see block/unblock
         # transitions before the admission controller acts on them.
         self.metrics.subscribe(self.bus)
@@ -172,6 +183,11 @@ class DistributedSystem:
         self._surprise_rng = self.streams.stream("surprise-aborts")
         self.transactions_started = 0
         self._started = False
+        # Soak support (open mode): arrival shutoff + drain detection.
+        self._arrivals_stopped = False
+        self.admitted_total = 0
+        self.completed_total = 0
+        self._drain_event: Event | None = None
         #: fault plane: None unless an *active* FaultConfig is attached,
         #: so the healthy path stays byte-identical (golden-sweep pin).
         self.faults: "FaultInjector | None" = None
@@ -192,6 +208,7 @@ class DistributedSystem:
         hooks = dict(
             on_lender_abort=self._on_lender_abort,
             bus=self.bus,
+            wal_retention=self.wal_retention,
         )
         if params.topology is Topology.CENTRALIZED:
             # One physical site with the aggregate resources; logical
@@ -270,24 +287,41 @@ class DistributedSystem:
         """One multiprogramming slot: submit, run, restart or replace."""
         env = self.env
         while True:
-            spec = self.workload.generate(origin_site)
+            spec = self.workload.generate(origin_site, env.now)
             yield from self._run_to_commit(spec, env.now)
 
     def _open_arrivals(self, origin_site: int):
-        """Poisson arrival source for one site's admission queue."""
+        """Poisson arrival source for one site's admission queue.
+
+        With a :class:`~repro.db.workload.RateCurve` configured, gaps are
+        drawn at the *peak* modulated rate and each candidate arrival is
+        thinned with probability ``factor_at(t) / peak_factor`` (Lewis &
+        Shedler), giving an exact non-homogeneous Poisson process.  The
+        curveless path keeps the historical draw sequence untouched.
+        """
         env = self.env
         params = self.params
         # A dedicated substream per site: arrival timing is independent
         # of every workload-shape draw (common random numbers hold
         # across protocols, and closed-mode streams are untouched).
         rng = self.streams.indexed_stream("open-arrivals", origin_site)
-        mean_interarrival_ms = 1000.0 / params.arrival_rate_tps
+        curve = params.rate_curve
+        peak_factor = curve.peak_factor if curve is not None else 1.0
+        mean_interarrival_ms = 1000.0 / (params.arrival_rate_tps
+                                         * peak_factor)
         queue = self.open_queues[origin_site]
         bus = self.bus
         while True:
             yield env.timeout(rng.expovariate(1.0 / mean_interarrival_ms))
-            spec = self.workload.generate(origin_site)
+            if self._arrivals_stopped:
+                return
+            if curve is not None and \
+                    rng.random() * peak_factor > curve.factor_at(env.now):
+                continue  # thinned: no arrival at this candidate point
+            spec = self.workload.generate(origin_site, env.now)
             admitted = queue.offer((spec, env.now))
+            if admitted:
+                self.admitted_total += 1
             if bus.has_subscribers(EventKind.TXN_ARRIVE):
                 bus.publish(TxnArrive(env.now, origin_site, spec.txn_id,
                                       admitted))
@@ -331,6 +365,16 @@ class DistributedSystem:
                 self._reap_stragglers(txn)
             if outcome is TransactionOutcome.COMMITTED:
                 self.bus.publish(TxnCommit(env.now, txn))
+                self.completed_total += 1
+                if not self.wal_retention:
+                    # WAL truncation: this transaction's recovery-index
+                    # entries (all incarnations, every participant) are
+                    # dead — no resolution path will look them up again.
+                    for access in spec.accesses:
+                        self.site_for(access.site_id).log_manager \
+                            .forget_txn(spec.txn_id, incarnation)
+                if self._drain_event is not None:
+                    self._check_drained()
                 return
             reason = txn.abort_reason or AbortReason.SURPRISE_VOTE
             self.bus.publish(TxnAbort(env.now, txn, reason))
@@ -401,6 +445,91 @@ class DistributedSystem:
         txn.abort_reason = reason
         for process in txn.live_processes():
             process.interrupt(reason)
+
+    # ------------------------------------------------------------------
+    # Soak support: arrival shutoff, drain barrier, state capture
+    # ------------------------------------------------------------------
+    def stop_arrivals(self) -> None:
+        """Stop admitting new open-system arrivals (soak barrier).
+
+        Arrival processes exit at their next candidate arrival instant;
+        transactions already admitted keep running to commit.
+        """
+        self._arrivals_stopped = True
+
+    def when_drained(self) -> Event:
+        """Event fired once every admitted transaction has committed.
+
+        Meaningful after :meth:`stop_arrivals`; fires immediately if the
+        system is already drained.
+        """
+        if self._drain_event is None:
+            self._drain_event = Event(self.env)
+            self._check_drained()
+        return self._drain_event
+
+    def _check_drained(self) -> None:
+        event = self._drain_event
+        if event is not None and not event.triggered \
+                and self.completed_total >= self.admitted_total:
+            self._drain_event = None
+            event.succeed()
+
+    def capture_soak_state(self) -> dict:
+        """Picklable snapshot of all persistent state (soak checkpoint).
+
+        Only valid at a quiescent drain barrier (``stop_arrivals`` +
+        ``when_drained``): with no transaction in flight, everything
+        that outlives a segment reduces to plain data — the kernel
+        clock, RNG stream states, metric accumulators, admission-queue
+        lifetime counters, and the workload's transaction-id cursor.
+        """
+        if not self.open_mode:
+            raise RuntimeError("soak checkpointing requires open mode")
+        if self.completed_total < self.admitted_total:
+            raise RuntimeError(
+                f"cannot checkpoint mid-flight: "
+                f"{self.admitted_total - self.completed_total} admitted "
+                f"transactions not yet committed")
+        if not self.wal_retention:
+            # Quiescent: sweep index entries that per-commit pruning
+            # missed (e.g. a cohort's decision record written after its
+            # master had already finished).
+            for site in self.sites:
+                site.log_manager.compact()
+        return {
+            "clock_ms": self.env.now,
+            "rng": self.streams.capture_state(),
+            "metrics": self.metrics.capture_state(),
+            "workload": self.workload.capture_state(),
+            "queues": [q.capture_state() for q in self.open_queues],
+            "transactions_started": self.transactions_started,
+            "admitted_total": self.admitted_total,
+            "completed_total": self.completed_total,
+        }
+
+    def restore_soak_state(self, state: dict) -> None:
+        """Adopt a :meth:`capture_soak_state` snapshot (before start()).
+
+        The system must have been constructed with
+        ``initial_time=state["clock_ms"]`` so every time-weighted
+        accumulator anchors at the checkpointed clock.
+        """
+        if self._started:
+            raise RuntimeError("restore_soak_state must precede start()")
+        if self.env.now != state["clock_ms"]:
+            raise RuntimeError(
+                f"system clock {self.env.now} does not match checkpoint "
+                f"clock {state['clock_ms']}; construct with "
+                f"initial_time=clock_ms")
+        self.streams.restore_state(state["rng"])
+        self.metrics.restore_state(state["metrics"])
+        self.workload.restore_state(state["workload"])
+        for queue, queue_state in zip(self.open_queues, state["queues"]):
+            queue.restore_state(queue_state)
+        self.transactions_started = state["transactions_started"]
+        self.admitted_total = state["admitted_total"]
+        self.completed_total = state["completed_total"]
 
     # ------------------------------------------------------------------
     # Behavioural callbacks (these *act*; observation is on the bus)

@@ -62,7 +62,8 @@ class LogManager:
                  log_disks: typing.Sequence[Server],
                  write_time_ms: float,
                  group_commit: bool = False,
-                 bus: EventBus | None = None) -> None:
+                 bus: EventBus | None = None,
+                 retain_records: bool = True) -> None:
         self.env = env
         self.site_id = site_id
         #: instrumentation plane; a standalone manager gets a private bus.
@@ -70,9 +71,17 @@ class LogManager:
         self.log_disks = list(log_disks)
         self.write_time_ms = write_time_ms
         self.group_commit = group_commit
+        #: keep every record forever (analysis/tests read ``records``)?
+        #: Soak runs turn this off: the full history of a 10^6-transaction
+        #: run cannot be retained, so only the per-transaction recovery
+        #: index survives, pruned as transactions complete.
+        self.retain_records = retain_records
         self.records: list[LogRecord] = []
         #: (txn_id, incarnation) -> records, for O(1) recovery lookups.
         self._by_txn: dict[tuple[int, int], list[LogRecord]] = {}
+        #: incremental per-kind tally (exact mirror of ``records`` when
+        #: retention is on; the only tally available when it is off).
+        self._counts: dict[LogRecordKind, int] = {}
         self.forced_count = 0
         self.unforced_count = 0
         self._next_disk = 0
@@ -88,8 +97,10 @@ class LogManager:
         """Append a non-forced record (no cost)."""
         record = LogRecord(kind, txn_id, self.site_id, forced=False,
                            time=self.env.now, incarnation=incarnation)
-        self.records.append(record)
+        if self.retain_records:
+            self.records.append(record)
         self._by_txn.setdefault((txn_id, incarnation), []).append(record)
+        self._counts[kind] = self._counts.get(kind, 0) + 1
         self.unforced_count += 1
         if self.bus.has_subscribers(EventKind.LOG_WRITE):
             self.bus.publish(LogWrite(self.env.now, self.site_id, kind,
@@ -106,8 +117,10 @@ class LogManager:
         """
         record = LogRecord(kind, txn_id, self.site_id, forced=True,
                            time=self.env.now, incarnation=incarnation)
-        self.records.append(record)
+        if self.retain_records:
+            self.records.append(record)
         self._by_txn.setdefault((txn_id, incarnation), []).append(record)
+        self._counts[kind] = self._counts.get(kind, 0) + 1
         self.forced_count += 1
         if self.bus.has_subscribers(EventKind.LOG_FORCE):
             self.bus.publish(LogForce(self.env.now, self.site_id, kind,
@@ -184,12 +197,31 @@ class LogManager:
             return set()
         return {record.kind for record in records}
 
+    def forget_txn(self, txn_id: int, max_incarnation: int) -> None:
+        """Drop the recovery index for a completed transaction.
+
+        The simulation analogue of WAL truncation past a checkpoint: once
+        a transaction has committed at every participant, no recovery
+        process will ever look its records up again.  Long (soak) runs
+        call this per commit so the index stays bounded by the in-flight
+        population.  Aggregate tallies (``counts_by_kind``, forced and
+        unforced counts) are unaffected.
+        """
+        for incarnation in range(-1, max_incarnation + 1):
+            self._by_txn.pop((txn_id, incarnation), None)
+
+    def compact(self) -> None:
+        """Drop the whole recovery index (quiescent points only).
+
+        Callers must guarantee no transaction is in flight at this site
+        — the soak runner invokes this at drain barriers, where that
+        holds by construction.
+        """
+        self._by_txn.clear()
+
     def counts_by_kind(self) -> dict[LogRecordKind, int]:
         """Number of records of each kind (forced and non-forced)."""
-        counts: dict[LogRecordKind, int] = {}
-        for record in self.records:
-            counts[record.kind] = counts.get(record.kind, 0) + 1
-        return counts
+        return dict(self._counts)
 
     def __repr__(self) -> str:
         return (f"<LogManager site={self.site_id} forced={self.forced_count} "

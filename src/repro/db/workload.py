@@ -8,16 +8,23 @@ accesses a uniformly random number of pages between 0.5 and 1.5 times
 updated with probability ``UpdateProb``.  Aborted transactions retain
 their access sets across restarts.
 
-Two extensions beyond the paper's closed uniform model:
+Extensions beyond the paper's closed uniform model:
 
 - :class:`AccessSkew` selects *which* pages a cohort touches: uniform
   (the paper's model, and the default), a hot-spot rule (``b``% of
   accesses go to the first ``a``% of a site's pages), or a Zipf(theta)
   rank distribution.  Uniform skew takes the exact historical sampling
-  path, so closed-mode trajectories stay byte-identical.
+  path, so closed-mode trajectories stay byte-identical.  A hot spot may
+  *drift*: with ``drift_period_s`` set, the hot set rotates through the
+  site's pages once per period (a moving hotspot, for soak runs under
+  non-stationary load).
 - Under ``WorkloadMode.OPEN`` the same generator feeds per-site Poisson
   arrival processes instead of fixed slots (see
   :meth:`repro.db.system.DistributedSystem.start`).
+- :class:`RateCurve` modulates the open-system arrival rate over
+  simulated time (constant, diurnal sinusoid, or piecewise steps);
+  arrivals are drawn at the peak rate and thinned (Lewis & Shedler) so
+  the process stays exactly Poisson at the instantaneous rate.
 
 Sites here are *logical* partitions: under the CENT (centralized)
 topology every logical site maps to the single physical site, keeping the
@@ -29,7 +36,7 @@ from __future__ import annotations
 import bisect
 import dataclasses
 import enum
-import itertools
+import math
 import typing
 
 from repro.db.transaction import CohortAccess, TransactionSpec
@@ -71,12 +78,21 @@ class AccessSkew:
     hot_access_frac: float = 0.90
     #: Zipf exponent; larger is more skewed (0 degenerates to uniform).
     zipf_theta: float = 0.8
+    #: hot-spot: seconds for the hot set to rotate once through the
+    #: site's pages (0 = stationary, the default).  The rotation is a
+    #: bijection on page slots, so sampled sets stay distinct.
+    drift_period_s: float = 0.0
 
     @property
     def is_uniform(self) -> bool:
         return self.kind is SkewKind.UNIFORM
 
     def validate(self) -> None:
+        if self.drift_period_s < 0:
+            raise ValueError(
+                f"drift_period_s must be >= 0, got {self.drift_period_s}")
+        if self.drift_period_s and self.kind is not SkewKind.HOTSPOT:
+            raise ValueError("drift_period_s only applies to hotspot skew")
         if self.kind is SkewKind.HOTSPOT:
             if not 0.0 < self.hot_page_frac < 1.0:
                 raise ValueError(
@@ -98,6 +114,8 @@ class AccessSkew:
         - ``uniform``
         - ``hotspot:<page%>:<access%>`` -- e.g. ``hotspot:10:90`` sends
           90% of accesses to the hottest 10% of each site's pages.
+        - ``hotspot:<page%>:<access%>:<drift_s>`` -- same, with the hot
+          set rotating once through the pages every ``drift_s`` seconds.
         - ``zipf:<theta>`` -- e.g. ``zipf:0.8``.
         """
         parts = text.strip().lower().split(":")
@@ -105,10 +123,12 @@ class AccessSkew:
         try:
             if kind == "uniform" and len(parts) == 1:
                 return cls()
-            if kind == "hotspot" and len(parts) == 3:
+            if kind == "hotspot" and len(parts) in (3, 4):
+                drift = float(parts[3]) if len(parts) == 4 else 0.0
                 skew = cls(kind=SkewKind.HOTSPOT,
                            hot_page_frac=float(parts[1]) / 100.0,
-                           hot_access_frac=float(parts[2]) / 100.0)
+                           hot_access_frac=float(parts[2]) / 100.0,
+                           drift_period_s=drift)
                 skew.validate()
                 return skew
             if kind == "zipf" and len(parts) == 2:
@@ -119,15 +139,147 @@ class AccessSkew:
             raise ValueError(f"bad skew spec {text!r}: {error}") from None
         raise ValueError(
             f"bad skew spec {text!r}; expected 'uniform', "
-            f"'hotspot:<page%>:<access%>', or 'zipf:<theta>'")
+            f"'hotspot:<page%>:<access%>[:<drift_s>]', or 'zipf:<theta>'")
 
     def describe(self) -> str:
         if self.kind is SkewKind.UNIFORM:
             return "uniform"
         if self.kind is SkewKind.HOTSPOT:
-            return (f"hotspot {self.hot_access_frac:.0%} of accesses -> "
+            base = (f"hotspot {self.hot_access_frac:.0%} of accesses -> "
                     f"{self.hot_page_frac:.0%} of pages")
+            if self.drift_period_s:
+                base += f", drifting every {self.drift_period_s:g}s"
+            return base
         return f"zipf theta={self.zipf_theta}"
+
+
+class RateCurveKind(enum.Enum):
+    """Shape of the arrival-rate modulation over simulated time."""
+
+    CONSTANT = "constant"
+    #: ``factor(t) = 1 + amplitude * sin(2*pi * t / period)`` -- a smooth
+    #: diurnal-style swing around the base rate.
+    DIURNAL = "diurnal"
+    #: piecewise-constant factors switching at given times.
+    STEPS = "steps"
+
+
+@dataclasses.dataclass(frozen=True)
+class RateCurve:
+    """Time-varying multiplier on the open-system arrival rate.
+
+    The base ``arrival_rate_tps`` is multiplied by :meth:`factor_at`;
+    arrival processes draw exponential gaps at ``peak_factor`` times the
+    base rate and thin each candidate with probability
+    ``factor_at(t) / peak_factor`` (Lewis & Shedler 1979), which yields
+    an exact non-homogeneous Poisson process.
+    """
+
+    kind: RateCurveKind = RateCurveKind.CONSTANT
+    #: diurnal: seconds per full sinusoid cycle.
+    period_s: float = 3600.0
+    #: diurnal: swing around the base rate, in [0, 1].
+    amplitude: float = 0.5
+    #: steps: ((start_s, factor), ...) sorted by start time; the factor
+    #: before the first breakpoint is 1.0.
+    steps: tuple[tuple[float, float], ...] = ()
+
+    def validate(self) -> None:
+        if self.kind is RateCurveKind.DIURNAL:
+            if self.period_s <= 0:
+                raise ValueError(
+                    f"period_s must be > 0, got {self.period_s}")
+            if not 0.0 <= self.amplitude <= 1.0:
+                raise ValueError(
+                    f"amplitude must be in [0, 1], got {self.amplitude}")
+        elif self.kind is RateCurveKind.STEPS:
+            if not self.steps:
+                raise ValueError("steps curve needs at least one step")
+            last = -1.0
+            for start_s, factor in self.steps:
+                if start_s < 0:
+                    raise ValueError(
+                        f"step start must be >= 0, got {start_s}")
+                if start_s <= last:
+                    raise ValueError("step starts must be increasing")
+                if factor < 0:
+                    raise ValueError(
+                        f"step factor must be >= 0, got {factor}")
+                last = start_s
+            if self.peak_factor == 0:
+                raise ValueError("at least one step factor must be > 0")
+
+    @property
+    def peak_factor(self) -> float:
+        """The supremum of :meth:`factor_at` (the thinning envelope)."""
+        if self.kind is RateCurveKind.CONSTANT:
+            return 1.0
+        if self.kind is RateCurveKind.DIURNAL:
+            return 1.0 + self.amplitude
+        factors = [f for _, f in self.steps]
+        if self.steps and self.steps[0][0] > 0:
+            factors.append(1.0)  # implicit pre-first-step factor
+        return max(factors)
+
+    def factor_at(self, now_ms: float) -> float:
+        """The rate multiplier at simulated time ``now_ms``."""
+        if self.kind is RateCurveKind.CONSTANT:
+            return 1.0
+        now_s = now_ms / 1000.0
+        if self.kind is RateCurveKind.DIURNAL:
+            return 1.0 + self.amplitude * math.sin(
+                2.0 * math.pi * now_s / self.period_s)
+        factor = 1.0
+        for start_s, step_factor in self.steps:
+            if now_s < start_s:
+                break
+            factor = step_factor
+        return factor
+
+    @classmethod
+    def parse(cls, text: str) -> "RateCurve":
+        """Parse the CLI syntax.
+
+        - ``constant``
+        - ``diurnal:<period_s>:<amplitude>`` -- e.g. ``diurnal:3600:0.5``
+        - ``steps:<t_s>=<factor>,...`` -- e.g. ``steps:0=1,600=2,1200=0.5``
+        """
+        parts = text.strip().lower().split(":", 1)
+        kind = parts[0]
+        try:
+            if kind == "constant" and len(parts) == 1:
+                return cls()
+            if kind == "diurnal" and len(parts) == 2:
+                period_s, amplitude = parts[1].split(":")
+                curve = cls(kind=RateCurveKind.DIURNAL,
+                            period_s=float(period_s),
+                            amplitude=float(amplitude))
+                curve.validate()
+                return curve
+            if kind == "steps" and len(parts) == 2:
+                steps = []
+                for chunk in parts[1].split(","):
+                    start_s, factor = chunk.split("=")
+                    steps.append((float(start_s), float(factor)))
+                curve = cls(kind=RateCurveKind.STEPS, steps=tuple(steps))
+                curve.validate()
+                return curve
+        except ValueError as error:
+            raise ValueError(
+                f"bad rate-curve spec {text!r}: {error}") from None
+        raise ValueError(
+            f"bad rate-curve spec {text!r}; expected 'constant', "
+            f"'diurnal:<period_s>:<amplitude>', or "
+            f"'steps:<t_s>=<factor>,...'")
+
+    def describe(self) -> str:
+        if self.kind is RateCurveKind.CONSTANT:
+            return "constant"
+        if self.kind is RateCurveKind.DIURNAL:
+            return (f"diurnal period={self.period_s:g}s "
+                    f"amplitude={self.amplitude:g}")
+        return "steps " + ",".join(
+            f"{t:g}s={f:g}" for t, f in self.steps)
 
 
 class WorkloadGenerator:
@@ -141,27 +293,34 @@ class WorkloadGenerator:
         self._page_rng = streams.stream("workload-pages")
         self._size_rng = streams.stream("workload-sizes")
         self._update_rng = streams.stream("workload-updates")
-        self._txn_ids = itertools.count(1)
+        self._next_txn_id = 1
         self.skew = params.skew if params.skew is not None else AccessSkew()
         self.skew.validate()
         self._uniform = self.skew.is_uniform
         #: cache of Zipf cumulative weights, keyed by site page count.
         self._zipf_cum: dict[int, list[float]] = {}
 
-    def generate(self, origin_site: int) -> TransactionSpec:
-        """A fresh transaction spec originating at ``origin_site``."""
+    def generate(self, origin_site: int,
+                 now: float = 0.0) -> TransactionSpec:
+        """A fresh transaction spec originating at ``origin_site``.
+
+        ``now`` is the simulated time of the draw (milliseconds); it only
+        matters under a drifting hotspot, where it positions the hot set.
+        """
         params = self.params
         sites = [origin_site]
         if params.dist_degree > 1:
             others = [s for s in range(params.num_sites) if s != origin_site]
             sites.extend(self._site_rng.sample(
                 others, params.dist_degree - 1))
-        accesses = tuple(self._generate_access(site) for site in sites)
-        return TransactionSpec(txn_id=next(self._txn_ids),
+        accesses = tuple(self._generate_access(site, now) for site in sites)
+        txn_id = self._next_txn_id
+        self._next_txn_id += 1
+        return TransactionSpec(txn_id=txn_id,
                                origin_site=origin_site,
                                accesses=accesses)
 
-    def _generate_access(self, site: int) -> CohortAccess:
+    def _generate_access(self, site: int, now: float) -> CohortAccess:
         params = self.params
         count = self._size_rng.randint(params.min_cohort_pages,
                                        params.max_cohort_pages)
@@ -171,7 +330,7 @@ class WorkloadGenerator:
         if self._uniform:
             indexes = self._page_rng.sample(range(len(site_pages)), count)
         else:
-            indexes = self._sample_skewed(len(site_pages), count)
+            indexes = self._sample_skewed(len(site_pages), count, now)
         pages = tuple(site_pages[i] for i in indexes)
         updates = tuple(self._update_rng.random() < params.update_prob
                         for _ in pages)
@@ -180,20 +339,30 @@ class WorkloadGenerator:
     # ------------------------------------------------------------------
     # Skewed page sampling (distinct page slots, rejection on repeats)
     # ------------------------------------------------------------------
-    def _sample_skewed(self, num_pages: int, count: int) -> list[int]:
+    def _sample_skewed(self, num_pages: int, count: int,
+                       now: float = 0.0) -> list[int]:
         if count > num_pages:
             raise ValueError(
                 f"cannot sample {count} distinct pages from a site "
                 f"holding {num_pages}")
         if self.skew.kind is SkewKind.HOTSPOT:
-            return self._sample_hotspot(num_pages, count)
+            return self._sample_hotspot(num_pages, count, now)
         return self._sample_zipf(num_pages, count)
 
-    def _sample_hotspot(self, num_pages: int, count: int) -> list[int]:
+    def _sample_hotspot(self, num_pages: int, count: int,
+                        now: float = 0.0) -> list[int]:
         rng = self._page_rng
         skew = self.skew
         hot = max(1, min(num_pages - 1, round(num_pages
                                               * skew.hot_page_frac)))
+        # Moving hotspot: rotate every sampled slot by a time-dependent
+        # offset.  Rotation is a bijection on [0, num_pages), so the
+        # distinctness bookkeeping below is unaffected; the hot set is
+        # [offset, offset + hot) mod num_pages at time ``now``.
+        offset = 0
+        if skew.drift_period_s > 0:
+            period_ms = skew.drift_period_s * 1000.0
+            offset = int(num_pages * ((now / period_ms) % 1.0)) % num_pages
         chosen: set[int] = set()
         out: list[int] = []
         hot_left = hot
@@ -211,7 +380,10 @@ class WorkloadGenerator:
             if slot in chosen:
                 continue
             chosen.add(slot)
-            out.append(slot)
+            if offset:
+                out.append((slot + offset) % num_pages)
+            else:
+                out.append(slot)
             if want_hot:
                 hot_left -= 1
             else:
@@ -239,6 +411,16 @@ class WorkloadGenerator:
             chosen.add(slot)
             out.append(slot)
         return out
+
+    # ------------------------------------------------------------------
+    # Soak checkpointing (RNG stream states live in RandomStreams)
+    # ------------------------------------------------------------------
+    def capture_state(self) -> dict:
+        """Picklable generator state beyond the RNG streams."""
+        return {"next_txn_id": self._next_txn_id}
+
+    def restore_state(self, state: dict) -> None:
+        self._next_txn_id = state["next_txn_id"]
 
     def __repr__(self) -> str:
         return (f"<WorkloadGenerator dist_degree={self.params.dist_degree} "

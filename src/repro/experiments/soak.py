@@ -1,0 +1,388 @@
+"""Soak runs: long-horizon open-system execution at flat RSS.
+
+A soak drives 10^6-10^7 open-system transactions through one protocol
+while holding memory constant: percentile samples degrade to P-squared
+sketches above a cap (:class:`repro.sim.stats.AdaptivePercentileSample`),
+and per-window aggregates stream out as JSONL rows
+(:class:`repro.obs.WindowedStats`) instead of accumulating.
+
+**Checkpointing model.**  Kernel state (the pending-event heap) holds
+live generator frames and cannot be serialized, so a soak is executed as
+a sequence of *segments* separated by sharp drain barriers: after every
+``checkpoint_every`` commits the arrival processes are stopped, admitted
+transactions run to commit, and at that quiescent point every piece of
+persistent state is plain data — the clock, RNG stream states, metric
+accumulators, admission-queue counters, and the partial output window.
+The next segment rebuilds a fresh system at the checkpointed clock and
+restores that state.  The barrier is the simulation analogue of a sharp
+database checkpoint: arrivals pause for the (brief, simulated) drain.
+Uninterrupted and killed-then-resumed runs execute the *same* segment
+schedule — the runner always proceeds from the serialized checkpoint —
+so their windowed JSONL streams are byte-identical, which is exactly
+what the resume check in CI diffs.  ``checkpoint_every=0`` disables
+barriers and runs one unbroken (unresumable) segment.
+
+The output file starts with one ``{"meta": ...}`` header line, carries
+one JSON row per window, and ends with a ``{"meta": {"complete": ...}}``
+trailer.  On resume, the file is truncated to the header plus the rows
+the checkpoint had durably emitted (tolerating a torn tail line from the
+kill) and appending continues.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import pickle
+import typing
+
+from repro.config import ModelParams, WorkloadMode, open_system
+from repro.core import create_protocol
+from repro.db.system import DistributedSystem
+from repro.obs.windowed import WindowedStats
+
+#: bump when the checkpoint layout changes (stale files are rejected).
+CHECKPOINT_SCHEMA = 1
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+
+@dataclasses.dataclass(frozen=True)
+class SoakConfig:
+    """Everything that determines a soak run's output stream."""
+
+    protocol: str = "2PC"
+    params: ModelParams = dataclasses.field(default_factory=open_system)
+    #: total committed transactions to run.
+    transactions: int = 1_000_000
+    seed: int | None = None
+    #: simulated milliseconds per output window.
+    window_ms: float = 60_000.0
+    #: commits per segment between drain barriers (0 = single segment,
+    #: no checkpointing).
+    checkpoint_every: int = 100_000
+    #: retained observations before percentile samples go streaming.
+    sample_cap: int = 10_000
+
+    def validate(self) -> None:
+        if self.params.workload_mode is not WorkloadMode.OPEN:
+            raise ValueError("soak runs require the open workload mode "
+                             "(repro.open_system(...))")
+        self.params.validate()
+        if self.transactions < 1:
+            raise ValueError(
+                f"transactions must be >= 1, got {self.transactions}")
+        if self.window_ms <= 0:
+            raise ValueError(
+                f"window_ms must be > 0, got {self.window_ms}")
+        if self.checkpoint_every < 0:
+            raise ValueError(f"checkpoint_every must be >= 0, got "
+                             f"{self.checkpoint_every}")
+        if self.sample_cap < 5:
+            raise ValueError(
+                f"sample_cap must be >= 5, got {self.sample_cap}")
+
+    def fingerprint(self) -> dict:
+        """Stable identity: a resumed run must match it exactly."""
+        params = dataclasses.asdict(self.params)
+        for key, value in params.items():
+            # Enums (workload_mode, skew/rate-curve kinds) -> strings so
+            # the fingerprint is JSON-able for the meta header.
+            params[key] = _jsonable(value)
+        return {
+            "kind": "soak",
+            "schema": CHECKPOINT_SCHEMA,
+            "protocol": self.protocol,
+            "transactions": self.transactions,
+            "seed": self.seed if self.seed is not None
+                    else self.params.seed,
+            "window_ms": self.window_ms,
+            "checkpoint_every": self.checkpoint_every,
+            "sample_cap": self.sample_cap,
+            "params": params,
+        }
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "value") and value.__class__.__module__ != "builtins":
+        return value.value  # enum
+    return value
+
+
+@dataclasses.dataclass
+class SoakCheckpoint:
+    """One quiescent barrier's serialized state."""
+
+    schema: int
+    fingerprint: dict
+    segments_done: int
+    #: lifetime committed transactions at this barrier.
+    committed: int
+    clock_ms: float
+    system_state: dict
+    windowed_state: dict
+    #: complete data rows durably in the output file at this barrier.
+    rows_emitted: int
+
+
+class SoakRunner:
+    """Execute (or resume) one soak run.
+
+    ``out_path`` receives the windowed JSONL stream; ``checkpoint_path``
+    (optional) persists barrier state so a killed run can resume.  With
+    barriers enabled but no checkpoint path, the runner still round-trips
+    each barrier through ``pickle`` in memory — the continuous run takes
+    the identical code path a resumed run would, which is what makes the
+    two streams byte-identical.
+    """
+
+    def __init__(self, config: SoakConfig,
+                 out_path: str | pathlib.Path,
+                 checkpoint_path: str | pathlib.Path | None = None,
+                 progress: typing.Callable[[str], None] | None = None,
+                 ) -> None:
+        config.validate()
+        self.config = config
+        self.out_path = pathlib.Path(out_path)
+        self.checkpoint_path = (pathlib.Path(checkpoint_path)
+                                if checkpoint_path is not None else None)
+        self._progress = progress or (lambda message: None)
+        self._out: typing.TextIO | None = None
+        self._system: DistributedSystem | None = None
+
+    # ------------------------------------------------------------------
+    # Checkpoint persistence
+    # ------------------------------------------------------------------
+    def _save_checkpoint(self, checkpoint: SoakCheckpoint) -> SoakCheckpoint:
+        """Persist (atomically) and reload, so the continuing run uses
+        exactly the state a resumed run would read back."""
+        blob = pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL)
+        if self.checkpoint_path is not None:
+            tmp = self.checkpoint_path.with_name(
+                self.checkpoint_path.name + ".tmp")
+            tmp.write_bytes(blob)
+            os.replace(tmp, self.checkpoint_path)
+        return pickle.loads(blob)
+
+    def _load_checkpoint(self) -> SoakCheckpoint | None:
+        if self.checkpoint_path is None \
+                or not self.checkpoint_path.exists():
+            return None
+        with self.checkpoint_path.open("rb") as handle:
+            checkpoint = pickle.load(handle)
+        if checkpoint.schema != CHECKPOINT_SCHEMA:
+            raise ValueError(
+                f"checkpoint schema {checkpoint.schema} != "
+                f"{CHECKPOINT_SCHEMA}; delete {self.checkpoint_path} "
+                f"and restart the soak")
+        if checkpoint.fingerprint != self.config.fingerprint():
+            raise ValueError(
+                "checkpoint was written by a different soak "
+                "configuration; delete it or rerun with the original "
+                "parameters")
+        return checkpoint
+
+    # ------------------------------------------------------------------
+    # Output stream
+    # ------------------------------------------------------------------
+    def _write_row(self, row: dict) -> None:
+        assert self._out is not None
+        json.dump(row, self._out)
+        self._out.write("\n")
+
+    def _truncate_output(self, rows_emitted: int) -> None:
+        """Cut the stream back to header + ``rows_emitted`` data rows.
+
+        Rows past the last barrier (including a torn final line from the
+        kill) are discarded; the resumed segments re-emit them.
+        """
+        if not self.out_path.exists():
+            raise FileNotFoundError(
+                f"cannot resume: output file {self.out_path} is missing "
+                f"(windows before the checkpoint cannot be regenerated)")
+        with self.out_path.open("r", encoding="utf-8") as handle:
+            content = handle.read()
+        lines = content.split("\n")
+        keep = 1 + rows_emitted  # meta header + durable data rows
+        if len(lines) < keep:
+            raise ValueError(
+                f"cannot resume: {self.out_path} holds "
+                f"{max(0, len(lines) - 1)} rows but the checkpoint "
+                f"recorded {rows_emitted}")
+        with self.out_path.open("w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines[:keep]))
+            if keep:
+                handle.write("\n")
+
+    # ------------------------------------------------------------------
+    # Segment execution
+    # ------------------------------------------------------------------
+    def _build_system(self, checkpoint: SoakCheckpoint | None,
+                      ) -> DistributedSystem:
+        config = self.config
+        clock = checkpoint.clock_ms if checkpoint is not None else 0.0
+        system = DistributedSystem(
+            config.params, create_protocol(config.protocol),
+            seed=config.seed, initial_time=clock,
+            percentile_sample_cap=config.sample_cap,
+            # Bounded memory: WAL recovery-index entries are pruned as
+            # transactions complete instead of retained for analysis.
+            wal_retention=False)
+        if checkpoint is not None:
+            system.restore_soak_state(checkpoint.system_state)
+        return system
+
+    def _queue_depth(self) -> int:
+        system = self._system
+        if system is None:
+            return 0
+        return sum(len(queue) for queue in system.open_queues)
+
+    def run(self, resume: bool = False,
+            stop_after_segments: int | None = None) -> dict:
+        """Run to completion (or to ``stop_after_segments``, the test
+        hook simulating a kill) and return a summary dict."""
+        config = self.config
+        checkpoint = self._load_checkpoint() if resume else None
+        if checkpoint is not None and \
+                checkpoint.committed >= config.transactions:
+            self._progress("soak already complete; nothing to resume")
+            return self._summary(checkpoint, resumed=True)
+
+        windowed = WindowedStats(config.window_ms, self._write_row,
+                                 depth_probe=self._queue_depth)
+        if checkpoint is not None:
+            windowed.restore_state(checkpoint.windowed_state)
+            self._truncate_output(checkpoint.rows_emitted)
+            out = self.out_path.open("a", encoding="utf-8")
+        else:
+            out = self.out_path.open("w", encoding="utf-8")
+        self._out = out
+        try:
+            if checkpoint is None:
+                json.dump({"meta": config.fingerprint()}, out)
+                out.write("\n")
+                out.flush()
+
+            committed = checkpoint.committed if checkpoint else 0
+            segments = checkpoint.segments_done if checkpoint else 0
+            while committed < config.transactions:
+                remaining = config.transactions - committed
+                segment_quota = (min(config.checkpoint_every, remaining)
+                                 if config.checkpoint_every else remaining)
+                system = self._build_system(checkpoint)
+                self._system = system
+                subscription = windowed.attach(system.bus)
+                system.start()
+                system.env.run(
+                    until=system.metrics.when_committed(segment_quota))
+                # Sharp drain barrier: shut the arrival taps, let every
+                # admitted transaction run to commit.  Drain commits
+                # count toward the total (they are real commits).
+                system.stop_arrivals()
+                system.env.run(until=system.when_drained())
+                subscription.cancel()
+                windowed.detach()
+                self._system = None
+                committed = system.completed_total
+                segments += 1
+                out.flush()
+                checkpoint = SoakCheckpoint(
+                    schema=CHECKPOINT_SCHEMA,
+                    fingerprint=config.fingerprint(),
+                    segments_done=segments,
+                    committed=committed,
+                    clock_ms=system.env.now,
+                    system_state=system.capture_soak_state(),
+                    windowed_state=windowed.capture_state(),
+                    rows_emitted=windowed.rows_emitted)
+                checkpoint = self._save_checkpoint(checkpoint)
+                windowed.restore_state(checkpoint.windowed_state)
+                self._progress(
+                    f"segment {segments}: {committed}/"
+                    f"{config.transactions} committed, "
+                    f"clock {checkpoint.clock_ms / 1000.0:.0f}s, "
+                    f"{windowed.rows_emitted} windows")
+                if stop_after_segments is not None \
+                        and segments >= stop_after_segments \
+                        and committed < config.transactions:
+                    return self._summary(checkpoint, interrupted=True)
+
+            windowed.finish(checkpoint.clock_ms)
+            json.dump({"meta": {"complete": True,
+                                "committed": committed,
+                                "segments": segments,
+                                "windows": windowed.rows_emitted,
+                                "clock_ms": checkpoint.clock_ms}}, out)
+            out.write("\n")
+            out.flush()
+            final = dataclasses.replace(
+                checkpoint, rows_emitted=windowed.rows_emitted)
+            self._save_checkpoint(final)
+            return self._summary(final)
+        finally:
+            out.close()
+            self._out = None
+
+    def _summary(self, checkpoint: SoakCheckpoint,
+                 interrupted: bool = False, resumed: bool = False) -> dict:
+        return {
+            "protocol": self.config.protocol,
+            "committed": checkpoint.committed,
+            "transactions": self.config.transactions,
+            "segments": checkpoint.segments_done,
+            "windows": checkpoint.rows_emitted,
+            "clock_ms": checkpoint.clock_ms,
+            "interrupted": interrupted,
+            "resumed": resumed,
+            "out": str(self.out_path),
+            "checkpoint": (str(self.checkpoint_path)
+                           if self.checkpoint_path else None),
+        }
+
+
+# ----------------------------------------------------------------------
+# RSS probe entry point (scripts/bench_trajectory.py soak_memory section)
+# ----------------------------------------------------------------------
+def _probe_main(argv: list[str] | None = None) -> int:
+    """Run a small soak and print peak RSS as JSON (subprocess probe).
+
+    Each probe runs in its own process so ``ru_maxrss`` is that run's
+    true high-water mark, uncontaminated by other benchmark sections.
+    """
+    import argparse
+    import resource
+
+    parser = argparse.ArgumentParser(
+        description="soak RSS probe (internal; used by bench_trajectory)")
+    parser.add_argument("--transactions", type=int, required=True)
+    parser.add_argument("--checkpoint-every", type=int, default=0)
+    parser.add_argument("--out", default=os.devnull)
+    args = parser.parse_args(argv)
+
+    params = open_system(
+        arrival_rate_tps=10.0, num_sites=2, mpl=4, db_size=600,
+        dist_degree=2, cohort_size=4)
+    config = SoakConfig(protocol="2PC", params=params,
+                        transactions=args.transactions,
+                        window_ms=10_000.0,
+                        checkpoint_every=args.checkpoint_every,
+                        sample_cap=10_000)
+    runner = SoakRunner(config, args.out)
+    summary = runner.run()
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    print(json.dumps({"committed": summary["committed"],
+                      "windows": summary["windows"],
+                      "maxrss_kb": peak_kb}))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    raise SystemExit(_probe_main())

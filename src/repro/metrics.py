@@ -28,6 +28,7 @@ from repro.db.wal import LogRecordKind
 from repro.obs.events import EventKind
 from repro.sim.events import Event
 from repro.sim.stats import (
+    AdaptivePercentileSample,
     BatchMeans,
     PercentileSample,
     TimeWeightedAverage,
@@ -55,7 +56,8 @@ class MetricsCollector:
 
     def __init__(self, env: "Environment", total_slots: int,
                  initial_response_estimate: float,
-                 open_system: bool = False) -> None:
+                 open_system: bool = False,
+                 percentile_sample_cap: int | None = None) -> None:
         self.env = env
         self.total_slots = total_slots
         self._initial_response_estimate = initial_response_estimate
@@ -63,6 +65,10 @@ class MetricsCollector:
         #: collect open-system accumulators (percentiles, queue waits)?
         #: Off in closed mode so the hot commit path stays untouched.
         self.open_system = open_system
+        #: above this many retained observations, percentile samples
+        #: degrade to streaming P-squared estimators (None = exact
+        #: retention forever, the short-run default).
+        self.percentile_sample_cap = percentile_sample_cap
 
         # Measured-period accumulators.
         self.committed = 0
@@ -81,8 +87,12 @@ class MetricsCollector:
         self.offered = 0
         self.shed = 0
         self.queue_waits = WelfordAccumulator()
-        self.queue_wait_sample = PercentileSample()
-        self.response_sample = PercentileSample()
+        self.queue_wait_sample = self._make_percentile_sample()
+        self.response_sample = self._make_percentile_sample()
+        #: warmup straddlers excluded from the percentile samples: the
+        #: observation started (arrived / entered the queue) before the
+        #: measurement reset, so its latency spans the boundary.
+        self.straddlers_dropped = 0
 
         # Model state (never reset): restart delay heuristic.
         self._lifetime_response = WelfordAccumulator()
@@ -91,6 +101,12 @@ class MetricsCollector:
         self._watchers: list[tuple[int, Event]] = []
         self._committed_lifetime = 0
         self._subscription: "Subscription | None" = None
+
+    def _make_percentile_sample(
+            self) -> "PercentileSample | AdaptivePercentileSample":
+        if self.percentile_sample_cap is None:
+            return PercentileSample()
+        return AdaptivePercentileSample(self.percentile_sample_cap)
 
     # ------------------------------------------------------------------
     # Event-bus subscription (the live system's feed)
@@ -127,7 +143,14 @@ class MetricsCollector:
         self.response_times.add(response)
         self.response_batches.add(response)
         if self.open_system:
-            self.response_sample.add(response)
+            # Warmup-boundary convention: a transaction that *arrived*
+            # before the measurement reset carries latency accrued in the
+            # discarded warmup period, so it is dropped from the
+            # percentile sample (means keep every post-reset completion).
+            if txn.first_submit_time >= self._measure_start:
+                self.response_sample.add(response)
+            else:
+                self.straddlers_dropped += 1
         self.exec_messages.add(txn.messages_execution)
         self.commit_messages.add(txn.messages_commit)
         self.forced_writes.add(txn.forced_writes)
@@ -158,7 +181,13 @@ class MetricsCollector:
 
     def queue_wait(self, wait_ms: float) -> None:
         self.queue_waits.add(wait_ms)
-        self.queue_wait_sample.add(wait_ms)
+        # Same straddler convention as response percentiles: a dequeue
+        # whose arrival (now - wait) predates the measurement reset spans
+        # the warmup boundary and is excluded from the sample.
+        if self.env.now - wait_ms >= self._measure_start:
+            self.queue_wait_sample.add(wait_ms)
+        else:
+            self.straddlers_dropped += 1
 
     def wait_change(self, cohort: "CohortAgent", waiting: bool) -> None:
         """Direct-drive lock-wait transition (unit tests).
@@ -206,9 +235,40 @@ class MetricsCollector:
         self.offered = 0
         self.shed = 0
         self.queue_waits = WelfordAccumulator()
-        self.queue_wait_sample = PercentileSample()
-        self.response_sample = PercentileSample()
+        self.queue_wait_sample = self._make_percentile_sample()
+        self.response_sample = self._make_percentile_sample()
+        self.straddlers_dropped = 0
         self._measure_start = self.env.now
+
+    #: attributes snapshotted by capture_state/restore_state.  All are
+    #: plain-data accumulators (picklable); env, watchers, and the bus
+    #: subscription are deliberately excluded — the soak runner rebuilds
+    #: those per segment.
+    _CHECKPOINT_ATTRS = (
+        "committed", "aborted", "aborts_by_reason",
+        "response_times", "response_batches",
+        "exec_messages", "commit_messages", "forced_writes",
+        "borrowed_pages_total", "shelf_entries", "forced_by_kind",
+        "blocked_txns", "offered", "shed",
+        "queue_waits", "queue_wait_sample", "response_sample",
+        "straddlers_dropped",
+        "_lifetime_response", "_committed_lifetime", "_measure_start",
+    )
+
+    def capture_state(self) -> dict:
+        """Picklable snapshot of every accumulator (soak checkpointing).
+
+        The returned objects are handed over, not copied: capture happens
+        at a quiescent segment barrier after which this collector (and
+        its system) are discarded.
+        """
+        return {name: getattr(self, name)
+                for name in self._CHECKPOINT_ATTRS}
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a :meth:`capture_state` snapshot (soak resume)."""
+        for name in self._CHECKPOINT_ATTRS:
+            setattr(self, name, state[name])
 
     def when_committed(self, count: int) -> Event:
         """Event that triggers once ``count`` *further* commits happen."""

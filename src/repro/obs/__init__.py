@@ -17,7 +17,9 @@ Built-in subscribers:
 - :class:`repro.admission.HalfAndHalfController` -- load control;
 - :class:`EventLog` -- raw in-memory recording (tests, diffing runs);
 - :class:`PhaseLatencyObserver` -- per-phase commit latency breakdown;
-- :class:`JsonlExporter` -- ``--events-out`` offline event streams.
+- :class:`JsonlExporter` -- ``--events-out`` offline event streams;
+- :class:`WindowedStats` -- O(1)-memory per-window aggregates for
+  soak runs (``repro-commit soak``).
 """
 
 from repro.obs.bus import EventBus, Subscription
@@ -55,6 +57,7 @@ from repro.obs.events import (
 from repro.obs.export import JsonlExporter
 from repro.obs.phases import PhaseLatencyObserver, PhaseStats
 from repro.obs.recorder import EventLog
+from repro.obs.windowed import WindowedStats
 
 __all__ = [
     "Borrow",
@@ -91,5 +94,6 @@ __all__ = [
     "TxnRestart",
     "TxnSubmit",
     "TxnUnblock",
+    "WindowedStats",
     "event_to_dict",
 ]

@@ -49,6 +49,16 @@ class JsonlExporter:
         if self._subscription is not None:
             self._subscription.cancel()
             self._subscription = None
+        # Flush even when the stream is not ours: a caller that hands us
+        # an open file and later dies without closing it would otherwise
+        # lose every buffered tail event — which breaks, e.g., soak
+        # resume verification against a partially-written stream.
+        self.flush()
+
+    def flush(self) -> None:
+        """Push buffered lines to the underlying stream."""
+        if not getattr(self.stream, "closed", False):
+            self.stream.flush()
 
     def close(self) -> None:
         self.detach()

@@ -1,0 +1,179 @@
+"""Windowed open-system aggregates for soak runs.
+
+A :class:`WindowedStats` subscriber folds the open-system event stream
+(arrivals, sheds, dequeues, commits, aborts) into fixed-width windows of
+simulated time and emits one plain-dict row per window — carried/shed
+counts, response percentiles, queue-wait statistics, and the current
+admission backlog.  Each window uses O(1) memory (P-squared estimators,
+Welford accumulators), so a 10^7-transaction soak produces a bounded
+JSONL stream instead of an unbounded sample list.
+
+Rows are emitted in window order with no gaps: quiet windows still
+produce a row (zero counts), which keeps downstream diffing trivial —
+the checkpoint/resume byte-identity check is a straight file compare.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.obs.events import EventKind
+from repro.sim.stats import P2Quantile, WelfordAccumulator
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.bus import EventBus, Subscription
+    from repro.obs.events import (
+        TxnAbort,
+        TxnArrive,
+        TxnCommit,
+        TxnDequeue,
+        TxnShed,
+    )
+
+
+class _WindowAccumulator:
+    """Per-window counters and O(1) latency sketches."""
+
+    def __init__(self) -> None:
+        self.offered = 0
+        self.admitted = 0
+        self.shed = 0
+        self.commits = 0
+        self.aborts = 0
+        self.response = WelfordAccumulator()
+        self.response_p50 = P2Quantile(0.50)
+        self.response_p95 = P2Quantile(0.95)
+        self.response_p99 = P2Quantile(0.99)
+        self.queue_wait = WelfordAccumulator()
+        self.queue_wait_p95 = P2Quantile(0.95)
+
+
+class WindowedStats:
+    """Bus subscriber emitting per-window open-system aggregate rows.
+
+    ``emit`` receives one dict per completed window, in order.  The
+    window grid is anchored at simulated time 0 with width
+    ``window_ms``; :meth:`finish` flushes the final partial window.
+
+    ``depth_probe`` (optional) is called at each emit to report the
+    instantaneous admission backlog (e.g. summed queue lengths).
+
+    The subscriber is checkpointable: :meth:`capture_state` /
+    :meth:`restore_state` carry the partial window across soak segment
+    boundaries, so a resumed run continues the exact same row stream.
+    """
+
+    def __init__(self, window_ms: float,
+                 emit: typing.Callable[[dict], None],
+                 start_ms: float = 0.0,
+                 depth_probe: typing.Callable[[], int] | None = None) -> None:
+        if window_ms <= 0:
+            raise ValueError(f"window_ms must be > 0, got {window_ms}")
+        self.window_ms = window_ms
+        self._emit = emit
+        self.depth_probe = depth_probe
+        self.rows_emitted = 0
+        self._window_index = int(start_ms // window_ms)
+        self._acc = _WindowAccumulator()
+        self._subscription: "Subscription | None" = None
+
+    # ------------------------------------------------------------------
+    def attach(self, bus: "EventBus") -> "Subscription":
+        """Subscribe to the open-system event kinds on ``bus``."""
+        if self._subscription is not None:
+            raise RuntimeError("WindowedStats is already attached")
+        self._subscription = bus.subscribe_map({
+            EventKind.TXN_ARRIVE: self._on_arrive,
+            EventKind.TXN_SHED: self._on_shed,
+            EventKind.TXN_DEQUEUE: self._on_dequeue,
+            EventKind.TXN_COMMIT: self._on_commit,
+            EventKind.TXN_ABORT: self._on_abort,
+        })
+        return self._subscription
+
+    def detach(self) -> None:
+        if self._subscription is not None:
+            self._subscription.cancel()
+            self._subscription = None
+
+    # ------------------------------------------------------------------
+    def _roll(self, time: float) -> None:
+        """Emit every window that ends at or before ``time``."""
+        while time >= (self._window_index + 1) * self.window_ms:
+            end = (self._window_index + 1) * self.window_ms
+            self._emit_row(end)
+            self._window_index += 1
+            self._acc = _WindowAccumulator()
+
+    def _emit_row(self, t_end: float) -> None:
+        acc = self._acc
+        row = {
+            "window": self._window_index,
+            "t_start_ms": self._window_index * self.window_ms,
+            "t_end_ms": t_end,
+            "offered": acc.offered,
+            "admitted": acc.admitted,
+            "shed": acc.shed,
+            "commits": acc.commits,
+            "aborts": acc.aborts,
+            "response_mean_ms": acc.response.mean,
+            "response_p50_ms": acc.response_p50.value(),
+            "response_p95_ms": acc.response_p95.value(),
+            "response_p99_ms": acc.response_p99.value(),
+            "queue_wait_mean_ms": acc.queue_wait.mean,
+            "queue_wait_p95_ms": acc.queue_wait_p95.value(),
+            "queue_depth": (self.depth_probe()
+                            if self.depth_probe is not None else None),
+        }
+        self._emit(row)
+        self.rows_emitted += 1
+
+    def finish(self, now: float) -> None:
+        """Flush: roll to ``now``, then emit the final partial window."""
+        self._roll(now)
+        self._emit_row(now)
+        self._acc = _WindowAccumulator()
+
+    # ------------------------------------------------------------------
+    def _on_arrive(self, event: "TxnArrive") -> None:
+        self._roll(event.time)
+        self._acc.offered += 1
+        if event.admitted:
+            self._acc.admitted += 1
+
+    def _on_shed(self, event: "TxnShed") -> None:
+        self._roll(event.time)
+        self._acc.shed += 1
+
+    def _on_dequeue(self, event: "TxnDequeue") -> None:
+        self._roll(event.time)
+        self._acc.queue_wait.add(event.wait_ms)
+        self._acc.queue_wait_p95.add(event.wait_ms)
+
+    def _on_commit(self, event: "TxnCommit") -> None:
+        self._roll(event.time)
+        acc = self._acc
+        response = event.time - event.txn.first_submit_time
+        acc.commits += 1
+        acc.response.add(response)
+        acc.response_p50.add(response)
+        acc.response_p95.add(response)
+        acc.response_p99.add(response)
+
+    def _on_abort(self, event: "TxnAbort") -> None:
+        self._roll(event.time)
+        self._acc.aborts += 1
+
+    # ------------------------------------------------------------------
+    # Soak checkpointing
+    # ------------------------------------------------------------------
+    def capture_state(self) -> dict:
+        """Picklable snapshot: partial window + emission cursor."""
+        return {"window_index": self._window_index,
+                "acc": self._acc,
+                "rows_emitted": self.rows_emitted}
+
+    def restore_state(self, state: dict) -> None:
+        self._window_index = state["window_index"]
+        self._acc = state["acc"]
+        self.rows_emitted = state["rows_emitted"]

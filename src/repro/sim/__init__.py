@@ -30,7 +30,10 @@ from repro.sim.resources import (
 )
 from repro.sim.rng import RandomStreams
 from repro.sim.stats import (
+    AdaptivePercentileSample,
     BatchMeans,
+    P2Quantile,
+    PercentileSample,
     StoppingRule,
     TimeWeightedAverage,
     WelfordAccumulator,
@@ -38,6 +41,7 @@ from repro.sim.stats import (
 )
 
 __all__ = [
+    "AdaptivePercentileSample",
     "AllOf",
     "AnyOf",
     "BatchMeans",
@@ -46,6 +50,8 @@ __all__ = [
     "InfiniteServer",
     "Interrupt",
     "PriorityResource",
+    "P2Quantile",
+    "PercentileSample",
     "Process",
     "RandomStreams",
     "Resource",

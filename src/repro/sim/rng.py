@@ -53,6 +53,27 @@ class RandomStreams:
         """A new independent family (used for replications)."""
         return RandomStreams(self.seed * 1_000_003 + salt)
 
+    def capture_state(self) -> dict[str, object]:
+        """Picklable generator state of every stream touched so far.
+
+        Streams first touched *after* a restore are absent from the
+        snapshot and simply derive fresh from the master seed — the same
+        state they would have had in an uninterrupted run, since
+        derivation depends only on (seed, name).
+        """
+        return {name: stream.getstate()
+                for name, stream in self._streams.items()}
+
+    def restore_state(self, states: dict[str, object]) -> None:
+        """Restore a :meth:`capture_state` snapshot.
+
+        States are applied *in place* via :meth:`stream`, so references
+        already handed out (e.g. a workload generator's cached stream)
+        keep observing the restored sequence.
+        """
+        for name, state in states.items():
+            self.stream(name).setstate(state)  # type: ignore[arg-type]
+
     def __repr__(self) -> str:
         return f"RandomStreams(seed={self.seed})"
 

@@ -13,6 +13,12 @@ module supplies the pieces needed to reproduce that methodology:
 - :class:`PercentileSample` -- retained-observation tail percentiles
   (p50/p95/p99) for the open-system latency reports, where means hide
   exactly the queueing behaviour the experiment is about.
+- :class:`P2Quantile` -- the P-squared (Jain & Chlamtac 1985) streaming
+  quantile estimator: one quantile in O(1) memory, for soak runs whose
+  observation counts (10^6-10^7) make retention impossible.
+- :class:`AdaptivePercentileSample` -- :class:`PercentileSample` surface
+  that stays exact up to a sample cap and degrades to a bank of P-squared
+  estimators beyond it.
 - :func:`confidence_interval` -- Student-t interval on a sample of
   replication means.
 - :class:`StoppingRule` -- sequential CI-driven early stopping: run
@@ -200,6 +206,10 @@ class PercentileSample:
         self._sorted: list[float] | None = None
 
     def add(self, value: float) -> None:
+        if math.isnan(value):
+            # A NaN poisons the sorted cache (it is incomparable, so the
+            # sort order around it is arbitrary) and every later quantile.
+            raise ValueError("cannot add NaN to a PercentileSample")
         self._values.append(value)
         self._sorted = None
 
@@ -227,6 +237,204 @@ class PercentileSample:
         high = min(low + 1, len(values) - 1)
         fraction = position - low
         return values[low] * (1.0 - fraction) + values[high] * fraction
+
+
+class P2Quantile:
+    """Streaming estimate of a single quantile via the P-squared algorithm.
+
+    Jain & Chlamtac, "The P² Algorithm for Dynamic Calculation of
+    Quantiles and Histograms Without Storing Observations", CACM 1985.
+    Five markers track (min, p/2, p, (1+p)/2, max); marker heights are
+    nudged with a piecewise-parabolic fit whenever their positions drift
+    from the ideal positions for the target quantile.  Memory is O(1)
+    regardless of stream length, which is what lets a soak run observe
+    10^7 response times at flat RSS.
+
+    Exact for the first five observations (they are simply kept sorted).
+    """
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 < p < 1.0:
+            raise ValueError("p must be in (0, 1)")
+        self.p = p
+        self.count = 0
+        # Until five observations arrive, _heights holds the sorted raw
+        # values; afterwards it holds the five marker heights.
+        self._heights: list[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1 + 2 * p, 1 + 4 * p, 3 + 2 * p, 5.0]
+        self._increments = [0.0, p / 2, p, (1 + p) / 2, 1.0]
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the estimate."""
+        if math.isnan(value):
+            # Same convention as PercentileSample: a NaN would silently
+            # corrupt every marker it touches.
+            raise ValueError("cannot add NaN to a P2Quantile")
+        self.count += 1
+        heights = self._heights
+        if self.count <= 5:
+            lo, hi = 0, len(heights)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if heights[mid] < value:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            heights.insert(lo, value)
+            return
+
+        positions = self._positions
+        # Locate the cell [q_k, q_k+1) containing the new value, widening
+        # the extreme markers if it falls outside them.
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while value >= heights[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            positions[i] += 1.0
+        desired = self._desired
+        increments = self._increments
+        for i in range(5):
+            desired[i] += increments[i]
+
+        for i in (1, 2, 3):
+            drift = desired[i] - positions[i]
+            right_gap = positions[i + 1] - positions[i]
+            left_gap = positions[i - 1] - positions[i]
+            if (drift >= 1.0 and right_gap > 1.0) or \
+                    (drift <= -1.0 and left_gap < -1.0):
+                step = 1.0 if drift > 0 else -1.0
+                adjusted = self._parabolic(i, step)
+                if not heights[i - 1] < adjusted < heights[i + 1]:
+                    adjusted = self._linear(i, step)
+                heights[i] = adjusted
+                positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        q = self._heights
+        n = self._positions
+        return q[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+
+    def _linear(self, i: int, step: float) -> float:
+        q = self._heights
+        n = self._positions
+        j = i + int(step)
+        return q[i] + step * (q[j] - q[i]) / (n[j] - n[i])
+
+    @property
+    def minimum(self) -> float:
+        return self._heights[0] if self._heights else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self._heights[-1] if self._heights else 0.0
+
+    def value(self) -> float:
+        """Current estimate of the ``p``-quantile (0.0 on no data)."""
+        if not self._heights:
+            return 0.0
+        if self.count <= 5:
+            # Exact small-sample path, matching PercentileSample's
+            # linear interpolation over the sorted values.
+            values = self._heights
+            if len(values) == 1:
+                return values[0]
+            position = self.p * (len(values) - 1)
+            low = int(position)
+            high = min(low + 1, len(values) - 1)
+            fraction = position - low
+            return values[low] * (1.0 - fraction) + values[high] * fraction
+        return self._heights[2]
+
+
+class AdaptivePercentileSample:
+    """Percentiles that stay exact up to a cap, then stream via P-squared.
+
+    Drop-in for :class:`PercentileSample` (same ``add``/``percentile``/
+    ``count`` surface).  Short measured periods — everything the golden
+    fixtures pin — never hit the cap, so they keep byte-identical exact
+    quantiles.  Once ``count`` exceeds ``sample_cap`` the retained values
+    are replayed into one :class:`P2Quantile` per tracked quantile and
+    the raw list is dropped: memory is O(1) from then on.
+
+    Beyond the cap, ``percentile(p)`` for an untracked ``p`` linearly
+    interpolates between the tracked estimates (anchored at the observed
+    min and max), which is ample for reporting; the tracked set defaults
+    to the p50/p95/p99 the open-system results expose.
+    """
+
+    def __init__(self, sample_cap: int = 10_000,
+                 quantiles: typing.Sequence[float] = (0.5, 0.95, 0.99)) -> None:
+        if sample_cap < 5:
+            raise ValueError("sample_cap must be >= 5 (P-squared needs "
+                             f"five markers), got {sample_cap}")
+        if not quantiles:
+            raise ValueError("need at least one tracked quantile")
+        self.sample_cap = sample_cap
+        self.quantiles = tuple(sorted(quantiles))
+        self._exact: PercentileSample | None = PercentileSample()
+        self._estimators: dict[float, P2Quantile] = {}
+
+    @property
+    def streaming(self) -> bool:
+        """True once the sample has degraded to P-squared estimators."""
+        return self._exact is None
+
+    @property
+    def count(self) -> int:
+        if self._exact is not None:
+            return self._exact.count
+        return next(iter(self._estimators.values())).count
+
+    def add(self, value: float) -> None:
+        exact = self._exact
+        if exact is not None:
+            exact.add(value)  # NaN guard lives there
+            if exact.count > self.sample_cap:
+                self._spill()
+            return
+        for estimator in self._estimators.values():
+            estimator.add(value)
+
+    def _spill(self) -> None:
+        """Replay the retained values into P-squared and drop them."""
+        assert self._exact is not None
+        self._estimators = {q: P2Quantile(q) for q in self.quantiles}
+        for value in self._exact._values:
+            for estimator in self._estimators.values():
+                estimator.add(value)
+        self._exact = None
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-quantile: exact below the cap, estimated above."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        if self._exact is not None:
+            return self._exact.percentile(p)
+        estimator = self._estimators.get(p)
+        if estimator is not None:
+            return estimator.value()
+        # Interpolate between tracked quantiles, anchored at min/max.
+        first = next(iter(self._estimators.values()))
+        knots = [(0.0, first.minimum)]
+        knots += [(q, est.value()) for q, est in self._estimators.items()]
+        knots.append((1.0, first.maximum))
+        for (p_lo, v_lo), (p_hi, v_hi) in zip(knots, knots[1:]):
+            if p_lo <= p <= p_hi:
+                if p_hi == p_lo:
+                    return v_lo
+                fraction = (p - p_lo) / (p_hi - p_lo)
+                return v_lo * (1.0 - fraction) + v_hi * fraction
+        return first.maximum  # unreachable: knots span [0, 1]
 
 
 class StoppingRule:

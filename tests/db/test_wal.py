@@ -11,11 +11,13 @@ def env():
     return Environment()
 
 
-def make_log(env, num_disks=1, write_time=20.0, group_commit=False):
+def make_log(env, num_disks=1, write_time=20.0, group_commit=False,
+             retain_records=True):
     disks = [Resource(env, capacity=1, name=f"log{i}")
              for i in range(num_disks)]
     return LogManager(env, site_id=0, log_disks=disks,
-                      write_time_ms=write_time, group_commit=group_commit)
+                      write_time_ms=write_time, group_commit=group_commit,
+                      retain_records=retain_records)
 
 
 def test_unforced_write_is_free_and_counted(env):
@@ -99,6 +101,70 @@ def test_counts_by_kind(env):
     counts = log.counts_by_kind()
     assert counts[LogRecordKind.END] == 2
     assert counts[LogRecordKind.COMMIT] == 1
+
+
+class TestBoundedRetention:
+    """``retain_records=False``: the soak-run WAL mode.  History is not
+    retained, aggregate tallies still are, and the per-transaction
+    recovery index is prunable once a transaction completes."""
+
+    def test_records_list_stays_empty(self, env):
+        log = make_log(env, retain_records=False)
+        log.write(LogRecordKind.END, 1)
+
+        def writer(env):
+            yield from log.force_write(LogRecordKind.COMMIT, txn_id=1)
+
+        env.process(writer(env))
+        env.run()
+        assert log.records == []
+        assert log.unforced_count == 1
+        assert log.forced_count == 1
+
+    def test_counts_by_kind_survive_without_retention(self, env):
+        log = make_log(env, retain_records=False)
+        log.write(LogRecordKind.END, 1)
+        log.write(LogRecordKind.END, 2)
+        assert log.counts_by_kind() == {LogRecordKind.END: 2}
+
+    def test_recovery_index_live_until_forgotten(self, env):
+        log = make_log(env, retain_records=False)
+        log.write(LogRecordKind.COMMIT, txn_id=7, incarnation=1)
+        assert log.txn_kinds(7, 1) == {LogRecordKind.COMMIT}
+        log.forget_txn(7, max_incarnation=1)
+        assert log.txn_kinds(7, 1) == set()
+
+    def test_forget_covers_all_incarnations(self, env):
+        log = make_log(env, retain_records=False)
+        log.write(LogRecordKind.ABORT, txn_id=7, incarnation=0)
+        log.write(LogRecordKind.COMMIT, txn_id=7, incarnation=2)
+        log.write(LogRecordKind.PREPARE, txn_id=7)  # incarnation=-1
+        log.forget_txn(7, max_incarnation=2)
+        for incarnation in (-1, 0, 1, 2):
+            assert log.txn_kinds(7, incarnation) == set()
+        # Counts are a lifetime tally, unaffected by truncation.
+        assert log.counts_by_kind() == {LogRecordKind.ABORT: 1,
+                                        LogRecordKind.COMMIT: 1,
+                                        LogRecordKind.PREPARE: 1}
+
+    def test_compact_clears_whole_index(self, env):
+        log = make_log(env, retain_records=False)
+        log.write(LogRecordKind.COMMIT, txn_id=1, incarnation=0)
+        log.write(LogRecordKind.COMMIT, txn_id=2, incarnation=0)
+        log.compact()
+        assert log.txn_kinds(1, 0) == set()
+        assert log.txn_kinds(2, 0) == set()
+
+    def test_counts_match_retained_mode(self, env):
+        """Incremental tallies agree with the records-derived ones."""
+        retained = make_log(env, retain_records=True)
+        bounded = make_log(env, retain_records=False)
+        for log in (retained, bounded):
+            log.write(LogRecordKind.END, 1)
+            log.write(LogRecordKind.COLLECTING, 2)
+            log.write(LogRecordKind.END, 3)
+        assert retained.counts_by_kind() == bounded.counts_by_kind()
+        assert len(retained.records) == 3
 
 
 class TestGroupCommit:

@@ -3,6 +3,10 @@ wiring (``MplSweep.run(events_out=...)``), and the CLI flags."""
 
 import io
 import json
+import os
+import subprocess
+import sys
+import textwrap
 
 import pytest
 
@@ -65,6 +69,76 @@ class TestJsonlExporter:
         exporter.close()
         assert not bus.has_subscribers(EventKind.LOG_WRITE)
         assert exporter.stream.closed
+
+
+class TestFlushOnDetach:
+    """Regression: buffered tail events must survive detach/close even
+    when the exporter does not own the stream (soak resume verification
+    reads the file while the producing process may still hold it open,
+    or after it died without closing it)."""
+
+    def test_detach_flushes_non_owned_stream(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        bus = EventBus()
+        with path.open("w", encoding="utf-8") as handle:
+            exporter = JsonlExporter(handle)  # close_stream=False
+            exporter.attach(bus)
+            bus.publish(SiteCrash(1.0, site_id=0, txn_id=1))
+            exporter.detach()
+            # Stream is still open (not ours to close), but the event
+            # must already be on disk.
+            assert not handle.closed
+            assert path.read_text().endswith("\n")
+            assert _read_lines(path)[0]["kind"] == "site_crash"
+
+    def test_close_does_not_close_non_owned_stream(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with path.open("w", encoding="utf-8") as handle:
+            exporter = JsonlExporter(handle).attach(EventBus())
+            exporter.close()
+            assert not handle.closed
+        assert path.read_text() == ""
+
+    def test_flush_after_stream_closed_is_safe(self, tmp_path):
+        exporter = JsonlExporter.open(tmp_path / "e.jsonl")
+        exporter.close()
+        exporter.flush()  # must not raise on a closed stream
+        exporter.detach()
+
+    def test_killed_process_keeps_detached_tail(self, tmp_path):
+        # A child attaches an exporter to a file it opened itself,
+        # publishes events, detaches, then dies via os._exit -- which
+        # skips interpreter shutdown, so anything still buffered in the
+        # file object is lost.  detach() flushing is what saves the tail.
+        path = tmp_path / "killed.jsonl"
+        child = textwrap.dedent(f"""
+            import os
+            from repro.obs import EventBus, JsonlExporter
+            from repro.obs.events import SiteCrash
+
+            bus = EventBus()
+            handle = open({str(path)!r}, "w", encoding="utf-8")
+            exporter = JsonlExporter(handle)  # does not own the stream
+            exporter.attach(bus)
+            for i in range(100):
+                bus.publish(SiteCrash(float(i), site_id=0, txn_id=i))
+            exporter.detach()
+            os._exit(1)  # hard kill: no close, no atexit flushing
+        """)
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(repro.cli.__file__), os.pardir)
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        result = subprocess.run([sys.executable, "-c", child], env=env,
+                                capture_output=True, text=True)
+        assert result.returncode == 1, result.stderr
+        raw = path.read_text()
+        # Every event survived and the last line is complete JSON.
+        assert raw.endswith("\n")
+        rows = _read_lines(path)
+        assert len(rows) == 100
+        assert rows[-1] == {"kind": "site_crash", "time": 99.0,
+                            "site_id": 0, "txn_id": 99}
 
 
 class TestSweepExport:

@@ -1,0 +1,84 @@
+"""Property-style accuracy tests: P-squared vs exact percentiles.
+
+The soak mode trades exact retained-sample percentiles for O(1)-memory
+P-squared estimates; these tests pin the size of that trade across
+distribution shapes (uniform / exponential / bimodal) and stream lengths
+(10^3 to 10^6).  The surface the collector actually uses
+(:class:`AdaptivePercentileSample`) is *exact* below its cap, so the 1%
+bound applies wherever streaming is actually engaged; raw P-squared at
+tiny samples (10^3) gets a documented looser bound — the estimator has
+seen only ~10 tail observations there.
+"""
+
+import random
+
+import pytest
+
+from repro.sim import AdaptivePercentileSample, P2Quantile, PercentileSample
+
+QUANTILES = (0.5, 0.95, 0.99)
+
+DISTRIBUTIONS = {
+    "uniform": lambda rng: rng.random(),
+    "exponential": lambda rng: rng.expovariate(1.0),
+    "bimodal": lambda rng: (rng.gauss(10.0, 1.0) if rng.random() < 0.7
+                            else rng.gauss(50.0, 5.0)),
+}
+
+
+def _run_stream(draw, n, seed=42):
+    rng = random.Random(seed)
+    exact = PercentileSample()
+    estimators = {q: P2Quantile(q) for q in QUANTILES}
+    adaptive = AdaptivePercentileSample(sample_cap=5_000)
+    for _ in range(n):
+        value = draw(rng)
+        exact.add(value)
+        adaptive.add(value)
+        for est in estimators.values():
+            est.add(value)
+    return exact, estimators, adaptive
+
+
+@pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+@pytest.mark.parametrize("n", [10_000, 100_000])
+def test_p2_within_one_percent(name, n):
+    exact, estimators, _ = _run_stream(DISTRIBUTIONS[name], n)
+    for q, est in estimators.items():
+        truth = exact.percentile(q)
+        assert est.value() == pytest.approx(truth, rel=0.01), \
+            f"{name} n={n} q={q}"
+
+
+@pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+def test_small_stream_surface_is_exact(name):
+    # At 10^3 observations the adaptive sample is below its cap: the
+    # percentile surface soak runs actually expose has zero error there.
+    exact, estimators, adaptive = _run_stream(DISTRIBUTIONS[name], 1_000)
+    for q in QUANTILES:
+        assert adaptive.percentile(q) == exact.percentile(q)
+    # Raw P-squared at 10^3 gets the documented looser bound: the p99
+    # marker has seen only ~10 tail samples.
+    for q, est in estimators.items():
+        assert est.value() == pytest.approx(exact.percentile(q), rel=0.03)
+
+
+@pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+@pytest.mark.parametrize("n", [10_000, 100_000])
+def test_adaptive_within_one_percent_past_cap(name, n):
+    exact, _, adaptive = _run_stream(DISTRIBUTIONS[name], n)
+    assert adaptive.streaming
+    for q in QUANTILES:
+        assert adaptive.percentile(q) == pytest.approx(
+            exact.percentile(q), rel=0.01), f"{name} n={n} q={q}"
+
+
+@pytest.mark.tier2
+@pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+def test_p2_million_samples(name):
+    exact, estimators, adaptive = _run_stream(DISTRIBUTIONS[name],
+                                              1_000_000)
+    for q, est in estimators.items():
+        truth = exact.percentile(q)
+        assert est.value() == pytest.approx(truth, rel=0.01)
+        assert adaptive.percentile(q) == pytest.approx(truth, rel=0.01)

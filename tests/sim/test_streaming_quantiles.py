@@ -1,0 +1,173 @@
+"""Streaming quantiles: P-squared estimator and the adaptive sample."""
+
+import math
+import pickle
+import random
+
+import pytest
+
+from repro.sim import AdaptivePercentileSample, P2Quantile, PercentileSample
+
+
+class TestP2Quantile:
+    def test_rejects_bad_quantile(self):
+        for p in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError, match="p must be"):
+                P2Quantile(p)
+
+    def test_empty_returns_zero(self):
+        assert P2Quantile(0.5).value() == 0.0
+
+    def test_exact_up_to_five_observations(self):
+        values = [30.0, 10.0, 50.0, 20.0, 40.0]
+        for n in range(1, 6):
+            est = P2Quantile(0.5)
+            exact = PercentileSample()
+            for v in values[:n]:
+                est.add(v)
+                exact.add(v)
+            assert est.value() == exact.percentile(0.5)
+            assert est.count == n
+
+    def test_median_of_known_stream(self):
+        # Deterministic arithmetic stream: the median marker must land
+        # on the true median within a tight tolerance.
+        est = P2Quantile(0.5)
+        for i in range(1, 1001):
+            est.add(float(i))
+        assert est.value() == pytest.approx(500.5, rel=0.02)
+
+    def test_min_max_track_extremes(self):
+        est = P2Quantile(0.9)
+        rng = random.Random(7)
+        values = [rng.random() * 100 for _ in range(500)]
+        for v in values:
+            est.add(v)
+        assert est.minimum == min(values)
+        assert est.maximum == max(values)
+
+    def test_rejects_nan(self):
+        est = P2Quantile(0.5)
+        est.add(1.0)
+        with pytest.raises(ValueError, match="NaN"):
+            est.add(float("nan"))
+        # The estimate survives the rejected add.
+        assert est.value() == 1.0
+
+    def test_picklable_mid_stream(self):
+        # Checkpointing serializes estimators mid-stream; the restored
+        # copy must continue identically.
+        a = P2Quantile(0.95)
+        rng = random.Random(3)
+        for _ in range(100):
+            a.add(rng.expovariate(0.1))
+        b = pickle.loads(pickle.dumps(a))
+        for _ in range(100):
+            v = rng.expovariate(0.1)
+            a.add(v)
+            b.add(v)
+        assert a.value() == b.value()
+        assert a.count == b.count
+
+
+class TestPercentileSampleNaN:
+    def test_rejects_nan(self):
+        sample = PercentileSample()
+        sample.add(1.0)
+        with pytest.raises(ValueError, match="NaN"):
+            sample.add(float("nan"))
+        # The sample is not poisoned: later quantiles stay exact.
+        sample.add(3.0)
+        assert sample.count == 2
+        assert sample.percentile(1.0) == 3.0
+
+
+class TestAdaptivePercentileSample:
+    def test_cap_validation(self):
+        with pytest.raises(ValueError, match="sample_cap"):
+            AdaptivePercentileSample(sample_cap=4)
+        with pytest.raises(ValueError, match="quantile"):
+            AdaptivePercentileSample(quantiles=())
+
+    def test_exact_below_cap(self):
+        sample = AdaptivePercentileSample(sample_cap=100)
+        exact = PercentileSample()
+        rng = random.Random(11)
+        for _ in range(100):
+            v = rng.random()
+            sample.add(v)
+            exact.add(v)
+        assert not sample.streaming
+        for p in (0.0, 0.25, 0.5, 0.95, 1.0):
+            assert sample.percentile(p) == exact.percentile(p)
+
+    def test_switches_above_cap(self):
+        sample = AdaptivePercentileSample(sample_cap=50)
+        for i in range(51):
+            sample.add(float(i))
+        assert sample.streaming
+        assert sample.count == 51
+
+    def test_streaming_tracks_exact(self):
+        sample = AdaptivePercentileSample(sample_cap=100)
+        exact = PercentileSample()
+        rng = random.Random(13)
+        for _ in range(20_000):
+            v = rng.expovariate(1.0)
+            sample.add(v)
+            exact.add(v)
+        assert sample.streaming
+        for p in (0.5, 0.95, 0.99):
+            assert sample.percentile(p) == pytest.approx(
+                exact.percentile(p), rel=0.05)
+
+    def test_untracked_percentile_interpolates(self):
+        sample = AdaptivePercentileSample(sample_cap=10)
+        for i in range(1000):
+            sample.add(float(i))
+        # 0.75 is untracked: must land between the p50 and p95 estimates
+        # and inside the observed range.
+        p75 = sample.percentile(0.75)
+        assert sample.percentile(0.5) <= p75 <= sample.percentile(0.95)
+        assert 0.0 <= p75 <= 999.0
+
+    def test_extreme_percentiles_anchor_min_max(self):
+        sample = AdaptivePercentileSample(sample_cap=10)
+        for i in range(1000):
+            sample.add(float(i))
+        assert sample.percentile(0.0) == 0.0
+        assert sample.percentile(1.0) == 999.0
+
+    def test_rejects_nan_in_both_regimes(self):
+        sample = AdaptivePercentileSample(sample_cap=5)
+        with pytest.raises(ValueError, match="NaN"):
+            sample.add(float("nan"))
+        for i in range(6):
+            sample.add(float(i))
+        assert sample.streaming
+        with pytest.raises(ValueError, match="NaN"):
+            sample.add(float("nan"))
+
+    def test_empty(self):
+        sample = AdaptivePercentileSample()
+        assert sample.count == 0
+        assert sample.percentile(0.5) == 0.0
+
+    def test_bad_percentile_rejected(self):
+        sample = AdaptivePercentileSample(sample_cap=5)
+        for i in range(10):
+            sample.add(float(i))
+        with pytest.raises(ValueError, match="p must be"):
+            sample.percentile(1.5)
+
+    def test_picklable_in_both_regimes(self):
+        sample = AdaptivePercentileSample(sample_cap=8)
+        for i in range(4):
+            sample.add(float(i))
+        clone = pickle.loads(pickle.dumps(sample))
+        assert clone.percentile(0.5) == sample.percentile(0.5)
+        for i in range(20):
+            sample.add(float(i))
+        clone = pickle.loads(pickle.dumps(sample))
+        assert clone.streaming
+        assert clone.percentile(0.95) == sample.percentile(0.95)

@@ -164,6 +164,80 @@ class TestWarmupReset:
         assert metrics.block_ratio() == pytest.approx(0.1)
 
 
+class TestWarmupStraddlers:
+    """Open-mode warmup boundary: observations that *started* before the
+    measurement reset must not contaminate the percentile samples.
+
+    Convention: means keep every post-reset completion (throughput and
+    mean response are period quantities), but percentile samples drop
+    straddlers -- their latency includes time accrued in the discarded
+    warmup period.
+    """
+
+    @pytest.fixture
+    def open_metrics(self, env):
+        return MetricsCollector(env, total_slots=10,
+                                initial_response_estimate=100.0,
+                                open_system=True)
+
+    def test_commit_straddler_dropped_from_percentiles(self, env,
+                                                       open_metrics):
+        env._now = 100.0
+        open_metrics.reset()  # end of warmup at t=100
+        env._now = 150.0
+        # Arrived at t=80 (pre-reset), committed at t=150: straddler.
+        _commit_txn(env, open_metrics, response=70.0)
+        assert open_metrics.response_sample.count == 0
+        assert open_metrics.straddlers_dropped == 1
+        # The mean keeps it: every post-reset completion counts.
+        assert open_metrics.committed == 1
+        assert open_metrics.response_times.mean == pytest.approx(70.0)
+
+    def test_post_reset_arrival_kept(self, env, open_metrics):
+        env._now = 100.0
+        open_metrics.reset()
+        env._now = 150.0
+        # Arrived at exactly the reset instant: kept (>= boundary).
+        _commit_txn(env, open_metrics, response=50.0)
+        assert open_metrics.response_sample.count == 1
+        assert open_metrics.response_sample.percentile(0.5) == 50.0
+        assert open_metrics.straddlers_dropped == 0
+
+    def test_queue_wait_straddler_dropped(self, env, open_metrics):
+        env._now = 100.0
+        open_metrics.reset()
+        env._now = 120.0
+        # Entered the queue at t=90 (pre-reset), dequeued at t=120.
+        open_metrics.queue_wait(30.0)
+        # Entered at t=110 (post-reset): kept.
+        open_metrics.queue_wait(10.0)
+        assert open_metrics.queue_wait_sample.count == 1
+        assert open_metrics.queue_wait_sample.percentile(0.5) == 10.0
+        assert open_metrics.straddlers_dropped == 1
+        # The Welford mean keeps both dequeues.
+        assert open_metrics.queue_waits.count == 2
+        assert open_metrics.queue_waits.mean == pytest.approx(20.0)
+
+    def test_closed_mode_unaffected(self, env, metrics):
+        env._now = 100.0
+        metrics.reset()
+        env._now = 150.0
+        # Closed mode never feeds percentile samples; straddler logic
+        # must not fire.
+        _commit_txn(env, metrics, response=70.0)
+        assert metrics.straddlers_dropped == 0
+        assert metrics.response_sample.count == 0
+
+    def test_reset_clears_straddler_counter(self, env, open_metrics):
+        env._now = 100.0
+        open_metrics.reset()
+        env._now = 150.0
+        _commit_txn(env, open_metrics, response=70.0)
+        assert open_metrics.straddlers_dropped == 1
+        open_metrics.reset()
+        assert open_metrics.straddlers_dropped == 0
+
+
 class TestWatchers:
     def test_when_committed_fires_at_threshold(self, env, metrics):
         event = metrics.when_committed(2)

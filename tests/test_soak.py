@@ -1,0 +1,432 @@
+"""Soak runs: windowed aggregates, drain barriers, checkpoint/resume.
+
+The load-bearing property is byte-identity: a soak that is killed at an
+arbitrary segment boundary and resumed from its checkpoint must produce
+exactly the same windowed JSONL stream as an uninterrupted run.  The
+runner makes that hold by construction (every segment proceeds from the
+pickled checkpoint state), and these tests pin it.
+"""
+
+import dataclasses
+import json
+import pickle
+
+import pytest
+
+import repro
+from repro.config import open_system
+from repro.db.workload import AccessSkew, RateCurve, SkewKind
+from repro.experiments.soak import (
+    CHECKPOINT_SCHEMA,
+    SoakCheckpoint,
+    SoakConfig,
+    SoakRunner,
+)
+from repro.obs import EventBus, WindowedStats
+from repro.obs.events import TxnArrive, TxnCommit, TxnDequeue, TxnShed
+
+from tests.db.conftest import FakeTransaction
+
+
+def _light_params(**overrides):
+    base = dict(arrival_rate_tps=10.0, num_sites=2, mpl=4, db_size=600,
+                dist_degree=2, cohort_size=4)
+    base.update(overrides)
+    return open_system(**base)
+
+
+def _config(**overrides):
+    base = dict(protocol="2PC", params=_light_params(), transactions=400,
+                window_ms=5_000.0, checkpoint_every=150, sample_cap=50)
+    base.update(overrides)
+    return SoakConfig(**base)
+
+
+class TestSoakRunner:
+    def test_run_completes_and_reports(self, tmp_path):
+        out = tmp_path / "soak.jsonl"
+        summary = SoakRunner(_config(), out).run()
+        assert summary["committed"] >= 400
+        assert summary["segments"] >= 2
+        assert summary["windows"] >= 1
+        lines = out.read_text().splitlines()
+        header = json.loads(lines[0])["meta"]
+        assert header["kind"] == "soak"
+        trailer = json.loads(lines[-1])["meta"]
+        assert trailer["complete"] is True
+        rows = [json.loads(line) for line in lines[1:-1]]
+        assert len(rows) == summary["windows"]
+        # Windows are contiguous from 0 with no gaps.
+        assert [row["window"] for row in rows[:-1]] == \
+            list(range(len(rows) - 1))
+        assert sum(row["commits"] for row in rows) == summary["committed"]
+
+    def test_deterministic_across_runs(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        SoakRunner(_config(), a).run()
+        SoakRunner(_config(), b).run()
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_killed_then_resumed_stream_is_byte_identical(self, tmp_path):
+        full = tmp_path / "full.jsonl"
+        SoakRunner(_config(), full, tmp_path / "full.ckpt").run()
+
+        resumed = tmp_path / "resumed.jsonl"
+        ckpt = tmp_path / "resumed.ckpt"
+        interrupted = SoakRunner(_config(), resumed, ckpt).run(
+            stop_after_segments=1)
+        assert interrupted["interrupted"] is True
+        # Simulate the kill tearing the output mid-line.
+        with resumed.open("a", encoding="utf-8") as handle:
+            handle.write('{"torn": tru')
+        summary = SoakRunner(_config(), resumed, ckpt).run(resume=True)
+        assert summary["interrupted"] is False
+        assert full.read_bytes() == resumed.read_bytes()
+
+    def test_resume_at_every_segment_boundary(self, tmp_path):
+        # Interrupt at each possible barrier: all resumes converge to
+        # the identical stream.
+        full = tmp_path / "full.jsonl"
+        reference = SoakRunner(_config(), full,
+                               tmp_path / "full.ckpt").run()
+        for stop_at in range(1, reference["segments"]):
+            out = tmp_path / f"stop{stop_at}.jsonl"
+            ckpt = tmp_path / f"stop{stop_at}.ckpt"
+            SoakRunner(_config(), out, ckpt).run(
+                stop_after_segments=stop_at)
+            SoakRunner(_config(), out, ckpt).run(resume=True)
+            assert out.read_bytes() == full.read_bytes(), stop_at
+
+    def test_resume_rejects_other_configuration(self, tmp_path):
+        out, ckpt = tmp_path / "s.jsonl", tmp_path / "s.ckpt"
+        SoakRunner(_config(), out, ckpt).run(stop_after_segments=1)
+        other = _config(params=_light_params(arrival_rate_tps=12.0))
+        with pytest.raises(ValueError, match="different soak"):
+            SoakRunner(other, out, ckpt).run(resume=True)
+
+    def test_resume_rejects_stale_schema(self, tmp_path):
+        out, ckpt = tmp_path / "s.jsonl", tmp_path / "s.ckpt"
+        SoakRunner(_config(), out, ckpt).run(stop_after_segments=1)
+        stale = dataclasses.replace(pickle.loads(ckpt.read_bytes()),
+                                    schema=CHECKPOINT_SCHEMA + 1)
+        ckpt.write_bytes(pickle.dumps(stale))
+        with pytest.raises(ValueError, match="schema"):
+            SoakRunner(_config(), out, ckpt).run(resume=True)
+
+    def test_resume_requires_output_file(self, tmp_path):
+        out, ckpt = tmp_path / "s.jsonl", tmp_path / "s.ckpt"
+        SoakRunner(_config(), out, ckpt).run(stop_after_segments=1)
+        out.unlink()
+        with pytest.raises(FileNotFoundError, match="cannot resume"):
+            SoakRunner(_config(), out, ckpt).run(resume=True)
+
+    def test_resume_of_complete_run_is_a_noop(self, tmp_path):
+        out, ckpt = tmp_path / "s.jsonl", tmp_path / "s.ckpt"
+        SoakRunner(_config(), out, ckpt).run()
+        before = out.read_bytes()
+        summary = SoakRunner(_config(), out, ckpt).run(resume=True)
+        assert summary["resumed"] is True
+        assert out.read_bytes() == before
+
+    def test_resume_without_checkpoint_starts_fresh(self, tmp_path):
+        out = tmp_path / "s.jsonl"
+        summary = SoakRunner(_config(), out,
+                             tmp_path / "missing.ckpt").run(resume=True)
+        assert summary["committed"] >= 400
+
+    def test_no_checkpointing_single_segment(self, tmp_path):
+        out = tmp_path / "s.jsonl"
+        summary = SoakRunner(_config(checkpoint_every=0), out).run()
+        assert summary["segments"] == 1
+        assert summary["committed"] >= 400
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="open workload"):
+            SoakConfig(params=repro.ModelParams()).validate()
+        with pytest.raises(ValueError, match="transactions"):
+            _config(transactions=0).validate()
+        with pytest.raises(ValueError, match="window_ms"):
+            _config(window_ms=0.0).validate()
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            _config(checkpoint_every=-1).validate()
+        with pytest.raises(ValueError, match="sample_cap"):
+            _config(sample_cap=2).validate()
+
+
+class TestDrainBarrier:
+    def test_stop_arrivals_then_drain(self):
+        system = repro.build_system("2PC", _light_params())
+        system.start()
+        system.env.run(until=system.metrics.when_committed(30))
+        assert system.admitted_total > system.completed_total or \
+            all(len(q) == 0 for q in system.open_queues)
+        system.stop_arrivals()
+        system.env.run(until=system.when_drained())
+        assert system.completed_total == system.admitted_total
+        assert all(len(queue) == 0 for queue in system.open_queues)
+
+    def test_capture_requires_quiescence(self):
+        system = repro.build_system("2PC", _light_params())
+        system.start()
+        system.env.run(until=system.metrics.when_committed(10))
+        if system.completed_total < system.admitted_total:
+            with pytest.raises(RuntimeError, match="mid-flight"):
+                system.capture_soak_state()
+
+    def test_capture_requires_open_mode(self):
+        system = repro.build_system("2PC")
+        with pytest.raises(RuntimeError, match="open mode"):
+            system.capture_soak_state()
+
+    def test_bounded_wal_mode_prunes_completed_transactions(self):
+        from repro.core import create_protocol
+        from repro.db.system import DistributedSystem
+
+        system = DistributedSystem(_light_params(),
+                                   create_protocol("2PC"),
+                                   wal_retention=False)
+        system.start()
+        system.env.run(until=system.metrics.when_committed(200))
+        # No record history retained, and the recovery index holds only
+        # the in-flight population (plus the odd straggler), not the 200
+        # completed transactions.
+        assert all(site.log_manager.records == []
+                   for site in system.sites)
+        live = sum(len(site.log_manager._by_txn)
+                   for site in system.sites)
+        assert live < 100
+        # Aggregate tallies survive truncation.
+        total_forced = sum(site.log_manager.forced_count
+                           for site in system.sites)
+        assert total_forced > 0
+
+    def test_restore_requires_matching_clock(self):
+        system = repro.build_system("2PC", _light_params())
+        system.start()
+        system.env.run(until=system.metrics.when_committed(20))
+        system.stop_arrivals()
+        system.env.run(until=system.when_drained())
+        state = system.capture_soak_state()
+        fresh = repro.build_system("2PC", _light_params())
+        with pytest.raises(RuntimeError, match="clock"):
+            fresh.restore_soak_state(state)
+
+
+class TestWindowedStats:
+    def _commit(self, time, response):
+        txn = FakeTransaction()
+        txn.first_submit_time = time - response
+        return TxnCommit(time, txn)
+
+    def test_rows_roll_on_window_boundaries(self):
+        rows = []
+        stats = WindowedStats(100.0, rows.append)
+        bus = EventBus()
+        stats.attach(bus)
+        bus.publish(TxnArrive(10.0, 0, 1, True))
+        bus.publish(TxnDequeue(20.0, 0, 1, 10.0))
+        bus.publish(self._commit(90.0, 80.0))
+        bus.publish(TxnArrive(150.0, 0, 2, False))
+        bus.publish(TxnShed(150.0, 0, 2, 4))
+        assert len(rows) == 1
+        first = rows[0]
+        assert first["window"] == 0
+        assert first["t_start_ms"] == 0.0
+        assert first["t_end_ms"] == 100.0
+        assert first["offered"] == 1
+        assert first["admitted"] == 1
+        assert first["commits"] == 1
+        assert first["response_p50_ms"] == 80.0
+        assert first["queue_wait_mean_ms"] == 10.0
+        stats.finish(180.0)
+        assert len(rows) == 2
+        assert rows[1]["shed"] == 1
+        assert rows[1]["t_end_ms"] == 180.0
+
+    def test_quiet_windows_still_emit_rows(self):
+        rows = []
+        stats = WindowedStats(50.0, rows.append)
+        bus = EventBus()
+        stats.attach(bus)
+        bus.publish(TxnArrive(10.0, 0, 1, True))
+        # Next event lands four windows later: the three intervening
+        # (empty) windows must be emitted so the stream has no gaps.
+        bus.publish(TxnArrive(210.0, 0, 2, True))
+        assert [row["window"] for row in rows] == [0, 1, 2, 3]
+        assert [row["offered"] for row in rows] == [1, 0, 0, 0]
+
+    def test_depth_probe_reported(self):
+        rows = []
+        stats = WindowedStats(10.0, rows.append, depth_probe=lambda: 7)
+        stats.finish(5.0)
+        assert rows[0]["queue_depth"] == 7
+
+    def test_capture_restore_preserves_partial_window(self):
+        rows_a, rows_b = [], []
+        stats = WindowedStats(100.0, rows_a.append)
+        bus = EventBus()
+        stats.attach(bus)
+        bus.publish(TxnArrive(30.0, 0, 1, True))
+        state = pickle.loads(pickle.dumps(stats.capture_state()))
+        restored = WindowedStats(100.0, rows_b.append)
+        restored.restore_state(state)
+        bus2 = EventBus()
+        restored.attach(bus2)
+        bus2.publish(TxnArrive(40.0, 0, 2, True))
+        restored.finish(50.0)
+        assert rows_b[0]["offered"] == 2
+
+    def test_double_attach_raises(self):
+        stats = WindowedStats(10.0, lambda row: None)
+        bus = EventBus()
+        stats.attach(bus)
+        with pytest.raises(RuntimeError, match="already attached"):
+            stats.attach(bus)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError, match="window_ms"):
+            WindowedStats(0.0, lambda row: None)
+
+
+class TestTimeVaryingLoad:
+    def test_steps_curve_scales_offered_load(self, tmp_path):
+        flat = _config(transactions=200, checkpoint_every=0)
+        doubled = _config(
+            transactions=200, checkpoint_every=0,
+            params=_light_params(
+                rate_curve=RateCurve.parse("steps:0=2")))
+        out_a, out_b = tmp_path / "flat.jsonl", tmp_path / "fast.jsonl"
+        SoakRunner(flat, out_a).run()
+        SoakRunner(doubled, out_b).run()
+
+        def offered_rate(path):
+            rows = [json.loads(line)
+                    for line in path.read_text().splitlines()[1:-1]]
+            span = rows[-1]["t_end_ms"]
+            return sum(row["offered"] for row in rows) / span
+
+        ratio = offered_rate(out_b) / offered_rate(out_a)
+        assert 1.5 < ratio < 2.6
+
+    def test_diurnal_curve_modulates_windows(self, tmp_path):
+        config = _config(
+            transactions=300, checkpoint_every=0, window_ms=10_000.0,
+            params=_light_params(
+                arrival_rate_tps=8.0,
+                rate_curve=RateCurve.parse("diurnal:40:1.0")))
+        out = tmp_path / "diurnal.jsonl"
+        SoakRunner(config, out).run()
+        rows = [json.loads(line)
+                for line in out.read_text().splitlines()[1:-1]]
+        offered = [row["offered"] for row in rows if row["offered"] > 0]
+        # Amplitude 1.0 over a 40s period vs 10s windows: offered load
+        # must visibly swing between peak and trough windows.
+        assert len(offered) >= 2
+        assert max(offered) > 1.5 * min(row["offered"] for row in rows[:4])
+
+    def test_diurnal_soak_resumes_byte_identical(self, tmp_path):
+        config = _config(
+            params=_light_params(
+                rate_curve=RateCurve.parse("diurnal:30:0.8"),
+                skew=AccessSkew(kind=SkewKind.HOTSPOT,
+                                drift_period_s=20.0)))
+        full = tmp_path / "full.jsonl"
+        SoakRunner(config, full, tmp_path / "f.ckpt").run()
+        part = tmp_path / "part.jsonl"
+        ckpt = tmp_path / "p.ckpt"
+        SoakRunner(config, part, ckpt).run(stop_after_segments=1)
+        SoakRunner(config, part, ckpt).run(resume=True)
+        assert part.read_bytes() == full.read_bytes()
+
+
+class TestMovingHotspot:
+    def _hot_fraction(self, generator, now, num_pages=200, draws=300):
+        hits = 0
+        for _ in range(draws):
+            slots = generator._sample_hotspot(num_pages, 3, now)
+            hits += sum(1 for slot in slots if slot < num_pages // 10)
+        return hits / (draws * 3)
+
+    def test_hot_set_rotates_with_time(self):
+        skew = AccessSkew(kind=SkewKind.HOTSPOT, hot_page_frac=0.10,
+                          hot_access_frac=0.90, drift_period_s=100.0)
+        params = _light_params(skew=skew)
+        system = repro.build_system("2PC", params)
+        generator = system.workload
+        # At t=0 the hot set is the first 10% of slots; half a period
+        # later it has rotated to the middle of the page range.
+        assert self._hot_fraction(generator, now=0.0) > 0.6
+        assert self._hot_fraction(generator, now=50_000.0) < 0.2
+
+    def test_zero_drift_is_stationary(self):
+        skew = AccessSkew(kind=SkewKind.HOTSPOT, hot_page_frac=0.10,
+                          hot_access_frac=0.90)
+        system = repro.build_system("2PC", _light_params(skew=skew))
+        assert self._hot_fraction(system.workload, now=999_999.0) > 0.6
+
+    def test_drift_requires_hotspot(self):
+        with pytest.raises(ValueError, match="hotspot"):
+            AccessSkew(kind=SkewKind.ZIPF, drift_period_s=5.0).validate()
+
+    def test_parse_drift_spec(self):
+        skew = AccessSkew.parse("hotspot:10:90:300")
+        assert skew.drift_period_s == 300.0
+        assert AccessSkew.parse("hotspot:10:90").drift_period_s == 0.0
+
+
+class TestRateCurveParsing:
+    def test_constant(self):
+        curve = RateCurve.parse("constant")
+        assert curve.factor_at(123456.0) == 1.0
+        assert curve.peak_factor == 1.0
+
+    def test_diurnal_shape(self):
+        curve = RateCurve.parse("diurnal:100:0.5")
+        assert curve.factor_at(0.0) == pytest.approx(1.0)
+        assert curve.factor_at(25_000.0) == pytest.approx(1.5)
+        assert curve.factor_at(75_000.0) == pytest.approx(0.5)
+        assert curve.peak_factor == pytest.approx(1.5)
+
+    def test_steps_shape(self):
+        curve = RateCurve.parse("steps:10=2,20=0.5")
+        assert curve.factor_at(0.0) == 1.0  # before the first step
+        assert curve.factor_at(10_000.0) == 2.0
+        assert curve.factor_at(25_000.0) == 0.5
+        assert curve.peak_factor == 2.0
+
+    def test_bad_specs_rejected(self):
+        for text in ("nope", "diurnal:100", "diurnal:0:0.5",
+                     "diurnal:100:1.5", "steps:", "steps:5=1,5=2",
+                     "steps:0=-1", "steps:0=0"):
+            with pytest.raises(ValueError, match="rate-curve|steps|"):
+                RateCurve.parse(text)
+
+    def test_rate_curve_requires_open_mode(self):
+        with pytest.raises(ValueError, match="open workload"):
+            repro.ModelParams(rate_curve=RateCurve.parse("constant"))
+
+
+class TestSoakCli:
+    def test_cli_soak_and_resume(self, tmp_path, capsys):
+        import io
+
+        from repro.cli import main
+        out_path = tmp_path / "cli.jsonl"
+        argv = ["soak", "2PC", "--transactions", "200",
+                "--arrival-rate", "10", "--checkpoint-every", "80",
+                "--window-s", "5", "--out", str(out_path), "--quiet"]
+        buffer = io.StringIO()
+        assert main(argv, out=buffer) == 0
+        assert "committed" in buffer.getvalue()
+        assert out_path.exists()
+        assert (tmp_path / "cli.jsonl.ckpt").exists()
+        # Resuming the complete run is a no-op exit 0.
+        buffer = io.StringIO()
+        assert main(argv + ["--resume"], out=buffer) == 0
+
+    def test_cli_rejects_bad_curve(self):
+        import io
+
+        from repro.cli import main
+        with pytest.raises(SystemExit):
+            main(["soak", "--rate-curve", "bogus"], out=io.StringIO())
