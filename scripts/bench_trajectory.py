@@ -55,6 +55,17 @@ SMOKE_CEIL_FAULT_OVERHEAD = 1.10
 #: open point must clear the same order-of-magnitude floor as the
 #: closed end-to-end run.
 SMOKE_FLOOR_OPEN_TXNS_PER_SEC = 100.0
+#: The ``uniform`` topology routes every remote send through the
+#: LanSwitch cost model -- two extra method calls per message against
+#: the no-topology hot path, nothing else (no RNG draws, no counters,
+#: byte-identical trajectories, asserted below).  Median of 15 adjacent
+#: pairs keeps shared-runner jitter to ~±2%, so the ceiling is tight:
+#: anything past 1.02x means the indirection grew real work.
+SMOKE_CEIL_COST_MODEL_OVERHEAD = 1.02
+#: A WAN grid point adds per-message wire timeouts and delivery
+#: processes on the same kernel; it must clear the same
+#: order-of-magnitude floor as the LAN end-to-end run.
+SMOKE_FLOOR_WAN_TXNS_PER_SEC = 100.0
 #: Warm-pool chunked sweeps must actually scale: jobs=4 below 1.5x of
 #: serial means pool/IPC overhead regressed (BENCH_5 recorded 0.74x on
 #: the old cold-pool path).  Only meaningful with cores to use, so the
@@ -296,6 +307,83 @@ def bench_fault_overhead(transactions: int, repeats: int) -> dict:
             "overhead_ratio": median}
 
 
+def bench_cost_model_overhead(transactions: int, repeats: int) -> dict:
+    """Cost of the pluggable network cost model when the wire is free.
+
+    Runs the identical seeded workload with no topology (the historical
+    zero-consult hot path) and with the ``uniform`` topology (every
+    remote send consults the LanSwitch).  The two must be byte-identical
+    (asserted); the smoke gate pins the wall-clock ratio of the
+    indirection itself.  Same median-of-adjacent-pairs discipline as
+    ``bench_fault_overhead``.
+    """
+    import dataclasses
+
+    import repro
+
+    uniform = repro.NetworkTopology.parse("uniform")
+
+    def run(topology):
+        return repro.simulate("2PC", measured_transactions=transactions,
+                              mpl=2, warmup_transactions=0, seed=1,
+                              network_topology=topology)
+
+    assert (json.dumps(dataclasses.asdict(run(None)))
+            == json.dumps(dataclasses.asdict(run(uniform)))), \
+        "uniform topology perturbed the trajectory"
+    plain_wall = uniform_wall = float("inf")
+    ratios = []
+    for _ in range(max(repeats, 5)):
+        start = time.perf_counter()
+        run(None)
+        plain = time.perf_counter() - start
+        start = time.perf_counter()
+        run(uniform)
+        with_model = time.perf_counter() - start
+        plain_wall = min(plain_wall, plain)
+        uniform_wall = min(uniform_wall, with_model)
+        ratios.append(with_model / plain)
+    ratios.sort()
+    median = ratios[len(ratios) // 2] if len(ratios) % 2 else \
+        (ratios[len(ratios) // 2 - 1] + ratios[len(ratios) // 2]) / 2
+    return {"wall_s": uniform_wall, "plain_wall_s": plain_wall,
+            "txns": transactions,
+            "overhead_ratio": median}
+
+
+def bench_wan_point(transactions: int, repeats: int) -> dict:
+    """One WAN grid point: 2PC across 2 datacenters at 40 ms RTT.
+
+    The per-message wire charge turns every remote send into a delivery
+    process with a timeout, so this tracks the kernel cost of the WAN
+    path (and the cross-DC accounting) rather than the protocol story
+    -- the ordering claims live in ``repro-commit wan`` and
+    ``tests/experiments/test_wan.py``.
+    """
+    import repro
+
+    captured = []
+    topology = repro.NetworkTopology.parse("dcs:2x4:rtt_ms=40")
+
+    def run():
+        captured.clear()
+        result = repro.simulate(
+            "2PC", measured_transactions=transactions, mpl=2,
+            warmup_transactions=transactions // 10, seed=1,
+            network_topology=topology, on_system=captured.append)
+        return result
+
+    wall, result = _best_of(run, repeats)
+    system = captured[0]
+    return {"wall_s": wall, "txns": result.committed,
+            "txns_per_sec": result.committed / wall,
+            "rtt_ms": 40.0,
+            "response_ms": result.response_time_ms,
+            "cross_dc_messages": system.network.cross_dc_messages,
+            "cross_dc_round_trips_per_commit":
+                system.metrics.cross_dc_round_trips_per_commit()}
+
+
 # ----------------------------------------------------------------------
 # Soak memory benchmark (peak RSS vs run length)
 # ----------------------------------------------------------------------
@@ -426,6 +514,10 @@ def main(argv=None) -> int:
         # on a busy 1-core runner, 5 interleaved pairs still jitter the
         # ratio by ~±4%, past the 1.02x ceiling; 15 holds it to ~±2%.
         "fault_overhead": bench_fault_overhead(sizes["transactions"], 15),
+        "cost_model_overhead": bench_cost_model_overhead(
+            sizes["transactions"], 15),
+        "wan_point": bench_wan_point(sizes["transactions"],
+                                     sizes["repeats"]),
     }
     for name, row in kernel.items():
         rate_key = next((k for k in row if k.endswith("_per_sec")), None)
@@ -493,6 +585,18 @@ def main(argv=None) -> int:
                 f"inactive fault injector above ceiling: "
                 f"{kernel['fault_overhead']['overhead_ratio']:.3f}x > "
                 f"{SMOKE_CEIL_FAULT_OVERHEAD}x plain")
+        if kernel["cost_model_overhead"]["overhead_ratio"] > \
+                SMOKE_CEIL_COST_MODEL_OVERHEAD:
+            failures.append(
+                f"LanSwitch cost-model indirection above ceiling: "
+                f"{kernel['cost_model_overhead']['overhead_ratio']:.3f}x "
+                f"> {SMOKE_CEIL_COST_MODEL_OVERHEAD}x plain")
+        if kernel["wan_point"]["txns_per_sec"] < \
+                SMOKE_FLOOR_WAN_TXNS_PER_SEC:
+            failures.append(
+                f"WAN point below floor: "
+                f"{kernel['wan_point']['txns_per_sec']:,.0f} < "
+                f"{SMOKE_FLOOR_WAN_TXNS_PER_SEC:,.0f} txns/s")
         if soak["rss_growth_ratio"] > SMOKE_CEIL_SOAK_RSS_GROWTH:
             failures.append(
                 f"soak RSS growth above ceiling: "

@@ -26,7 +26,9 @@ echo "== soak-resume check (checkpoint byte-identity) =="
 python scripts/soak_resume_check.py
 
 # Perf floors: kernel micros, end-to-end txn rate, idle-bus/fault
-# overhead ceilings, the flat-RSS soak-memory ceiling, and the
+# overhead ceilings, the LanSwitch cost-model indirection ceiling
+# (uniform topology <= 1.02x of the no-topology hot path) plus the
+# WAN-point floor, the flat-RSS soak-memory ceiling, and the
 # warm-pool sweep-scaling floor (speedup_vs_serial["4"] >= 1.5 --
 # auto-skipped on < 4-core runners).
 echo "== benchmark smoke (perf floors) =="

@@ -46,6 +46,12 @@ from repro.db.system import (
     OpenSimulationResult,
     SimulationResult,
 )
+from repro.db.topology import (
+    LanSwitch,
+    NetworkTopology,
+    TopologyKind,
+    WanTopology,
+)
 from repro.db.workload import AccessSkew, SkewKind
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
@@ -58,12 +64,16 @@ __all__ = [
     "AccessSkew",
     "CommitProtocol",
     "DistributedSystem",
+    "LanSwitch",
     "ModelParams",
+    "NetworkTopology",
     "OpenSimulationResult",
     "SimulationResult",
     "SkewKind",
     "Topology",
+    "TopologyKind",
     "TransactionType",
+    "WanTopology",
     "WorkloadMode",
     "baseline_rc_dc",
     "build_system",

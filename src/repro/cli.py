@@ -79,6 +79,14 @@ def _parse_rate_curve(text: str):
         raise argparse.ArgumentTypeError(str(error))
 
 
+def _parse_topology(text: str):
+    from repro.db.topology import NetworkTopology
+    try:
+        return NetworkTopology.parse(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
+
+
 def _parse_rates(text: str) -> tuple[float, ...]:
     try:
         rates = tuple(float(part) for part in text.split(","))
@@ -110,11 +118,35 @@ def _add_open_args(parser: argparse.ArgumentParser) -> None:
                              "'hotspot:<page%%>:<access%%>' (e.g. "
                              "hotspot:10:90), or 'zipf:<theta>'; applies "
                              "in closed mode too")
+    _add_topology_args(parser)
+
+
+def _add_topology_args(parser: argparse.ArgumentParser) -> None:
+    """Network-topology flags (see docs/MODEL.md)."""
+    parser.add_argument("--topology", type=_parse_topology, default=None,
+                        metavar="SPEC",
+                        help="network topology: 'uniform' (the paper's "
+                             "zero-latency switch, the default), "
+                             "'dcs:<D>x<S>:rtt_ms=<ms>' (e.g. "
+                             "dcs:2x4:rtt_ms=40), or "
+                             "'matrix:<ms>,..;..' per-link latencies")
+    parser.add_argument("--local-cohorts", action="store_true",
+                        help="prefer cohort sites in the master's own "
+                             "datacenter (requires a multi-DC --topology)")
+
+
+def _topology_overrides(args: argparse.Namespace) -> dict[str, object]:
+    overrides: dict[str, object] = {}
+    if args.topology is not None:
+        overrides["network_topology"] = args.topology
+    if args.local_cohorts:
+        overrides["prefer_local_cohorts"] = True
+    return overrides
 
 
 def _open_overrides(args: argparse.Namespace) -> dict[str, object]:
     """Translate the open-system flags into ModelParams overrides."""
-    overrides: dict[str, object] = {}
+    overrides = _topology_overrides(args)
     if args.skew is not None:
         overrides["skew"] = args.skew
     if args.open:
@@ -225,6 +257,31 @@ def build_parser() -> argparse.ArgumentParser:
     sat.add_argument("--seed", type=int, default=20250705)
     sat.add_argument("--quiet", action="store_true",
                      help="suppress per-point progress output")
+    _add_topology_args(sat)
+
+    wan = sub.add_parser(
+        "wan",
+        help="commit latency vs cross-DC RTT across 2-3 datacenters")
+    wan.add_argument("--protocols", default="2PC,PA,PC,3PC,OPT",
+                     help="comma-separated protocol names "
+                          "(default 2PC,PA,PC,3PC,OPT; 'all' = every "
+                          "registered protocol)")
+    wan.add_argument("--rtts", default="0,10,40,100",
+                     help="comma-separated cross-DC round-trip times "
+                          "in ms (default 0,10,40,100)")
+    wan.add_argument("--dcs", type=int, default=2,
+                     help="number of datacenters the sites split into "
+                          "(default 2)")
+    wan.add_argument("--placements", default="spread,local",
+                     help="comma-separated cohort placements: 'spread' "
+                          "(the paper's uniform choice) and/or 'local' "
+                          "(prefer same-DC cohorts); default both")
+    wan.add_argument("--mpl", type=int, default=2)
+    wan.add_argument("--transactions", type=int, default=300,
+                     help="measured transactions per point")
+    wan.add_argument("--seed", type=int, default=20250705)
+    wan.add_argument("--quiet", action="store_true",
+                     help="suppress per-point progress output")
 
     soak = sub.add_parser(
         "soak",
@@ -276,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
     soak.add_argument("--seed", type=int, default=20250705)
     soak.add_argument("--quiet", action="store_true",
                       help="suppress per-segment progress output")
+    _add_topology_args(soak)
 
     avail = sub.add_parser(
         "availability",
@@ -297,6 +355,7 @@ def build_parser() -> argparse.ArgumentParser:
     avail.add_argument("--seed", type=int, default=20250705)
     avail.add_argument("--quiet", action="store_true",
                        help="suppress per-point progress output")
+    _add_topology_args(avail)
     return parser
 
 
@@ -414,7 +473,8 @@ def cmd_simulate(args: argparse.Namespace, out: typing.TextIO) -> int:
         for attach in observers:
             attach(system.bus)
 
-    wants_system = bool(observers) or faults is not None
+    wants_system = (bool(observers) or faults is not None
+                    or args.topology is not None)
     try:
         result = repro.simulate(
             args.protocol,
@@ -451,6 +511,15 @@ def cmd_simulate(args: argparse.Namespace, out: typing.TextIO) -> int:
               f"commit_msgs={result.overheads.commit_messages:.2f}\n")
     if result.aborts_by_reason:
         out.write(f"aborts by reason: {result.aborts_by_reason}\n")
+    if args.topology is not None and captured:
+        system = captured[0]
+        network = system.network
+        out.write(
+            f"topology: {args.topology.describe()}; "
+            f"cross-DC msgs={network.cross_dc_messages} "
+            f"intra-DC msgs={network.intra_dc_messages} "
+            f"cross-DC round trips/commit="
+            f"{system.metrics.cross_dc_round_trips_per_commit():.2f}\n")
     if faults is not None and captured and captured[0].faults is not None:
         injector = captured[0].faults
         out.write(f"faults: {injector.crashes} crashes, "
@@ -472,7 +541,8 @@ def cmd_soak(args: argparse.Namespace, out: typing.TextIO) -> int:
         params = repro.open_system(
             arrival_rate_tps=args.arrival_rate, skew=args.skew,
             admission_queue_limit=args.queue_limit,
-            rate_curve=args.rate_curve, mpl=args.mpl)
+            rate_curve=args.rate_curve, mpl=args.mpl,
+            **_topology_overrides(args))
         config = SoakConfig(
             protocol=args.protocol, params=params,
             transactions=args.transactions, seed=args.seed,
@@ -521,11 +591,19 @@ def cmd_availability(args: argparse.Namespace, out: typing.TextIO) -> int:
     progress = None if args.quiet else (
         lambda text: out.write(f"  ... {text}\n"))
     started = time.time()
-    sweep = AvailabilitySweep(protocols, mttfs=mttfs, mttr_ms=args.mttr_ms,
-                              msg_loss_prob=args.msg_loss, mpl=args.mpl,
-                              measured_transactions=args.transactions,
-                              seed=args.seed)
-    results = sweep.run(progress=progress)
+    try:
+        overrides = _topology_overrides(args)
+        params = repro.ModelParams(**overrides) if overrides else None
+        sweep = AvailabilitySweep(protocols, mttfs=mttfs,
+                                  mttr_ms=args.mttr_ms,
+                                  msg_loss_prob=args.msg_loss, mpl=args.mpl,
+                                  params=params,
+                                  measured_transactions=args.transactions,
+                                  seed=args.seed)
+        results = sweep.run(progress=progress)
+    except ValueError as error:
+        out.write(f"error: {error}\n")
+        return 2
     out.write(results.summary() + "\n")
     out.write(f"(completed in {time.time() - started:.1f}s wall time)\n")
     return 0
@@ -540,12 +618,45 @@ def cmd_saturation(args: argparse.Namespace, out: typing.TextIO) -> int:
     progress = None if args.quiet else (
         lambda text: out.write(f"  ... {text}\n"))
     started = time.time()
-    sweep = SaturationSweep(
-        protocols,
-        rates=args.rates if args.rates is not None else DEFAULT_RATES,
-        mpl=args.mpl, skew=args.skew, queue_limit=args.queue_limit,
-        measured_transactions=args.transactions, seed=args.seed)
     try:
+        overrides = _topology_overrides(args)
+        params = repro.ModelParams(**overrides) if overrides else None
+        sweep = SaturationSweep(
+            protocols,
+            rates=args.rates if args.rates is not None else DEFAULT_RATES,
+            mpl=args.mpl, skew=args.skew, queue_limit=args.queue_limit,
+            params=params,
+            measured_transactions=args.transactions, seed=args.seed)
+        results = sweep.run(progress=progress)
+    except ValueError as error:
+        out.write(f"error: {error}\n")
+        return 2
+    out.write(results.summary() + "\n")
+    out.write(f"(completed in {time.time() - started:.1f}s wall time)\n")
+    return 0
+
+
+def cmd_wan(args: argparse.Namespace, out: typing.TextIO) -> int:
+    from repro.experiments.wan import WanSweep
+    if args.protocols.strip().lower() == "all":
+        protocols: typing.Sequence[str] = repro.PROTOCOL_NAMES
+    else:
+        protocols = tuple(p.strip() for p in args.protocols.split(","))
+    try:
+        rtts = tuple(float(part) for part in args.rtts.split(","))
+    except ValueError:
+        out.write(f"error: --rtts wants comma-separated numbers, "
+                  f"got {args.rtts!r}\n")
+        return 2
+    placements = tuple(p.strip() for p in args.placements.split(","))
+    progress = None if args.quiet else (
+        lambda text: out.write(f"  ... {text}\n"))
+    started = time.time()
+    try:
+        sweep = WanSweep(protocols, rtts_ms=rtts, placements=placements,
+                         num_dcs=args.dcs, mpl=args.mpl,
+                         measured_transactions=args.transactions,
+                         seed=args.seed)
         results = sweep.run(progress=progress)
     except ValueError as error:
         out.write(f"error: {error}\n")
@@ -570,6 +681,8 @@ def main(argv: typing.Sequence[str] | None = None,
         return cmd_availability(args, out)
     if args.command == "saturation":
         return cmd_saturation(args, out)
+    if args.command == "wan":
+        return cmd_wan(args, out)
     if args.command == "soak":
         return cmd_soak(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

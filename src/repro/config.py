@@ -16,6 +16,7 @@ import math
 import typing
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.topology import NetworkTopology
     from repro.db.workload import AccessSkew, RateCurve
 
 
@@ -89,6 +90,16 @@ class ModelParams:
 
     # ----- scenario ----------------------------------------------------
     topology: Topology = Topology.DISTRIBUTED
+
+    #: network placement and wire costs (extension; see docs/MODEL.md).
+    #: None keeps the paper's zero-latency switch on the historical hot
+    #: path; the ``uniform`` spec is byte-identical but routes through
+    #: the pluggable :class:`repro.db.topology.LanSwitch` cost model;
+    #: ``dcs:``/``matrix:`` specs pay per-link wire latency/jitter/loss.
+    network_topology: "NetworkTopology | None" = None
+    #: workload placement: pick cohort sites from the master's own
+    #: datacenter first (requires a multi-DC ``network_topology``).
+    prefer_local_cohorts: bool = False
 
     #: Probability that a cohort "surprise"-votes NO on PREPARE
     #: (Experiment 6).  0.01/0.05/0.10 give transaction abort
@@ -175,6 +186,22 @@ class ModelParams:
             raise ValueError(
                 f"admission_queue_limit must be >= 1, got "
                 f"{self.admission_queue_limit}")
+        if self.network_topology is not None:
+            self.network_topology.validate()
+            self.network_topology.check_num_sites(self.num_sites)
+            if not self.network_topology.is_uniform \
+                    and self.topology is Topology.CENTRALIZED:
+                raise ValueError(
+                    "the CENT baseline runs at a single site; a "
+                    "multi-datacenter network_topology does not apply")
+        if self.prefer_local_cohorts:
+            if self.network_topology is None \
+                    or self.network_topology.placement(self.num_sites) \
+                    is None:
+                raise ValueError(
+                    "prefer_local_cohorts needs a multi-datacenter "
+                    "network_topology (dcs:... or matrix:...) so that "
+                    "'local' has a meaning")
         if self.skew is not None:
             self.skew.validate()
         if self.rate_curve is not None:

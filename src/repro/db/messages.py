@@ -74,6 +74,11 @@ class Message:
     payload: typing.Any = None
     msg_id: int = dataclasses.field(default_factory=lambda: next(_message_ids))
 
+    @property
+    def link(self) -> tuple[int, int]:
+        """(sender site, receiver site) -- the wire this message rides."""
+        return (self.sender.site.site_id, self.receiver.site.site_id)
+
     def __repr__(self) -> str:
         return (f"<Message {self.kind.value} txn={self.txn_id}."
                 f"{self.incarnation} #{self.msg_id}>")

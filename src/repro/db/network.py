@@ -7,7 +7,7 @@ that has high bandwidth.  However, the CPU overheads of message transfer
 
 Consequences implemented here:
 
-- wire latency is zero;
+- wire latency is zero *by default*;
 - the *sender's process* is occupied while the send-side MsgCPU cost is
   paid (at message priority);
 - the receive-side MsgCPU cost is paid by an independent delivery
@@ -16,6 +16,18 @@ Consequences implemented here:
 - messages between agents at the *same site* are free (they correspond
   to the master talking to its local cohort) and are delivered
   immediately.
+
+The wire itself is pluggable: a :class:`repro.db.topology.CostModel`
+(``cost_model``) is consulted per remote message for wire delay and
+stochastic wire loss.  ``None`` keeps the paper's zero-cost switch on
+the historical hot path; :class:`repro.db.topology.LanSwitch` is
+byte-identical through the indirection; a
+:class:`repro.db.topology.WanTopology` pays per-link latency and
+classifies traffic as intra- vs cross-datacenter.  The fault injector
+*composes with* (stacks on top of) the cost model: topology delay and
+loss model the healthy wire, injected delay and loss the unhealthy one,
+and a site that crashes while a cross-DC message is in flight still
+drops it once the link delay has elapsed (see ``_deliver``).
 """
 
 from __future__ import annotations
@@ -29,25 +41,33 @@ from repro.sim.events import Event
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db.messages import Message
     from repro.db.site import Site
+    from repro.db.topology import CostModel
     from repro.db.transaction import Agent
     from repro.faults.injector import FaultInjector
     from repro.sim.engine import Environment
 
 
 class Network:
-    """Zero-latency switch with per-end CPU costs."""
+    """Message switch with per-end CPU costs and a pluggable wire."""
 
     def __init__(self, env: "Environment", msg_cpu_ms: float,
-                 bus: EventBus | None = None) -> None:
+                 bus: EventBus | None = None,
+                 cost_model: "CostModel | None" = None) -> None:
         self.env = env
         self.msg_cpu_ms = msg_cpu_ms
         #: instrumentation plane; a standalone network gets a private bus.
         self.bus = bus if bus is not None else EventBus()
         #: fault plane; None means perfectly reliable (the default).
         self.faults: "FaultInjector | None" = None
+        #: wire plane; None means the paper's free zero-latency switch.
+        self.cost: "CostModel | None" = cost_model
         self.messages_sent = 0
         self.local_messages = 0
         self.messages_dropped = 0
+        #: remote messages whose link crossed datacenters (topology runs
+        #: with a site->DC placement only; otherwise both stay 0).
+        self.cross_dc_messages = 0
+        self.intra_dc_messages = 0
 
     def send(self, message: "Message",
              ) -> typing.Generator[Event, typing.Any, None]:
@@ -62,35 +82,65 @@ class Network:
         if sender_site.site_id == receiver_site.site_id:
             self.local_messages += 1
             if bus.has_subscribers(EventKind.MSG_SEND):
-                bus.publish(MessageSend(self.env.now, message, local=True))
+                bus.publish(MessageSend(
+                    self.env.now, message, local=True,
+                    link=(sender_site.site_id, sender_site.site_id)))
             if bus.has_subscribers(EventKind.MSG_DELIVER):
-                bus.publish(MessageDeliver(self.env.now, message))
+                bus.publish(MessageDeliver(
+                    self.env.now, message,
+                    link=(sender_site.site_id, sender_site.site_id)))
             message.receiver.inbox.put(message)
             return
         self.messages_sent += 1
+        cost = self.cost
+        src = sender_site.site_id
+        dst = receiver_site.site_id
+        delay = 0.0
+        cross_dc = False
+        if cost is not None:
+            if cost.placement is not None:
+                cross_dc = cost.placement[src] != cost.placement[dst]
+                if cross_dc:
+                    self.cross_dc_messages += 1
+                    message.sender.txn.messages_cross_dc += 1
+                else:
+                    self.intra_dc_messages += 1
+            delay = cost.wire_delay(src, dst)
         if bus.has_subscribers(EventKind.MSG_SEND):
-            bus.publish(MessageSend(self.env.now, message, local=False))
+            bus.publish(MessageSend(self.env.now, message, local=False,
+                                    link=(src, dst), delay_ms=delay,
+                                    cross_dc=cross_dc))
         self._count_for_transaction(message)
         yield from sender_site.message_cpu(self.msg_cpu_ms)
-        delay = 0.0
+        if cost is not None and cost.lose(src, dst):
+            # Lost on the (healthy) wire: the sender already paid its
+            # MsgCPU; nobody pays the receive cost.
+            self._drop(message, "topology_loss")
+            return
         if self.faults is not None:
+            # Fault plane stacks on the wire: injected loss/delay apply
+            # in addition to whatever the topology charged.
             if self.faults.lose_message(message):
                 self._drop(message, "loss")
                 return
-            delay = self.faults.delay_message(message)
+            delay += self.faults.delay_message(message)
         # Receive side: an independent process so the sender is not
         # blocked while the receiver's CPU works through its queue.
-        self.env.process(self._deliver(message, delay),
+        self.env.process(self._deliver(message, delay, cross_dc),
                          name=f"deliver-{message.kind.value}")
 
     def _deliver(self, message: "Message", delay: float = 0.0,
+                 cross_dc: bool = False,
                  ) -> typing.Generator[Event, typing.Any, None]:
         if delay > 0.0:
-            # Injected wire latency (the healthy switch has none).
+            # Wire latency: topology link delay plus injected delay
+            # (the paper's healthy switch has neither).
             yield self.env.timeout(delay)
         faults = self.faults
         if faults is not None and not message.receiver.site.up:
             # Receiver's site is down: nobody pays the receive cost.
+            # For a cross-DC message this check runs *after* the link
+            # delay elapsed, so a mid-flight crash still eats it.
             self._drop(message, "site_down")
             return
         yield from message.receiver.site.message_cpu(self.msg_cpu_ms)
@@ -100,7 +150,10 @@ class Network:
             self._drop(message, "site_down")
             return
         if self.bus.has_subscribers(EventKind.MSG_DELIVER):
-            self.bus.publish(MessageDeliver(self.env.now, message))
+            self.bus.publish(MessageDeliver(self.env.now, message,
+                                            link=message.link,
+                                            delay_ms=delay,
+                                            cross_dc=cross_dc))
         message.receiver.inbox.put(message)
 
     def _drop(self, message: "Message", reason: str) -> None:
@@ -118,31 +171,69 @@ class Network:
         a reliable exchange that bypasses inboxes: the caller decides
         what the answer *means* by reading the remote site's WAL, so no
         payload needs routing, but the message costs are real -- two
-        commit-class messages and four MsgCPU services.  Inquiries are
-        retried by the protocol layer until they succeed, which is why
-        they are not subject to stochastic loss.
+        commit-class messages, four MsgCPU services, and (under a WAN
+        cost model) one full wire round trip, so recovery time scales
+        with the link RTT.  Inquiries are retried by the protocol layer
+        until they succeed, which is why they are not subject to
+        stochastic loss (topology or injected).
         """
         from repro.db.messages import Message, MessageKind
 
         own_site = agent.site
-        if own_site.site_id == remote_site.site_id:
-            self.local_messages += 2
-            return
         bus = self.bus
+        if own_site.site_id == remote_site.site_id:
+            # Same-site inquiry (master probing its local cohort's WAL):
+            # free and instantaneous, but still two traced messages.
+            self.local_messages += 2
+            send_subs = bus.has_subscribers(EventKind.MSG_SEND)
+            deliver_subs = bus.has_subscribers(EventKind.MSG_DELIVER)
+            if send_subs or deliver_subs:
+                link = (own_site.site_id, own_site.site_id)
+                for kind in (MessageKind.STATUS_INQ,
+                             MessageKind.STATUS_ACK):
+                    message = Message(kind, agent, agent, agent.txn.txn_id,
+                                      agent.txn.incarnation)
+                    if send_subs:
+                        bus.publish(MessageSend(self.env.now, message,
+                                                local=True, link=link))
+                    if deliver_subs:
+                        bus.publish(MessageDeliver(self.env.now, message,
+                                                   link=link))
+            return
+        cost = self.cost
         for kind in (MessageKind.STATUS_INQ, MessageKind.STATUS_ACK):
             message = Message(kind, agent, agent, agent.txn.txn_id,
                               agent.txn.incarnation)
             self.messages_sent += 1
             agent.txn.messages_commit += 1
-            if bus.has_subscribers(EventKind.MSG_SEND):
-                bus.publish(MessageSend(self.env.now, message, local=False))
             send_site, recv_site = ((own_site, remote_site)
                                     if kind is MessageKind.STATUS_INQ
                                     else (remote_site, own_site))
+            src = send_site.site_id
+            dst = recv_site.site_id
+            delay = 0.0
+            cross_dc = False
+            if cost is not None:
+                if cost.placement is not None:
+                    cross_dc = cost.placement[src] != cost.placement[dst]
+                    if cross_dc:
+                        self.cross_dc_messages += 1
+                        agent.txn.messages_cross_dc += 1
+                    else:
+                        self.intra_dc_messages += 1
+                delay = cost.wire_delay(src, dst)
+            if bus.has_subscribers(EventKind.MSG_SEND):
+                bus.publish(MessageSend(self.env.now, message, local=False,
+                                        link=(src, dst), delay_ms=delay,
+                                        cross_dc=cross_dc))
             yield from send_site.message_cpu(self.msg_cpu_ms)
+            if delay > 0.0:
+                yield self.env.timeout(delay)
             yield from recv_site.message_cpu(self.msg_cpu_ms)
             if bus.has_subscribers(EventKind.MSG_DELIVER):
-                bus.publish(MessageDeliver(self.env.now, message))
+                bus.publish(MessageDeliver(self.env.now, message,
+                                           link=(src, dst), delay_ms=delay,
+                                           cross_dc=cross_dc))
 
     @staticmethod
     def _count_for_transaction(message: "Message") -> None:

@@ -150,6 +150,9 @@ class Transaction:
         self.pages_borrowed = 0
         self.messages_execution = 0
         self.messages_commit = 0
+        #: remote messages that crossed datacenters (0 unless a multi-DC
+        #: network topology is active; subset of the two counts above).
+        self.messages_cross_dc = 0
         self.forced_writes = 0
         #: number of this transaction's cohorts currently blocked on a lock.
         self.blocked_cohorts = 0

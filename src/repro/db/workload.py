@@ -299,6 +299,14 @@ class WorkloadGenerator:
         self._uniform = self.skew.is_uniform
         #: cache of Zipf cumulative weights, keyed by site page count.
         self._zipf_cum: dict[int, list[float]] = {}
+        #: site -> datacenter map when cohort placement prefers the
+        #: master's own DC; None keeps the paper's uniform choice (and
+        #: the historical draw sequence, pinned by the golden fixture).
+        self._placement: tuple[int, ...] | None = None
+        if params.prefer_local_cohorts \
+                and params.network_topology is not None:
+            self._placement = params.network_topology.placement(
+                params.num_sites)
 
     def generate(self, origin_site: int,
                  now: float = 0.0) -> TransactionSpec:
@@ -311,14 +319,37 @@ class WorkloadGenerator:
         sites = [origin_site]
         if params.dist_degree > 1:
             others = [s for s in range(params.num_sites) if s != origin_site]
-            sites.extend(self._site_rng.sample(
-                others, params.dist_degree - 1))
+            if self._placement is None:
+                sites.extend(self._site_rng.sample(
+                    others, params.dist_degree - 1))
+            else:
+                sites.extend(self._sample_local_first(
+                    origin_site, others, params.dist_degree - 1))
         accesses = tuple(self._generate_access(site, now) for site in sites)
         txn_id = self._next_txn_id
         self._next_txn_id += 1
         return TransactionSpec(txn_id=txn_id,
                                origin_site=origin_site,
                                accesses=accesses)
+
+    def _sample_local_first(self, origin_site: int, others: list[int],
+                            count: int) -> list[int]:
+        """Cohort sites drawn from the master's own datacenter first.
+
+        A transaction still spans ``dist_degree`` distinct sites; only
+        the *placement* changes: same-DC candidates are exhausted before
+        any cross-DC site is drawn, minimizing cross-DC commit rounds.
+        """
+        placement = self._placement
+        assert placement is not None
+        home_dc = placement[origin_site]
+        local = [s for s in others if placement[s] == home_dc]
+        remote = [s for s in others if placement[s] != home_dc]
+        take_local = min(count, len(local))
+        sites = self._site_rng.sample(local, take_local)
+        if take_local < count:
+            sites.extend(self._site_rng.sample(remote, count - take_local))
+        return sites
 
     def _generate_access(self, site: int, now: float) -> CohortAccess:
         params = self.params

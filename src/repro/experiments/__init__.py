@@ -38,6 +38,11 @@ from repro.experiments.saturation import (
     SaturationResults,
     SaturationSweep,
 )
+from repro.experiments.wan import (
+    WanPoint,
+    WanResults,
+    WanSweep,
+)
 
 __all__ = [
     "AvailabilityPoint",
@@ -56,6 +61,9 @@ __all__ = [
     "SweepCounts",
     "SweepPoint",
     "SweepWorkerError",
+    "WanPoint",
+    "WanResults",
+    "WanSweep",
     "experiment_ids",
     "get_experiment",
     "point_seed",

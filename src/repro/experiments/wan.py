@@ -1,0 +1,199 @@
+"""WAN sweep: commit protocols across multi-datacenter topologies.
+
+The paper's LAN switch makes wire latency free, so protocols differ only
+in CPU/disk overheads.  Spread the same system across datacenters and
+the picture inverts: every cross-DC message now pays ``rtt_ms / 2`` of
+wire latency, so commit latency is dominated by *how many cross-DC round
+trips the protocol's commit path serializes* (the metric Gray & Lamport
+count protocols by).  This sweep (an extension; see docs/MODEL.md,
+"Topology & network cost model") runs a protocol x RTT x placement grid
+and reports, per point:
+
+- mean commit **response time** -- at WAN RTTs the fewer-round-trip
+  variants (PC skips the commit-ACK round, OPT lends locks across the
+  prepared window) beat 2PC, and 3PC's extra PRECOMMIT round makes it
+  strictly worse;
+- **cross-DC round trips per commit** from the metrics layer (two
+  cross-DC messages = one round trip), the quantity that multiplies RTT
+  into latency;
+- the intra- vs cross-DC message split from the network layer, showing
+  how much traffic the ``local`` placement policy (cohorts drawn from
+  the master's own DC first) keeps off the expensive links.
+
+Placements: ``spread`` picks cohort sites uniformly (the paper's rule);
+``local`` prefers same-DC cohorts (``prefer_local_cohorts``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import repro
+from repro.config import ModelParams
+from repro.db.topology import NetworkTopology, TopologyKind
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.system import SimulationResult
+
+#: Cross-DC round-trip times (ms) from "same metro" to
+#: "cross-continent"; 0 isolates the placement/accounting machinery.
+DEFAULT_RTTS: tuple[float, ...] = (0.0, 10.0, 40.0, 100.0)
+
+DEFAULT_PLACEMENTS: tuple[str, ...] = ("spread", "local")
+
+
+@dataclasses.dataclass
+class WanPoint:
+    """One (protocol, rtt, placement) grid point."""
+
+    protocol: str
+    rtt_ms: float
+    placement: str
+    result: "SimulationResult"
+    #: remote-message split observed by the network layer (whole run).
+    cross_dc_messages: int
+    intra_dc_messages: int
+    #: per-committed-transaction round trips from the metrics layer
+    #: (measured period only).
+    cross_dc_round_trips_per_commit: float
+
+    @property
+    def response_ms(self) -> float:
+        return self.result.response_time_ms
+
+    @property
+    def throughput(self) -> float:
+        return self.result.throughput
+
+
+@dataclasses.dataclass
+class WanResults:
+    """All points of one WAN sweep, with rendering helpers."""
+
+    points: dict[tuple[str, float, str], WanPoint]
+    protocols: tuple[str, ...]
+    rtts: tuple[float, ...]
+    placements: tuple[str, ...]
+
+    def point(self, protocol: str, rtt: float, placement: str) -> WanPoint:
+        return self.points[(protocol, rtt, placement)]
+
+    def series(self, protocol: str,
+               placement: str) -> list[tuple[float, float]]:
+        """[(rtt_ms, response_ms), ...] for one protocol/placement."""
+        return [(rtt, self.points[(protocol, rtt, placement)].response_ms)
+                for rtt in self.rtts]
+
+    def table(self, placement: str, precision: int = 0) -> str:
+        """Text table: rows are RTTs; resp/xdc-rt per protocol."""
+        width = max(18, max(len(p) for p in self.protocols) + 11)
+        header = f"{'rtt':>8} " + "".join(
+            f"{p + ' (resp/xdc-rt)':>{width}}" for p in self.protocols)
+        lines = [f"-- placement: {placement} --", header,
+                 "-" * len(header)]
+        for rtt in self.rtts:
+            row = f"{rtt:>6.0f}ms "
+            for protocol in self.protocols:
+                point = self.points[(protocol, rtt, placement)]
+                cell = (f"{point.response_ms:.{precision}f}ms"
+                        f"/{point.cross_dc_round_trips_per_commit:.1f}")
+                row += f"{cell:>{width}}"
+            lines.append(row)
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        lines = ["== wan: commit latency vs cross-DC round-trip time =="]
+        for placement in self.placements:
+            lines.append(self.table(placement))
+        top_rtt = self.rtts[-1]
+        for placement in self.placements:
+            ranked = sorted(
+                self.protocols,
+                key=lambda p: self.points[(p, top_rtt,
+                                           placement)].response_ms)
+            lines.append(
+                f"at rtt={top_rtt:.0f}ms, {placement}: fastest commit "
+                + " < ".join(ranked))
+        return "\n".join(lines)
+
+
+class WanSweep:
+    """Runs a protocol x RTT x placement grid over a multi-DC topology.
+
+    Every grid point shares ``seed``: workload shape comes from the same
+    substreams everywhere, so protocols face common random numbers and
+    latency differences isolate the commit path.  The topology is
+    ``num_dcs`` datacenters of ``num_sites / num_dcs`` sites each
+    (``dcs:DxS:rtt_ms=<rtt>``), closed mode at the given ``mpl``.
+    """
+
+    def __init__(self, protocols: typing.Sequence[str],
+                 rtts_ms: typing.Sequence[float] = DEFAULT_RTTS,
+                 placements: typing.Sequence[str] = DEFAULT_PLACEMENTS,
+                 num_dcs: int = 2,
+                 mpl: int = 2,
+                 params: ModelParams | None = None,
+                 measured_transactions: int = 300,
+                 seed: int = 20250705) -> None:
+        if not rtts_ms:
+            raise ValueError("rtts_ms must be non-empty")
+        for placement in placements:
+            if placement not in ("spread", "local"):
+                raise ValueError(
+                    f"unknown placement {placement!r}; expected "
+                    f"'spread' or 'local'")
+        self.protocols = tuple(protocols)
+        self.rtts = tuple(float(rtt) for rtt in rtts_ms)
+        self.placements = tuple(placements)
+        self.num_dcs = num_dcs
+        self.mpl = mpl
+        self.base_params = params if params is not None else ModelParams()
+        if self.base_params.num_sites % num_dcs:
+            raise ValueError(
+                f"num_sites={self.base_params.num_sites} does not split "
+                f"into {num_dcs} equal datacenters")
+        self.measured_transactions = measured_transactions
+        self.seed = seed
+
+    def topology_for(self, rtt_ms: float) -> NetworkTopology:
+        return NetworkTopology(
+            kind=TopologyKind.DCS,
+            num_dcs=self.num_dcs,
+            sites_per_dc=self.base_params.num_sites // self.num_dcs,
+            rtt_ms=rtt_ms)
+
+    def point_params(self, rtt_ms: float, placement: str) -> ModelParams:
+        return self.base_params.replace(
+            mpl=self.mpl,
+            network_topology=self.topology_for(rtt_ms),
+            prefer_local_cohorts=(placement == "local"))
+
+    def run_point(self, protocol: str, rtt_ms: float,
+                  placement: str) -> WanPoint:
+        captured: list[repro.DistributedSystem] = []
+        result = repro.simulate(
+            protocol, params=self.point_params(rtt_ms, placement),
+            measured_transactions=self.measured_transactions,
+            seed=self.seed, on_system=captured.append)
+        system = captured[0]
+        return WanPoint(
+            protocol, rtt_ms, placement, result,
+            cross_dc_messages=system.network.cross_dc_messages,
+            intra_dc_messages=system.network.intra_dc_messages,
+            cross_dc_round_trips_per_commit=(
+                system.metrics.cross_dc_round_trips_per_commit()))
+
+    def run(self, progress: typing.Callable[[str], None] | None = None,
+            ) -> WanResults:
+        points: dict[tuple[str, float, str], WanPoint] = {}
+        for placement in self.placements:
+            for protocol in self.protocols:
+                for rtt in self.rtts:
+                    if progress is not None:
+                        progress(f"wan: {protocol} @ rtt={rtt:.0f}ms "
+                                 f"({placement})")
+                    points[(protocol, rtt, placement)] = self.run_point(
+                        protocol, rtt, placement)
+        return WanResults(points, self.protocols, self.rtts,
+                          self.placements)

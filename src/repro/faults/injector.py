@@ -96,10 +96,16 @@ class FaultInjector:
         return site.up
 
     def lose_message(self, message: "Message") -> bool:
+        """Injected loss; drawn *after* the topology's own wire loss, so
+        the two stack (either drops the message)."""
         return self.plan.lose_message(message.kind.value)
 
     def delay_message(self, message: "Message") -> float:
-        """Extra wire delay (ms) for one remote message; 0 = none."""
+        """Extra wire delay (ms) for one remote message; 0 = none.
+
+        Added on top of whatever the active network topology already
+        charged for the link (the cost model prices the healthy wire,
+        the injector the unhealthy one)."""
         return self.plan.message_delay(message.kind.value)
 
     def wait_until_up(self, site: "Site"):

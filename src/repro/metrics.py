@@ -79,6 +79,9 @@ class MetricsCollector:
         self.exec_messages = WelfordAccumulator()
         self.commit_messages = WelfordAccumulator()
         self.forced_writes = WelfordAccumulator()
+        #: messages that crossed datacenters, per committed transaction
+        #: (all zero unless a multi-DC network topology is active).
+        self.cross_dc_messages = WelfordAccumulator()
         self.borrowed_pages_total = 0
         self.shelf_entries = 0
         self.forced_by_kind: dict[LogRecordKind, int] = {}
@@ -153,6 +156,7 @@ class MetricsCollector:
                 self.straddlers_dropped += 1
         self.exec_messages.add(txn.messages_execution)
         self.commit_messages.add(txn.messages_commit)
+        self.cross_dc_messages.add(txn.messages_cross_dc)
         self.forced_writes.add(txn.forced_writes)
         self._fire_watchers()
 
@@ -228,6 +232,7 @@ class MetricsCollector:
         self.exec_messages = WelfordAccumulator()
         self.commit_messages = WelfordAccumulator()
         self.forced_writes = WelfordAccumulator()
+        self.cross_dc_messages = WelfordAccumulator()
         self.borrowed_pages_total = 0
         self.shelf_entries = 0
         self.forced_by_kind = {}
@@ -248,6 +253,7 @@ class MetricsCollector:
         "committed", "aborted", "aborts_by_reason",
         "response_times", "response_batches",
         "exec_messages", "commit_messages", "forced_writes",
+        "cross_dc_messages",
         "borrowed_pages_total", "shelf_entries", "forced_by_kind",
         "blocked_txns", "offered", "shed",
         "queue_waits", "queue_wait_sample", "response_sample",
@@ -328,6 +334,16 @@ class MetricsCollector:
         if self.elapsed_ms <= 0:
             return 0.0
         return self.offered / (self.elapsed_ms / 1000.0)
+
+    def cross_dc_round_trips_per_commit(self) -> float:
+        """Mean cross-datacenter round trips per committed transaction.
+
+        Each round trip is two cross-DC messages (request out, reply
+        back); under a WAN topology this is the quantity that multiplies
+        the cross-DC RTT into commit latency.  0 without a multi-DC
+        topology.
+        """
+        return self.cross_dc_messages.mean / 2.0
 
 
 @dataclasses.dataclass

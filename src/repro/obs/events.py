@@ -217,12 +217,26 @@ class MessageSend(SimEvent):
     message: "Message"
     #: same-site messages are free and delivered synchronously.
     local: bool
+    #: (sender site, receiver site); None before the topology layer
+    #: resolved it (local sends use the shared site id twice).
+    link: tuple[int, int] | None = None
+    #: wire latency charged to this message by the active cost model
+    #: (0 on the paper's zero-latency switch; excludes fault delays).
+    delay_ms: float = 0.0
+    #: True when the link crosses datacenters under the active topology.
+    cross_dc: bool = False
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class MessageDeliver(SimEvent):
     kind = EventKind.MSG_DELIVER
     message: "Message"
+    #: (sender site, receiver site); see :class:`MessageSend`.
+    link: tuple[int, int] | None = None
+    #: total wire latency this message actually paid (topology + faults).
+    delay_ms: float = 0.0
+    #: True when the link crosses datacenters under the active topology.
+    cross_dc: bool = False
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -232,7 +246,8 @@ class MsgDrop(SimEvent):
 
     kind = EventKind.MSG_DROP
     message: "Message"
-    #: ``"loss"`` (stochastic) or ``"site_down"``.
+    #: ``"loss"`` (fault-injected), ``"topology_loss"`` (lossy WAN
+    #: link), or ``"site_down"``.
     reason: str
 
 

@@ -34,6 +34,7 @@ class FakeTransaction:
         self.blocked_cohorts = 0
         self.messages_execution = 0
         self.messages_commit = 0
+        self.messages_cross_dc = 0
         self.forced_writes = 0
 
     @property

@@ -134,6 +134,105 @@ class TestTables:
         assert "NO" not in text  # adaptive mode keeps the analytic match
 
 
+class TestTopologyFlags:
+    def test_simulate_with_topology_reports_dc_traffic(self):
+        code, text = run_cli("simulate", "2PC", "--mpl", "1",
+                             "--transactions", "60",
+                             "--topology", "dcs:2x4:rtt_ms=40")
+        assert code == 0
+        assert "topology: 2 DCs x 4 sites" in text
+        assert "cross-DC msgs=" in text
+        assert "cross-DC round trips/commit=" in text
+
+    def test_uniform_topology_prints_no_wan_noise(self):
+        code, text = run_cli("simulate", "2PC", "--mpl", "1",
+                             "--transactions", "60",
+                             "--topology", "uniform")
+        assert code == 0
+        assert "topology: uniform" in text
+
+    @pytest.mark.parametrize("bad", [
+        "bogus", "dcs:2x2", "dcs:2x2:rtt_ms=-1", "matrix:0,20;20",
+    ])
+    def test_malformed_topology_rejected_at_the_parser(self, bad):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "2PC", "--topology", bad])
+
+    def test_topology_parse_error_lists_accepted_forms(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "2PC", "--topology", "bogus"])
+        err = capsys.readouterr().err
+        assert "uniform" in err
+        assert "dcs:" in err
+        assert "matrix:" in err
+
+    def test_site_count_mismatch_is_a_cli_error(self):
+        # dcs:2x2 places 4 sites; the model defaults to 8.
+        code, text = run_cli("simulate", "2PC", "--transactions", "10",
+                             "--topology", "dcs:2x2:rtt_ms=40")
+        assert code == 2
+        assert text.startswith("error:")
+        assert "num_sites=8" in text
+
+    def test_local_cohorts_without_topology_is_a_cli_error(self):
+        code, text = run_cli("simulate", "2PC", "--transactions", "10",
+                             "--local-cohorts")
+        assert code == 2
+        assert text.startswith("error:")
+        assert "prefer_local_cohorts" in text
+
+    def test_saturation_accepts_topology(self):
+        code, text = run_cli("saturation", "--protocols", "2PC",
+                             "--rates", "4", "--transactions", "40",
+                             "--topology", "dcs:2x4:rtt_ms=5", "--quiet")
+        assert code == 0
+        assert "saturation" in text
+
+    def test_saturation_topology_mismatch_is_a_cli_error(self):
+        code, text = run_cli("saturation", "--protocols", "2PC",
+                             "--rates", "4", "--transactions", "40",
+                             "--topology", "dcs:3x2:rtt_ms=5", "--quiet")
+        assert code == 2
+        assert text.startswith("error:")
+
+
+class TestWan:
+    def test_wan_smoke(self):
+        code, text = run_cli("wan", "--protocols", "2PC,PC",
+                             "--rtts", "0,40", "--placements", "spread",
+                             "--transactions", "40", "--quiet")
+        assert code == 0
+        assert "wan: commit latency" in text
+        assert "placement: spread" in text
+        assert "fastest commit" in text
+
+    def test_wan_progress_lines(self):
+        code, text = run_cli("wan", "--protocols", "2PC",
+                             "--rtts", "0", "--placements", "local",
+                             "--transactions", "30")
+        assert code == 0
+        assert "wan: 2PC @ rtt=0ms (local)" in text
+
+    def test_wan_bad_rtts_is_a_cli_error(self):
+        code, text = run_cli("wan", "--rtts", "abc",
+                             "--transactions", "10")
+        assert code == 2
+        assert text.startswith("error:")
+
+    def test_wan_bad_placement_is_a_cli_error(self):
+        code, text = run_cli("wan", "--placements", "nearby",
+                             "--transactions", "10")
+        assert code == 2
+        assert text.startswith("error:")
+
+    def test_wan_uneven_dcs_is_a_cli_error(self):
+        code, text = run_cli("wan", "--dcs", "3", "--transactions", "10")
+        assert code == 2
+        assert text.startswith("error:")
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
