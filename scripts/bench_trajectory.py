@@ -66,6 +66,13 @@ SMOKE_CEIL_COST_MODEL_OVERHEAD = 1.02
 #: processes on the same kernel; it must clear the same
 #: order-of-magnitude floor as the LAN end-to-end run.
 SMOKE_FLOOR_WAN_TXNS_PER_SEC = 100.0
+#: An *inactive* region fault plan (all directives scheduled far past
+#: the end of the run) adds one ``link_severed`` set probe per remote
+#: send against the armed-injector baseline -- no RNG draws, no bus
+#: events, byte-identical trajectories (asserted below).  Same
+#: median-of-adjacent-pairs discipline as the cost-model gate, so the
+#: ceiling is equally tight.
+SMOKE_CEIL_PARTITION_OVERHEAD = 1.02
 #: Warm-pool chunked sweeps must actually scale: jobs=4 below 1.5x of
 #: serial means pool/IPC overhead regressed (BENCH_5 recorded 0.74x on
 #: the old cold-pool path).  Only meaningful with cores to use, so the
@@ -351,6 +358,59 @@ def bench_cost_model_overhead(transactions: int, repeats: int) -> dict:
             "overhead_ratio": median}
 
 
+def bench_partition_overhead(transactions: int, repeats: int) -> dict:
+    """Cost of the partition plane when no partition is active.
+
+    Runs the identical seeded workload on a 2x2-DC topology with an
+    armed injector (a crash scheduled far past the end of the run) and
+    with the same injector plus a far-future region fault plan.  The
+    plan adds the ``link_severed`` probe to every remote send; with no
+    cut active it must leave the simulation byte-identical (asserted)
+    and essentially free (the smoke gate pins the wall-clock ratio).
+    Same median-of-adjacent-pairs discipline as
+    ``bench_cost_model_overhead``.
+    """
+    import dataclasses
+
+    import repro
+    from repro.faults import CrashEvent, FaultConfig, RegionPlan
+
+    topology = repro.NetworkTopology.parse("dcs:2x2:rtt_ms=0")
+    # Both variants arm the injector identically; only the region plan
+    # differs, so the ratio isolates the partition plane itself.
+    armed = FaultConfig(crash_schedule=(CrashEvent(0, 1e9, 1.0),))
+    planned = dataclasses.replace(
+        armed, region=RegionPlan.parse("partition:0|1:at=1e9:for=1"))
+
+    def run(faults):
+        return repro.simulate("2PC", measured_transactions=transactions,
+                              mpl=2, warmup_transactions=0, seed=1,
+                              num_sites=4, network_topology=topology,
+                              faults=faults)
+
+    assert (json.dumps(dataclasses.asdict(run(armed)))
+            == json.dumps(dataclasses.asdict(run(planned)))), \
+        "inactive region plan perturbed the trajectory"
+    armed_wall = planned_wall = float("inf")
+    ratios = []
+    for _ in range(max(repeats, 5)):
+        start = time.perf_counter()
+        run(armed)
+        plain = time.perf_counter() - start
+        start = time.perf_counter()
+        run(planned)
+        with_plan = time.perf_counter() - start
+        armed_wall = min(armed_wall, plain)
+        planned_wall = min(planned_wall, with_plan)
+        ratios.append(with_plan / plain)
+    ratios.sort()
+    median = ratios[len(ratios) // 2] if len(ratios) % 2 else \
+        (ratios[len(ratios) // 2 - 1] + ratios[len(ratios) // 2]) / 2
+    return {"wall_s": planned_wall, "plain_wall_s": armed_wall,
+            "txns": transactions,
+            "overhead_ratio": median}
+
+
 def bench_wan_point(transactions: int, repeats: int) -> dict:
     """One WAN grid point: 2PC across 2 datacenters at 40 ms RTT.
 
@@ -516,6 +576,8 @@ def main(argv=None) -> int:
         "fault_overhead": bench_fault_overhead(sizes["transactions"], 15),
         "cost_model_overhead": bench_cost_model_overhead(
             sizes["transactions"], 15),
+        "partition_overhead": bench_partition_overhead(
+            sizes["transactions"], 15),
         "wan_point": bench_wan_point(sizes["transactions"],
                                      sizes["repeats"]),
     }
@@ -591,6 +653,12 @@ def main(argv=None) -> int:
                 f"LanSwitch cost-model indirection above ceiling: "
                 f"{kernel['cost_model_overhead']['overhead_ratio']:.3f}x "
                 f"> {SMOKE_CEIL_COST_MODEL_OVERHEAD}x plain")
+        if kernel["partition_overhead"]["overhead_ratio"] > \
+                SMOKE_CEIL_PARTITION_OVERHEAD:
+            failures.append(
+                f"inactive partition plane above ceiling: "
+                f"{kernel['partition_overhead']['overhead_ratio']:.3f}x "
+                f"> {SMOKE_CEIL_PARTITION_OVERHEAD}x armed baseline")
         if kernel["wan_point"]["txns_per_sec"] < \
                 SMOKE_FLOOR_WAN_TXNS_PER_SEC:
             failures.append(

@@ -14,6 +14,13 @@ python -m pytest -x -q -m "not tier2"
 echo "== fault smoke: injection subsystem lane =="
 python -m pytest -q -m faults
 
+# One cheap region-outage point end-to-end through the CLI: a DC crash
+# on a 2x2-DC grid must finish (no hangs in recovery/termination) and
+# exit 0 with both protocols committing every transaction.
+echo "== region-outage smoke (correlated-failure plane) =="
+python -m repro.cli region-outage --protocols 2PC,3PC \
+    --outages dc_crash --durations 1500 --transactions 40 --quiet
+
 if [ "${CI_SKIP_TIER2:-0}" != "1" ]; then
     echo "== tier-2: slow sweep / parallel determinism tests =="
     python -m pytest -q -m tier2
@@ -27,7 +34,9 @@ python scripts/soak_resume_check.py
 
 # Perf floors: kernel micros, end-to-end txn rate, idle-bus/fault
 # overhead ceilings, the LanSwitch cost-model indirection ceiling
-# (uniform topology <= 1.02x of the no-topology hot path) plus the
+# (uniform topology <= 1.02x of the no-topology hot path), the
+# inactive-partition-plane ceiling (far-future region plan <= 1.02x
+# of the armed-injector baseline) plus the
 # WAN-point floor, the flat-RSS soak-memory ceiling, and the
 # warm-pool sweep-scaling floor (speedup_vs_serial["4"] >= 1.5 --
 # auto-skipped on < 4-core runners).

@@ -159,7 +159,7 @@ COMMENTARY: dict[str, tuple[str, str, str]] = {
         "smaller database."),
     "EXT": (
         "Extensions — beyond the paper's experiments",
-        "Seven of the paper's qualitative arguments, made measurable: "
+        "Eight of the paper's qualitative arguments, made measurable: "
         "blocking halts processing on master failure (Sec 2.4); peak "
         "throughput can be *maintained* with Half-and-Half admission "
         "control (Sec 5); the Section 2.5 protocol family's "
@@ -171,7 +171,10 @@ COMMENTARY: dict[str, tuple[str, str, str]] = {
         "stream that open system for millions of transactions at flat "
         "memory; and the paper's zero-latency LAN switch is exactly "
         "the assumption a multi-datacenter deployment breaks, so "
-        "re-price every message over a real topology.",
+        "re-price every message over a real topology; and real "
+        "failures correlate — a power event takes a whole datacenter, "
+        "a cut fiber partitions two — which is exactly the regime the "
+        "non-blocking argument was made for, so inject that too.",
         "(1) `repro.failures`: with a 15 s master outage, 2PC/PA/PC "
         "cohorts hold their update locks for the entire outage and "
         "system throughput collapses an order of magnitude, while "
@@ -250,6 +253,32 @@ COMMENTARY: dict[str, tuple[str, str, str]] = {
         "the link delay), `uniform` trajectories stay byte-identical "
         "to the golden fixture, and the cost-model indirection is "
         "gated at ≤2% (`tests/db/test_topology.py`, "
+        "`scripts/bench_trajectory.py --smoke`).  "
+        "(8) `repro.faults` region plans + "
+        "`repro.experiments.region_outage` (`repro-commit "
+        "region-outage`, `--fault-plan` on simulate): a parseable "
+        "correlated-failure plan — `dc_crash:<dc>:at=…:for=…` crashes "
+        "every site of a datacenter atomically, "
+        "`partition:<dcA>|<dcB>:…` severs the link group between two "
+        "(messages crossing the cut drop with reason `partition`; the "
+        "sites stay up), with stochastic mttf/mttr variants on "
+        "dedicated RNG streams.  In-doubt 2PC/PA/PC cohorts on the "
+        "wrong side of a cut stay blocked holding locks until heal; "
+        "3PC's termination protocol decides only with a majority of "
+        "the cohort set reachable (no split brain) and commits an "
+        "uncertain cohort on peer evidence of the precommit; the "
+        "resolver backs off exponentially while the path is cut.  The "
+        "sweep grids protocol × outage shape × duration over a dcs "
+        "topology and reports blocked-lock time, carried throughput "
+        "during the outage, recovery time, and the drop split — under "
+        "a 4 s coordinator-side DC loss on dcs:3x2, 2PC holds locks "
+        "blocked ~4.9 s vs 3PC's ~3.0 s (seed 7): the termination "
+        "protocol is what non-blocking buys.  Every registered "
+        "protocol completes both outage shapes on dcs:2x2 and dcs:3x2 "
+        "with no hangs, an inert plan is byte-identical to the armed "
+        "baseline, and the inactive plane stays within the ≤1.02x "
+        "`partition_overhead` smoke ceiling "
+        "(`tests/test_region_faults.py`, "
         "`scripts/bench_trajectory.py --smoke`)."),
 }
 

@@ -11,6 +11,10 @@ Examples::
     repro-commit saturation --rates 0.5,1,1.5,2 --skew zipf:0.8
     repro-commit soak --transactions 1000000 --out soak.jsonl
     repro-commit soak --resume --out soak.jsonl
+    repro-commit simulate 2PC --topology dcs:2x2:rtt_ms=5 \\
+        --fault-plan dc_crash:0:at=1000:for=3000
+    repro-commit region-outage --protocols 2PC,3PC --topology \\
+        dcs:3x2:rtt_ms=5
 """
 
 from __future__ import annotations
@@ -83,6 +87,14 @@ def _parse_topology(text: str):
     from repro.db.topology import NetworkTopology
     try:
         return NetworkTopology.parse(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
+
+
+def _parse_fault_plan(text: str):
+    from repro.faults import RegionPlan
+    try:
+        return RegionPlan.parse(text)
     except ValueError as error:
         raise argparse.ArgumentTypeError(str(error))
 
@@ -353,9 +365,43 @@ def build_parser() -> argparse.ArgumentParser:
     avail.add_argument("--transactions", type=int, default=300,
                        help="measured transactions per point")
     avail.add_argument("--seed", type=int, default=20250705)
+    avail.add_argument("--jobs", type=_parse_jobs, default=1, metavar="N",
+                       help="worker processes for the sweep grid, reused "
+                            "from a warm shared pool (0 = all CPU cores; "
+                            "default 1, in-process)")
     avail.add_argument("--quiet", action="store_true",
                        help="suppress per-point progress output")
     _add_topology_args(avail)
+
+    region = sub.add_parser(
+        "region-outage",
+        help="blocked locks and carried load under DC outages and "
+             "WAN partitions")
+    region.add_argument("--protocols", default="2PC,PA,PC,3PC,OPT",
+                        help="comma-separated protocol names "
+                             "(default 2PC,PA,PC,3PC,OPT; 'all' = every "
+                             "registered protocol)")
+    region.add_argument("--outages", default="dc_crash,partition",
+                        help="comma-separated outage shapes: 'dc_crash' "
+                             "(datacenter 0 down atomically) and/or "
+                             "'partition' (links between DCs 0 and 1 "
+                             "severed); default both")
+    region.add_argument("--durations", default="2000,4000",
+                        help="comma-separated outage durations in ms "
+                             "(default 2000,4000)")
+    region.add_argument("--topology", type=_parse_topology,
+                        default=None, metavar="SPEC",
+                        help="multi-DC topology the outage hits "
+                             "(default dcs:2x2:rtt_ms=5); num_sites is "
+                             "derived from it")
+    region.add_argument("--at-ms", type=float, default=1000.0,
+                        help="outage onset time in ms (default 1000)")
+    region.add_argument("--mpl", type=int, default=2)
+    region.add_argument("--transactions", type=int, default=40,
+                        help="measured transactions per point")
+    region.add_argument("--seed", type=int, default=7)
+    region.add_argument("--quiet", action="store_true",
+                        help="suppress per-point progress output")
     return parser
 
 
@@ -375,6 +421,14 @@ def _add_fault_args(sim: argparse.ArgumentParser) -> None:
                      help="mean extra wire delay per remote message in ms "
                           "(with --faults; 0 = the paper's zero-latency "
                           "switch)")
+    sim.add_argument("--fault-plan", type=_parse_fault_plan, default=None,
+                     metavar="SPEC",
+                     help="correlated-failure plan, comma-separated "
+                          "directives: 'dc_crash:<dc>:at=<ms>:for=<ms>', "
+                          "'partition:<dcA>|<dcB>:at=<ms>:for=<ms>', or "
+                          "stochastic variants with mttf=<ms>:mttr=<ms>; "
+                          "needs a multi-DC --topology; arms the "
+                          "injector on its own (no --faults needed)")
 
 
 def cmd_list(out: typing.TextIO) -> int:
@@ -462,11 +516,17 @@ def cmd_simulate(args: argparse.Namespace, out: typing.TextIO) -> int:
 
     faults = None
     captured = []
-    if args.faults:
+    if args.faults or args.fault_plan is not None:
         from repro.faults import FaultConfig
-        faults = FaultConfig(mttf_ms=args.mttf_ms, mttr_ms=args.mttr_ms,
-                             msg_loss_prob=args.msg_loss,
-                             msg_delay_ms=args.msg_delay_ms)
+        # A bare --fault-plan arms only the region directives: the
+        # stochastic per-site knobs stay zeroed unless --faults asks
+        # for them too.
+        faults = FaultConfig(
+            mttf_ms=args.mttf_ms if args.faults else 0.0,
+            mttr_ms=args.mttr_ms,
+            msg_loss_prob=args.msg_loss if args.faults else 0.0,
+            msg_delay_ms=args.msg_delay_ms if args.faults else 0.0,
+            region=args.fault_plan)
 
     def on_system(system):
         captured.append(system)
@@ -526,6 +586,15 @@ def cmd_simulate(args: argparse.Namespace, out: typing.TextIO) -> int:
                   f"{injector.recoveries} recoveries, "
                   f"{injector.messages_dropped} messages dropped, "
                   f"{injector.in_doubt_resolved} in-doubt resolved\n")
+        if args.fault_plan is not None:
+            split = captured[0].network.drops_by_reason
+            rendered = ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(split.items())) or "none"
+            out.write(f"region faults: {injector.dc_crashes} DC crashes, "
+                      f"{injector.link_partitions} link partitions, "
+                      f"{injector.blocked_lock_ms:.0f}ms blocked lock "
+                      f"time; drops by reason: {rendered}\n")
     if phases is not None:
         out.write("per-phase commit latency (ms, committed txns):\n")
         out.write(phases.report() + "\n")
@@ -598,6 +667,41 @@ def cmd_availability(args: argparse.Namespace, out: typing.TextIO) -> int:
                                   mttr_ms=args.mttr_ms,
                                   msg_loss_prob=args.msg_loss, mpl=args.mpl,
                                   params=params,
+                                  measured_transactions=args.transactions,
+                                  seed=args.seed)
+        results = sweep.run(progress=progress, jobs=resolve_jobs(args.jobs))
+    except ValueError as error:
+        out.write(f"error: {error}\n")
+        return 2
+    out.write(results.summary() + "\n")
+    out.write(f"(completed in {time.time() - started:.1f}s wall time)\n")
+    return 0
+
+
+def cmd_region_outage(args: argparse.Namespace, out: typing.TextIO) -> int:
+    from repro.experiments.region_outage import RegionOutageSweep
+    if args.protocols.strip().lower() == "all":
+        protocols: typing.Sequence[str] = repro.PROTOCOL_NAMES
+    else:
+        protocols = tuple(p.strip() for p in args.protocols.split(","))
+    outages = tuple(o.strip() for o in args.outages.split(","))
+    try:
+        durations = tuple(float(part)
+                          for part in args.durations.split(","))
+    except ValueError:
+        out.write(f"error: --durations wants comma-separated numbers, "
+                  f"got {args.durations!r}\n")
+        return 2
+    progress = None if args.quiet else (
+        lambda text: out.write(f"  ... {text}\n"))
+    started = time.time()
+    try:
+        topology = (args.topology if args.topology is not None
+                    else "dcs:2x2:rtt_ms=5")
+        sweep = RegionOutageSweep(protocols, outages=outages,
+                                  durations_ms=durations,
+                                  topology=topology, mpl=args.mpl,
+                                  at_ms=args.at_ms,
                                   measured_transactions=args.transactions,
                                   seed=args.seed)
         results = sweep.run(progress=progress)
@@ -679,6 +783,8 @@ def main(argv: typing.Sequence[str] | None = None,
         return cmd_simulate(args, out)
     if args.command == "availability":
         return cmd_availability(args, out)
+    if args.command == "region-outage":
+        return cmd_region_outage(args, out)
     if args.command == "saturation":
         return cmd_saturation(args, out)
     if args.command == "wan":

@@ -278,18 +278,36 @@ class CommitProtocol(abc.ABC):
         """
         assert self.system is not None
         system = self.system
+        if system.faults is not None and cohort.in_doubt_since is None:
+            # Timed-out (not crashed) cohorts enter the in-doubt state
+            # here; crash victims were stamped by register_in_doubt().
+            cohort.in_doubt_since = system.env.now
         outcome_rule = yield from self.terminate_without_coordinator(cohort)
         if outcome_rule is None:
             ft = system.fault_timeouts
-            retry = ft.resolve_retry_ms if ft is not None else 500.0
+            base_retry = ft.resolve_retry_ms if ft is not None else 500.0
+            retry = base_retry
+            network = system.network
             target = self.inquiry_site(cohort)
             while True:
-                if target.up:
-                    yield from system.network.inquiry_round_trip(cohort,
-                                                                 target)
-                    outcome_rule = self.attempt_resolution(cohort, target)
-                    if outcome_rule is not None:
-                        break
+                path_open = network.path_open(cohort.site, target)
+                if target.up and path_open:
+                    ok = yield from network.inquiry_round_trip(cohort,
+                                                               target)
+                    if ok:
+                        retry = base_retry
+                        outcome_rule = self.attempt_resolution(cohort,
+                                                               target)
+                        if outcome_rule is not None:
+                            break
+                elif not path_open:
+                    # The decider is across a severed link: back off
+                    # (capped exponential) instead of paying a failed
+                    # retry every resolve_retry_ms for the whole
+                    # partition.  A merely-crashed target keeps the
+                    # plain resolve_retry_ms poll (site repairs are
+                    # fast; partitions can last much longer).
+                    retry = min(retry * 2.0, base_retry * 8.0)
                 yield system.env.timeout(retry)
         outcome, rule = outcome_rule
         if outcome == "commit":
@@ -299,7 +317,7 @@ class CommitProtocol(abc.ABC):
             yield from cohort.force_log(LogRecordKind.ABORT)
             cohort.implement_abort()
         if system.faults is not None:
-            system.faults.in_doubt_resolved += 1
+            system.faults.note_resolved(cohort)
         bus = system.bus
         if bus.has_subscribers(EventKind.TXN_RESOLVED_IN_DOUBT):
             bus.publish(TxnResolvedInDoubt(system.env.now, cohort, outcome,
@@ -353,14 +371,24 @@ class CommitProtocol(abc.ABC):
         yield  # pragma: no cover - makes this a generator
 
     def termination_round(self, cohort: CohortAgent,
-                          ) -> typing.Generator[Event, typing.Any, None]:
-        """Pay for one round of state exchange with every peer cohort."""
+                          ) -> typing.Generator[Event, typing.Any, int]:
+        """Pay for one round of state exchange with every peer cohort.
+
+        Returns how many peers were actually reached (site up, and the
+        round trip crossed no severed link) -- 3PC's termination
+        protocol uses the count to commit only with a majority in hand
+        while a partition is live.
+        """
         assert self.system is not None
+        network = self.system.network
+        reached = 0
         for peer in cohort.txn.cohorts:
             if peer is cohort:
                 continue
-            yield from self.system.network.inquiry_round_trip(cohort,
-                                                              peer.site)
+            ok = yield from network.inquiry_round_trip(cohort, peer.site)
+            if ok and peer.site.up:
+                reached += 1
+        return reached
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"

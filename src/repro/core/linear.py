@@ -103,8 +103,15 @@ class LinearTwoPhaseCommit(CommitProtocol):
         tail = master.cohorts[-1]
         target = tail.site
         while True:
-            if target.up:
-                yield from system.network.inquiry_round_trip(master, target)
+            reachable = (target.up
+                         and system.network.path_open(master.site, target))
+            if reachable:
+                ok = yield from system.network.inquiry_round_trip(master,
+                                                                  target)
+                if not ok:
+                    # Partition started mid-exchange; retry after heal.
+                    yield system.env.timeout(retry)
+                    continue
                 kinds = target.log_manager.txn_kinds(
                     master.txn.txn_id, master.txn.incarnation)
                 if LogRecordKind.COMMIT in kinds:

@@ -96,11 +96,60 @@ class ThreePhaseCommit(TwoPhaseCommit):
 
         Sound here because the master forces its precommit record before
         sending any PRECOMMIT message, and never aborts after that: a
-        precommitted cohort implies commit is inevitable."""
+        precommitted cohort implies commit is inevitable.
+
+        A *prepared* (uncertain) cohort can also terminate when the
+        round surfaces a peer that reached PRECOMMITTED (or logged a
+        precommit/commit record): that peer's state proves the master
+        forced its precommit record, after which commit is inevitable.
+        With no such evidence the uncertain cohort must block -- the
+        master may have precommitted without any PRECOMMIT message
+        getting out, so unilaterally aborting is unsound here (classic
+        3PC solves this with coordinator election and recovery
+        obeying the elected decision; this model keeps the conservative
+        rule and consults the coordinator's WAL instead).
+
+        Under a *live partition* the non-blocking guarantee narrows to
+        the majority side: a participant that cannot reach a majority of
+        the cohort set must not decide (both sides deciding
+        independently is how split brain happens), so it returns None,
+        stays blocked holding its locks, and resolves against the
+        coordinator's WAL after heal.  Site crashes alone (no severed
+        links) keep the classic termination -- that is the regime
+        Skeen's protocol was designed for."""
+        if cohort.state not in (CohortState.PRECOMMITTED,
+                                CohortState.PREPARED):
+            return None
+        reached = yield from self.termination_round(cohort)
+        assert self.system is not None
+        faults = self.system.faults
+        if faults is not None and faults.partitions_active:
+            total = len(cohort.txn.cohorts)
+            if 2 * (reached + 1) <= total:
+                return None  # minority side: block until heal
         if cohort.state is CohortState.PRECOMMITTED:
-            yield from self.termination_round(cohort)
+            return ("commit", "termination-protocol")
+        if self._peer_commit_evidence(cohort):
             return ("commit", "termination-protocol")
         return None
+
+    def _peer_commit_evidence(self, cohort: CohortAgent) -> bool:
+        """Whether a reachable peer proves the precommit phase started."""
+        assert self.system is not None
+        network = self.system.network
+        for peer in cohort.txn.cohorts:
+            if peer is cohort or not peer.site.up:
+                continue
+            if not network.path_open(cohort.site, peer.site):
+                continue
+            if peer.state is CohortState.PRECOMMITTED:
+                return True
+            kinds = peer.site.log_manager.txn_kinds(
+                cohort.txn.txn_id, cohort.txn.incarnation)
+            if LogRecordKind.PRECOMMIT in kinds \
+                    or LogRecordKind.COMMIT in kinds:
+                return True
+        return False
 
     def presumed_outcome(self, cohort: CohortAgent, kinds):
         """A prepared (not precommitted) cohort consults the coordinator

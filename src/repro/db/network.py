@@ -64,6 +64,9 @@ class Network:
         self.messages_sent = 0
         self.local_messages = 0
         self.messages_dropped = 0
+        #: drop counts keyed by :class:`repro.obs.events.MsgDrop` reason
+        #: (``loss`` / ``topology_loss`` / ``site_down`` / ``partition``).
+        self.drops_by_reason: dict[str, int] = {}
         #: remote messages whose link crossed datacenters (topology runs
         #: with a site->DC placement only; otherwise both stay 0).
         self.cross_dc_messages = 0
@@ -112,18 +115,25 @@ class Network:
                                     cross_dc=cross_dc))
         self._count_for_transaction(message)
         yield from sender_site.message_cpu(self.msg_cpu_ms)
+        faults = self.faults
+        if faults is not None and faults.link_severed(src, dst):
+            # The link group between the two datacenters is severed:
+            # the message dies on the cut after the sender paid its
+            # MsgCPU (there is no wire to lose it on).
+            self._drop(message, "partition")
+            return
         if cost is not None and cost.lose(src, dst):
             # Lost on the (healthy) wire: the sender already paid its
             # MsgCPU; nobody pays the receive cost.
             self._drop(message, "topology_loss")
             return
-        if self.faults is not None:
+        if faults is not None:
             # Fault plane stacks on the wire: injected loss/delay apply
             # in addition to whatever the topology charged.
-            if self.faults.lose_message(message):
+            if faults.lose_message(message):
                 self._drop(message, "loss")
                 return
-            delay += self.faults.delay_message(message)
+            delay += faults.delay_message(message)
         # Receive side: an independent process so the sender is not
         # blocked while the receiver's CPU works through its queue.
         self.env.process(self._deliver(message, delay, cross_dc),
@@ -143,6 +153,11 @@ class Network:
             # delay elapsed, so a mid-flight crash still eats it.
             self._drop(message, "site_down")
             return
+        if faults is not None and faults.link_severed(*message.link):
+            # The partition started while the message was in flight:
+            # it never makes it across the cut.
+            self._drop(message, "partition")
+            return
         yield from message.receiver.site.message_cpu(self.msg_cpu_ms)
         if faults is not None and not message.receiver.site.up:
             # Site crashed while the receive CPU was being served; the
@@ -158,13 +173,26 @@ class Network:
 
     def _drop(self, message: "Message", reason: str) -> None:
         self.messages_dropped += 1
-        if self.faults is not None:
+        self.drops_by_reason[reason] = \
+            self.drops_by_reason.get(reason, 0) + 1
+        if self.faults is not None and reason != "topology_loss":
+            # The injector's counter only attributes drops the fault
+            # plane caused (injected loss, crashed receivers, severed
+            # links); topology wire loss is the healthy WAN's doing and
+            # shows up in ``drops_by_reason`` only.
             self.faults.messages_dropped += 1
         if self.bus.has_subscribers(EventKind.MSG_DROP):
             self.bus.publish(MsgDrop(self.env.now, message, reason))
 
+    def path_open(self, site_a: "Site", site_b: "Site") -> bool:
+        """Whether messages can currently flow between the two sites
+        (no region fault plan has severed their datacenters' links)."""
+        faults = self.faults
+        return faults is None or not faults.link_severed(
+            site_a.site_id, site_b.site_id)
+
     def inquiry_round_trip(self, agent: "Agent", remote_site: "Site",
-                           ) -> typing.Generator[Event, typing.Any, None]:
+                           ) -> typing.Generator[Event, typing.Any, bool]:
         """One status-inquiry round trip from ``agent`` to ``remote_site``.
 
         Recovery traffic (STATUS_INQ out, STATUS_ACK back) is modeled as
@@ -176,6 +204,12 @@ class Network:
         with the link RTT.  Inquiries are retried by the protocol layer
         until they succeed, which is why they are not subject to
         stochastic loss (topology or injected).
+
+        Returns True when the exchange completed.  A severed link group
+        is the one thing retrying cannot ride over: a leg that crosses a
+        live partition fails (the sender still pays its MsgCPU, and a
+        ``partition`` drop is recorded), the round trip returns False,
+        and the caller must back off and retry after heal.
         """
         from repro.db.messages import Message, MessageKind
 
@@ -199,7 +233,7 @@ class Network:
                     if deliver_subs:
                         bus.publish(MessageDeliver(self.env.now, message,
                                                    link=link))
-            return
+            return True
         cost = self.cost
         for kind in (MessageKind.STATUS_INQ, MessageKind.STATUS_ACK):
             message = Message(kind, agent, agent, agent.txn.txn_id,
@@ -227,6 +261,12 @@ class Network:
                                         link=(src, dst), delay_ms=delay,
                                         cross_dc=cross_dc))
             yield from send_site.message_cpu(self.msg_cpu_ms)
+            if self.faults is not None \
+                    and self.faults.link_severed(src, dst):
+                # The inquiry leg cannot cross a severed link group:
+                # the exchange fails and the caller backs off.
+                self._drop(message, "partition")
+                return False
             if delay > 0.0:
                 yield self.env.timeout(delay)
             yield from recv_site.message_cpu(self.msg_cpu_ms)
@@ -234,6 +274,7 @@ class Network:
                 bus.publish(MessageDeliver(self.env.now, message,
                                            link=(src, dst), delay_ms=delay,
                                            cross_dc=cross_dc))
+        return True
 
     @staticmethod
     def _count_for_transaction(message: "Message") -> None:

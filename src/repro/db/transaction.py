@@ -278,6 +278,9 @@ class CohortAgent(Agent):
         #: prepared cohorts whose uncommitted data this cohort borrowed.
         self.lenders: set["CohortAgent"] = set()
         self._shelf_event: Event | None = None
+        #: when this incarnation entered the in-doubt state (blocked-lock
+        #: accounting under faults; None while not in doubt).
+        self.in_doubt_since: float | None = None
 
     # ------------------------------------------------------------------
     # OPT lending bookkeeping (driven by the LockManager)

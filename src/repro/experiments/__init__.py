@@ -19,6 +19,11 @@ from repro.experiments.base import (
     SweepPoint,
 )
 from repro.experiments.pool import shutdown_pool
+from repro.experiments.region_outage import (
+    RegionOutagePoint,
+    RegionOutageResults,
+    RegionOutageSweep,
+)
 from repro.experiments.registry import (
     EXPERIMENTS,
     experiment_ids,
@@ -55,6 +60,9 @@ __all__ = [
     "ParallelSweepRunner",
     "PointSpec",
     "PointSummary",
+    "RegionOutagePoint",
+    "RegionOutageResults",
+    "RegionOutageSweep",
     "SaturationPoint",
     "SaturationResults",
     "SaturationSweep",

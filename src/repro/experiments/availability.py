@@ -40,6 +40,10 @@ class AvailabilityPoint:
     recoveries: int
     messages_dropped: int
     in_doubt_resolved: int
+    #: network drop split, e.g. {"site_down": 3, "injected_loss": 2};
+    #: sums to the network layer's total drop count for the run.
+    drops_by_reason: dict[str, int] = dataclasses.field(
+        default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -86,16 +90,24 @@ class AvailabilityResults:
         lines = ["== availability: throughput vs site MTTF =="]
         lines.append(self.table())
         totals = {}
+        splits: dict[str, dict[str, int]] = {}
         for point in self.points.values():
             entry = totals.setdefault(point.protocol, [0, 0, 0])
             entry[0] += point.crashes
             entry[1] += point.messages_dropped
             entry[2] += point.in_doubt_resolved
+            split = splits.setdefault(point.protocol, {})
+            for reason, count in point.drops_by_reason.items():
+                split[reason] = split.get(reason, 0) + count
         for protocol in self.protocols:
             crashes, dropped, resolved = totals[protocol]
+            rendered = ", ".join(
+                f"{reason}={count}" for reason, count
+                in sorted(splits[protocol].items()))
+            by_reason = f" ({rendered})" if rendered else ""
             lines.append(
                 f"{protocol:>8}: {crashes} crashes survived, "
-                f"{dropped} messages dropped, "
+                f"{dropped} messages dropped{by_reason}, "
                 f"{resolved} in-doubt transactions resolved")
         return "\n".join(lines)
 
@@ -142,22 +154,48 @@ class AvailabilitySweep:
             on_system=captured.append,
             faults=self.fault_config(mttf_ms))
         injector = captured[0].faults
+        drops = dict(captured[0].network.drops_by_reason)
         if injector is None:  # failure-free baseline point
-            return AvailabilityPoint(protocol, mttf_ms, result, 0, 0, 0, 0)
+            return AvailabilityPoint(protocol, mttf_ms, result, 0, 0, 0, 0,
+                                     drops_by_reason=drops)
         return AvailabilityPoint(
             protocol, mttf_ms, result,
             crashes=injector.crashes,
             recoveries=injector.recoveries,
             messages_dropped=injector.messages_dropped,
-            in_doubt_resolved=injector.in_doubt_resolved)
+            in_doubt_resolved=injector.in_doubt_resolved,
+            drops_by_reason=drops)
 
     def run(self, progress: typing.Callable[[str], None] | None = None,
-            ) -> AvailabilityResults:
+            jobs: int = 1) -> AvailabilityResults:
+        """Run the grid; ``jobs > 1`` fans points out to the warm shared
+        process pool (each point is an independent simulation, so the
+        parallel results are byte-identical to a serial run)."""
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        grid = [(protocol, mttf) for protocol in self.protocols
+                for mttf in self.mttfs]
         points: dict[tuple[str, float], AvailabilityPoint] = {}
-        for protocol in self.protocols:
-            for mttf in self.mttfs:
+        if jobs == 1:
+            for protocol, mttf in grid:
                 if progress is not None:
                     label = "inf" if mttf == 0 else f"{mttf / 1000:.0f}s"
                     progress(f"availability: {protocol} @ MTTF {label}")
                 points[(protocol, mttf)] = self.run_point(protocol, mttf)
+            return AvailabilityResults(points, self.protocols, self.mttfs)
+        from repro.experiments.pool import get_pool
+        pool = get_pool(min(jobs, len(grid)))
+        futures = {key: pool.submit(_pool_run_point, self, *key)
+                   for key in grid}
+        for protocol, mttf in grid:
+            if progress is not None:
+                label = "inf" if mttf == 0 else f"{mttf / 1000:.0f}s"
+                progress(f"availability: {protocol} @ MTTF {label}")
+            points[(protocol, mttf)] = futures[(protocol, mttf)].result()
         return AvailabilityResults(points, self.protocols, self.mttfs)
+
+
+def _pool_run_point(sweep: AvailabilitySweep, protocol: str,
+                    mttf_ms: float) -> AvailabilityPoint:
+    """Module-level so the process pool can pickle it."""
+    return sweep.run_point(protocol, mttf_ms)

@@ -17,12 +17,23 @@ Determinism: all fault draws come from dedicated named RNG streams
 perturbs the workload streams, and the same seed plus the same
 :class:`FaultConfig` reproduces the identical failure trajectory.
 
+Correlated failures (:mod:`repro.faults.region`) extend the plane from
+independent per-site crashes to whole-datacenter outages and inter-DC
+link partitions: a parseable :class:`RegionPlan` (``--fault-plan``)
+crashes every site of a datacenter atomically or severs the link group
+between two datacenters, with scheduled (``at=/for=``) or stochastic
+(``mttf=/mttr=`` on per-directive streams ``faults-dc-<dc>`` /
+``faults-partition-<a>-<b>``) timing.  Region plans require a
+multi-datacenter topology (``--topology dcs:...``) to resolve the
+site -> datacenter placement.
+
 An *inactive* config (:attr:`FaultConfig.is_active` false) wires
 nothing: the system runs byte-identical to one built without faults
 (pinned against ``tests/data/golden_sweep.json``).
 """
 
 from repro.faults.plan import CrashEvent, FaultConfig, FaultPlan, FaultTimeouts
+from repro.faults.region import RegionDirective, RegionPlan
 from repro.faults.injector import FaultInjector
 
 __all__ = [
@@ -31,4 +42,6 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultTimeouts",
+    "RegionDirective",
+    "RegionPlan",
 ]

@@ -25,7 +25,10 @@ import typing
 from repro.db.transaction import AbortReason, CohortState
 from repro.faults.plan import FaultConfig, FaultPlan
 from repro.obs.events import (
+    DcCrash,
     EventKind,
+    LinkHeal,
+    LinkPartition,
     SiteCrash,
     SiteRecover,
     SiteRecoveryReplay,
@@ -36,6 +39,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db.site import Site
     from repro.db.system import DistributedSystem
     from repro.db.transaction import CohortAgent, Transaction
+    from repro.faults.region import RegionDirective
 
 #: cohort states whose volatile context is lost without consequence --
 #: a crash simply aborts them (locks released, work redone on restart).
@@ -57,12 +61,36 @@ class FaultInjector:
         self.messages_dropped = 0
         self.in_doubt_resolved = 0
         self.replays = 0
+        # Correlated-failure counters (region-outage experiment).
+        self.dc_crashes = 0
+        self.link_partitions = 0
+        #: total ms in-doubt cohorts spent holding their update locks
+        #: before resolution (the paper's blocking cost, made a number).
+        self.blocked_lock_ms = 0.0
         #: in-doubt cohorts per crashed site, in registration order.
         self._in_doubt: dict[int, list["CohortAgent"]] = {}
         #: live incarnations, insertion-ordered (determinism: iteration
         #: order at crash time must not depend on object hashes).
         self._live: dict["Transaction", None] = {}
         self._started = False
+        # Region plans resolve against the topology's site -> DC
+        # placement; running one without a multi-DC topology is a
+        # configuration error, caught here (surfaces as a CLI error).
+        cost = system.cost_model
+        self._placement = None if cost is None else cost.placement
+        region = config.region
+        if region is not None and region.directives:
+            if self._placement is None:
+                raise ValueError(
+                    "a region fault plan needs a multi-datacenter "
+                    "topology (run with --topology "
+                    "dcs:<D>x<S>:rtt_ms=<ms> or matrix:...)")
+            region.check_dcs(max(self._placement) + 1)
+        #: sever depth per normalized DC pair; overlapping directives
+        #: severing the same link group nest instead of double-healing.
+        self._partition_depth: dict[tuple[int, int], int] = {}
+        #: currently severed DC pairs (the hot-path membership set).
+        self._partitioned: set[tuple[int, int]] = set()
 
     # ------------------------------------------------------------------
     # Wiring
@@ -82,6 +110,12 @@ class FaultInjector:
             site = self.system.sites[site_id]
             env.process(self._stochastic_driver(site),
                         name=f"faults-mttf@{site_id}")
+        for index, directive in enumerate(self.plan.region_directives()):
+            driver = (self._region_scheduled_driver
+                      if directive.is_scheduled
+                      else self._region_stochastic_driver)
+            env.process(driver(directive),
+                        name=f"faults-region-{index}")
 
     def track(self, txn: "Transaction") -> None:
         self._live[txn] = None
@@ -94,6 +128,29 @@ class FaultInjector:
     # ------------------------------------------------------------------
     def site_is_up(self, site: "Site") -> bool:
         return site.up
+
+    @property
+    def partitions_active(self) -> bool:
+        """True while any inter-DC link group is severed."""
+        return bool(self._partitioned)
+
+    def link_severed(self, src_site: int, dst_site: int) -> bool:
+        """Whether a live partition cuts the link between two sites.
+
+        Hot path: with no active partition this is one truthiness test,
+        so runs without a region plan pay (almost) nothing.
+        """
+        if not self._partitioned:
+            return False
+        placement = self._placement
+        if placement is None:
+            return False
+        dc_a = placement[src_site]
+        dc_b = placement[dst_site]
+        if dc_a == dc_b:
+            return False
+        key = (dc_a, dc_b) if dc_a < dc_b else (dc_b, dc_a)
+        return key in self._partitioned
 
     def lose_message(self, message: "Message") -> bool:
         """Injected loss; drawn *after* the topology's own wire loss, so
@@ -138,6 +195,82 @@ class FaultInjector:
             yield env.timeout(downtime)
             self._recover(site)
 
+    # ------------------------------------------------------------------
+    # Correlated-failure drivers (region fault plans)
+    # ------------------------------------------------------------------
+    def _region_scheduled_driver(self, directive: "RegionDirective"):
+        env = self.system.env
+        if directive.at_ms > env.now:
+            yield env.timeout(directive.at_ms - env.now)
+        yield from self._one_outage(directive, directive.for_ms)
+
+    def _region_stochastic_driver(self, directive: "RegionDirective"):
+        env = self.system.env
+        for healthy_ms, outage_ms in self.plan.region_cycle(directive):
+            yield env.timeout(healthy_ms)
+            yield from self._one_outage(directive, outage_ms)
+
+    def _one_outage(self, directive: "RegionDirective",
+                    duration_ms: float):
+        env = self.system.env
+        if directive.kind == "dc_crash":
+            taken = self._crash_dc(directive.dc)
+            yield env.timeout(duration_ms)
+            self._recover_dc(taken)
+        else:
+            self._sever(directive.dc_a, directive.dc_b)
+            yield env.timeout(duration_ms)
+            self._heal(directive.dc_a, directive.dc_b)
+
+    def _crash_dc(self, dc: int) -> list["Site"]:
+        """Crash every operational site of one datacenter atomically.
+
+        Returns the sites this outage took down; the matching recovery
+        brings back exactly those, so an overlapping per-site fault
+        keeps ownership of the sites it crashed first.
+        """
+        placement = self._placement
+        assert placement is not None
+        taken = [site for site in self.system.sites
+                 if placement[site.site_id] == dc and site.up]
+        self.dc_crashes += 1
+        for site in taken:
+            self._crash(site)
+        bus = self.system.bus
+        if bus.has_subscribers(EventKind.DC_CRASH):
+            bus.publish(DcCrash(self.system.env.now, dc,
+                                tuple(site.site_id for site in taken)))
+        return taken
+
+    def _recover_dc(self, taken: list["Site"]) -> None:
+        for site in taken:
+            if not site.up:
+                self._recover(site)
+
+    def _sever(self, dc_a: int, dc_b: int) -> None:
+        key = (dc_a, dc_b) if dc_a < dc_b else (dc_b, dc_a)
+        depth = self._partition_depth.get(key, 0) + 1
+        self._partition_depth[key] = depth
+        if depth > 1:
+            return  # nested sever of an already-cut link group
+        self._partitioned.add(key)
+        self.link_partitions += 1
+        bus = self.system.bus
+        if bus.has_subscribers(EventKind.LINK_PARTITION):
+            bus.publish(LinkPartition(self.system.env.now, key[0],
+                                      key[1]))
+
+    def _heal(self, dc_a: int, dc_b: int) -> None:
+        key = (dc_a, dc_b) if dc_a < dc_b else (dc_b, dc_a)
+        depth = self._partition_depth[key] - 1
+        self._partition_depth[key] = depth
+        if depth:
+            return  # an overlapping directive still holds the cut
+        self._partitioned.discard(key)
+        bus = self.system.bus
+        if bus.has_subscribers(EventKind.LINK_HEAL):
+            bus.publish(LinkHeal(self.system.env.now, key[0], key[1]))
+
     def _crash(self, site: "Site") -> None:
         """Take a site down: kill hosted agents, flush their inboxes."""
         env = self.system.env
@@ -165,6 +298,23 @@ class FaultInjector:
     def register_in_doubt(self, cohort: "CohortAgent") -> None:
         """A prepared/precommitted cohort lost its process to a crash."""
         self._in_doubt.setdefault(cohort.site.site_id, []).append(cohort)
+
+    def note_resolved(self, cohort: "CohortAgent") -> None:
+        """Account one in-doubt resolution and its blocked-lock window.
+
+        ``blocked_lock_ms`` accumulates the time an *operational*
+        cohort held its update locks while in doubt -- the paper's
+        blocking phenomenon, made a number.  The window opens when
+        resolution starts (decision timeout on a live site, or WAL
+        replay once a crashed site is back up); time a cohort spends on
+        a downed site is excluded, because the whole site is unavailable
+        then and its locks block nobody who could otherwise run.
+        """
+        self.in_doubt_resolved += 1
+        since = cohort.in_doubt_since
+        if since is not None:
+            self.blocked_lock_ms += self.system.env.now - since
+            cohort.in_doubt_since = None
 
     def _recover(self, site: "Site") -> None:
         env = self.system.env

@@ -11,6 +11,8 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.faults.region import RegionDirective, RegionPlan
+
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.rng import RandomStreams
 
@@ -80,12 +82,17 @@ class FaultConfig:
     #: sites eligible for stochastic crashes (None = all sites).
     crashable_sites: tuple[int, ...] | None = None
     timeouts: FaultTimeouts = FaultTimeouts()
+    #: correlated-failure plan (whole-DC outages, link partitions) over
+    #: the active multi-datacenter topology; None = no region faults.
+    region: RegionPlan | None = None
 
     @property
     def is_active(self) -> bool:
         """True when the config injects anything at all."""
         return (self.mttf_ms > 0 or self.msg_loss_prob > 0
-                or self.msg_delay_ms > 0 or bool(self.crash_schedule))
+                or self.msg_delay_ms > 0 or bool(self.crash_schedule)
+                or (self.region is not None
+                    and bool(self.region.directives)))
 
     def validate(self) -> None:
         if self.mttf_ms < 0:
@@ -105,6 +112,8 @@ class FaultConfig:
         for event in self.crash_schedule:
             if event.at_ms < 0 or event.duration_ms <= 0:
                 raise ValueError(f"bad crash schedule entry {event}")
+        if self.region is not None:
+            self.region.validate()
         self.timeouts.validate()
 
 
@@ -151,6 +160,21 @@ class FaultPlan:
         mttf, mttr = self.config.mttf_ms, self.config.mttr_ms
         while True:
             yield rng.expovariate(1.0 / mttf), rng.expovariate(1.0 / mttr)
+
+    def region_directives(self) -> tuple[RegionDirective, ...]:
+        """The correlated-failure directives of this plan (maybe empty)."""
+        region = self.config.region
+        return () if region is None else region.directives
+
+    def region_cycle(self, directive: RegionDirective,
+                     ) -> typing.Iterator[tuple[float, float]]:
+        """Infinite ``(healthy_ms, outage_ms)`` draws for one stochastic
+        directive, from its dedicated stream (``faults-dc-<dc>`` /
+        ``faults-partition-<a>-<b>``)."""
+        rng = self._streams.stream(directive.stream_name)
+        while True:
+            yield (rng.expovariate(1.0 / directive.mttf_ms),
+                   rng.expovariate(1.0 / directive.mttr_ms))
 
     def affects_kind(self, kind_name: str) -> bool:
         """Whether loss/delay injection applies to this message kind."""

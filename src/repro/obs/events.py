@@ -65,6 +65,13 @@ class EventKind(enum.Enum):
     SITE_RECOVERY_REPLAY = "site_recovery_replay"
     #: an in-doubt cohort was resolved per the protocol's presumption rule.
     TXN_RESOLVED_IN_DOUBT = "txn_resolved_in_doubt"
+    # Correlated failures (region fault plans).
+    #: every site of one datacenter crashed atomically.
+    DC_CRASH = "dc_crash"
+    #: the link group between two datacenters was severed.
+    LINK_PARTITION = "link_partition"
+    #: a severed inter-datacenter link group was restored.
+    LINK_HEAL = "link_heal"
     # Open-system workload (Poisson arrivals + bounded admission queue).
     #: a transaction arrived at a site's admission queue (offered load).
     TXN_ARRIVE = "txn_arrive"
@@ -247,7 +254,8 @@ class MsgDrop(SimEvent):
     kind = EventKind.MSG_DROP
     message: "Message"
     #: ``"loss"`` (fault-injected), ``"topology_loss"`` (lossy WAN
-    #: link), or ``"site_down"``.
+    #: link), ``"site_down"``, or ``"partition"`` (the message's link
+    #: group is severed by a region fault plan).
     reason: str
 
 
@@ -330,6 +338,37 @@ class TxnResolvedInDoubt(SimEvent):
     #: which rule decided: ``"decision-record"``, ``"presumed-abort"``,
     #: ``"presumed-commit"``, ``"termination-protocol"``, ...
     rule: str
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DcCrash(SimEvent):
+    """A whole datacenter went down atomically (a correlated failure;
+    per-site :class:`SiteCrash` events are published alongside)."""
+
+    kind = EventKind.DC_CRASH
+    dc: int
+    #: the sites this outage actually took down (sites already down via
+    #: an overlapping per-site fault are skipped).
+    sites: tuple[int, ...]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class LinkPartition(SimEvent):
+    """The network severed every link between two datacenters: messages
+    and status inquiries across the cut are dropped until heal."""
+
+    kind = EventKind.LINK_PARTITION
+    dc_a: int
+    dc_b: int
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class LinkHeal(SimEvent):
+    """A severed inter-datacenter link group was restored."""
+
+    kind = EventKind.LINK_HEAL
+    dc_a: int
+    dc_b: int
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
