@@ -21,6 +21,13 @@ echo "== region-outage smoke (correlated-failure plane) =="
 python -m repro.cli region-outage --protocols 2PC,3PC \
     --outages dc_crash --durations 1500 --transactions 40 --quiet
 
+# One cheap replication point end-to-end through the CLI: quorum
+# commit (PAXOS) racing 2PC over replicated pages must finish with
+# every transaction carried at both replication factors.
+echo "== replication smoke (quorum commit over replicated pages) =="
+python -m repro.cli replication --protocols 2PC,PAXOS --factors 1,2 \
+    --mttfs 0 --transactions 30 --quiet
+
 if [ "${CI_SKIP_TIER2:-0}" != "1" ]; then
     echo "== tier-2: slow sweep / parallel determinism tests =="
     python -m pytest -q -m tier2
@@ -34,9 +41,11 @@ python scripts/soak_resume_check.py
 
 # Perf floors: kernel micros, end-to-end txn rate, idle-bus/fault
 # overhead ceilings, the LanSwitch cost-model indirection ceiling
-# (uniform topology <= 1.02x of the no-topology hot path), the
-# inactive-partition-plane ceiling (far-future region plan <= 1.02x
-# of the armed-injector baseline) plus the
+# (uniform topology vs the no-topology hot path), the
+# inactive-partition-plane ceiling (far-future region plan vs the
+# armed-injector baseline), the inactive-replication ceiling
+# (factor 1 vs the historical directory) -- all three smoke-gated at
+# 1.10x for shared-runner jitter, ~1.00x on the full bench -- plus the
 # WAN-point floor, the flat-RSS soak-memory ceiling, and the
 # warm-pool sweep-scaling floor (speedup_vs_serial["4"] >= 1.5 --
 # auto-skipped on < 4-core runners).

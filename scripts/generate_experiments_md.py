@@ -159,7 +159,7 @@ COMMENTARY: dict[str, tuple[str, str, str]] = {
         "smaller database."),
     "EXT": (
         "Extensions — beyond the paper's experiments",
-        "Eight of the paper's qualitative arguments, made measurable: "
+        "Nine of the paper's qualitative arguments, made measurable: "
         "blocking halts processing on master failure (Sec 2.4); peak "
         "throughput can be *maintained* with Half-and-Half admission "
         "control (Sec 5); the Section 2.5 protocol family's "
@@ -174,7 +174,11 @@ COMMENTARY: dict[str, tuple[str, str, str]] = {
         "re-price every message over a real topology; and real "
         "failures correlate — a power event takes a whole datacenter, "
         "a cut fiber partitions two — which is exactly the regime the "
-        "non-blocking argument was made for, so inject that too.",
+        "non-blocking argument was made for, so inject that too; and "
+        "the paper's partitioned single-copy database makes every page "
+        "a single point of failure, so replicate the pages and commit "
+        "with a quorum protocol that tolerates coordinator loss "
+        "outright.",
         "(1) `repro.failures`: with a 15 s master outage, 2PC/PA/PC "
         "cohorts hold their update locks for the entire outage and "
         "system throughput collapses an order of magnitude, while "
@@ -276,10 +280,37 @@ COMMENTARY: dict[str, tuple[str, str, str]] = {
         "protocol is what non-blocking buys.  Every registered "
         "protocol completes both outage shapes on dcs:2x2 and dcs:3x2 "
         "with no hangs, an inert plan is byte-identical to the armed "
-        "baseline, and the inactive plane stays within the ≤1.02x "
-        "`partition_overhead` smoke ceiling "
+        "baseline, and the inactive plane is essentially free "
+        "(`partition_overhead` bench, ~1.00x full pairs) "
         "(`tests/test_region_faults.py`, "
-        "`scripts/bench_trajectory.py --smoke`)."),
+        "`scripts/bench_trajectory.py --smoke`).  "
+        "(9) `repro.core.paxos_commit` + `repro.db.pages` replication "
+        "(`repro-commit replication`, `--replication R[:strategy]` on "
+        "every run mode): Paxos Commit (Gray & Lamport) runs each "
+        "RM's vote as its own Paxos instance against 2F+1 acceptors "
+        "drawn from the cohort sites — the coordinator decides at F+1 "
+        "acceptances, and a blocked cohort that reaches any F+1 "
+        "acceptors takes over with a higher ballot instead of waiting "
+        "out the coordinator, so F ≥ 1 is non-blocking; at F = 0 the "
+        "protocol collapses to 2PC and its trajectories are "
+        "byte-identical, message and forced-write counts included "
+        "(at D = 3: 2PC pays 8 messages/7 forced writes, PAXOS F = 1 "
+        "pays 14/9 — the acceptors batch every instance into one "
+        "forced ACCEPT).  A `ReplicaDirectory` maps each page to an "
+        "R-site replica set (`chain` packs ring neighbours, `spread` "
+        "maximises DC diversity); commits write all available copies "
+        "— one batched propagation per remote replica site, "
+        "unreachable replicas skipped and counted (available-copies "
+        "liveness), R = 1 keeping the historical partitioned layout "
+        "byte-identical and essentially free (`replication_overhead` "
+        "bench, ~1.00x full pairs).  The sweep "
+        "races 2PC/3PC/PAXOS across replication factor × site MTTF "
+        "through a coordinator-DC outage on dcs:2x2: with stochastic "
+        "site faults layered on the outage, PAXOS holds blocked locks "
+        "for ~0.4–0.8 s across R = 1–3 while 2PC holds them 4.3–12.7 "
+        "s at R ≤ 2 (seed 7) — quorum commit, not replication alone, "
+        "is what shortens the blocking window "
+        "(`tests/test_paxos_replication.py`)."),
 }
 
 #: experiment ids whose measured series get a table, in document order.

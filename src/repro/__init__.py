@@ -52,6 +52,7 @@ from repro.db.topology import (
     TopologyKind,
     WanTopology,
 )
+from repro.db.pages import ReplicationSpec
 from repro.db.workload import AccessSkew, SkewKind
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
@@ -68,6 +69,7 @@ __all__ = [
     "ModelParams",
     "NetworkTopology",
     "OpenSimulationResult",
+    "ReplicationSpec",
     "SimulationResult",
     "SkewKind",
     "Topology",

@@ -15,6 +15,9 @@ Examples::
         --fault-plan dc_crash:0:at=1000:for=3000
     repro-commit region-outage --protocols 2PC,3PC --topology \\
         dcs:3x2:rtt_ms=5
+    repro-commit simulate PAXOS --topology dcs:2x2:rtt_ms=5 \\
+        --replication 2
+    repro-commit replication --protocols 2PC,3PC,PAXOS --factors 1,2,3
 """
 
 from __future__ import annotations
@@ -99,6 +102,26 @@ def _parse_fault_plan(text: str):
         raise argparse.ArgumentTypeError(str(error))
 
 
+def _parse_replication(text: str):
+    from repro.db.pages import ReplicationSpec
+    try:
+        return ReplicationSpec.parse(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
+
+
+def _parse_factors(text: str) -> tuple[int, ...]:
+    try:
+        factors = tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--factors wants comma-separated integers, got {text!r}")
+    if not factors or any(factor < 1 for factor in factors):
+        raise argparse.ArgumentTypeError(
+            f"--factors wants replication factors >= 1, got {text!r}")
+    return factors
+
+
 def _parse_rates(text: str) -> tuple[float, ...]:
     try:
         rates = tuple(float(part) for part in text.split(","))
@@ -145,6 +168,13 @@ def _add_topology_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--local-cohorts", action="store_true",
                         help="prefer cohort sites in the master's own "
                              "datacenter (requires a multi-DC --topology)")
+    parser.add_argument("--replication", type=_parse_replication,
+                        default=None, metavar="SPEC",
+                        help="page replication: 'R' or 'R:<strategy>' "
+                             "with strategy 'chain' (adjacent sites, the "
+                             "default) or 'spread' (ring-stride); R=1 "
+                             "keeps the unreplicated placement "
+                             "byte-identical")
 
 
 def _topology_overrides(args: argparse.Namespace) -> dict[str, object]:
@@ -153,6 +183,8 @@ def _topology_overrides(args: argparse.Namespace) -> dict[str, object]:
         overrides["network_topology"] = args.topology
     if args.local_cohorts:
         overrides["prefer_local_cohorts"] = True
+    if args.replication is not None:
+        overrides["replication"] = args.replication
     return overrides
 
 
@@ -402,6 +434,40 @@ def build_parser() -> argparse.ArgumentParser:
     region.add_argument("--seed", type=int, default=7)
     region.add_argument("--quiet", action="store_true",
                         help="suppress per-point progress output")
+
+    repl = sub.add_parser(
+        "replication",
+        help="quorum commit over replicated pages: blocked locks and "
+             "carried load across replication factor x site MTTF under "
+             "a DC outage")
+    repl.add_argument("--protocols", default="2PC,3PC,PAXOS",
+                      help="comma-separated protocol names "
+                           "(default 2PC,3PC,PAXOS; 'all' = every "
+                           "registered protocol)")
+    repl.add_argument("--factors", type=_parse_factors, default=(1, 2, 3),
+                      help="comma-separated replication factors "
+                           "(default 1,2,3)")
+    repl.add_argument("--mttfs", default="0,60000",
+                      help="comma-separated site MTTFs in ms layered on "
+                           "top of the DC outage (0 = outage only; "
+                           "default 0,60000)")
+    repl.add_argument("--mttr-ms", type=float, default=2000.0,
+                      help="mean site repair time in ms (default 2000)")
+    repl.add_argument("--topology", type=_parse_topology,
+                      default=None, metavar="SPEC",
+                      help="multi-DC topology the outage hits "
+                           "(default dcs:2x2:rtt_ms=5); num_sites is "
+                           "derived from it")
+    repl.add_argument("--at-ms", type=float, default=1000.0,
+                      help="outage onset time in ms (default 1000)")
+    repl.add_argument("--outage-ms", type=float, default=1500.0,
+                      help="DC outage duration in ms (default 1500)")
+    repl.add_argument("--mpl", type=int, default=2)
+    repl.add_argument("--transactions", type=int, default=40,
+                      help="measured transactions per point")
+    repl.add_argument("--seed", type=int, default=7)
+    repl.add_argument("--quiet", action="store_true",
+                      help="suppress per-point progress output")
     return parser
 
 
@@ -713,6 +779,40 @@ def cmd_region_outage(args: argparse.Namespace, out: typing.TextIO) -> int:
     return 0
 
 
+def cmd_replication(args: argparse.Namespace, out: typing.TextIO) -> int:
+    from repro.experiments.replication import ReplicationSweep
+    if args.protocols.strip().lower() == "all":
+        protocols: typing.Sequence[str] = repro.PROTOCOL_NAMES
+    else:
+        protocols = tuple(p.strip() for p in args.protocols.split(","))
+    try:
+        mttfs = tuple(float(part) for part in args.mttfs.split(","))
+    except ValueError:
+        out.write(f"error: --mttfs wants comma-separated numbers, "
+                  f"got {args.mttfs!r}\n")
+        return 2
+    progress = None if args.quiet else (
+        lambda text: out.write(f"  ... {text}\n"))
+    started = time.time()
+    try:
+        topology = (args.topology if args.topology is not None
+                    else "dcs:2x2:rtt_ms=5")
+        sweep = ReplicationSweep(protocols, factors=args.factors,
+                                 mttfs=mttfs, topology=topology,
+                                 mpl=args.mpl, at_ms=args.at_ms,
+                                 outage_ms=args.outage_ms,
+                                 mttr_ms=args.mttr_ms,
+                                 measured_transactions=args.transactions,
+                                 seed=args.seed)
+        results = sweep.run(progress=progress)
+    except ValueError as error:
+        out.write(f"error: {error}\n")
+        return 2
+    out.write(results.summary() + "\n")
+    out.write(f"(completed in {time.time() - started:.1f}s wall time)\n")
+    return 0
+
+
 def cmd_saturation(args: argparse.Namespace, out: typing.TextIO) -> int:
     from repro.experiments.saturation import DEFAULT_RATES, SaturationSweep
     if args.protocols.strip().lower() == "all":
@@ -785,6 +885,8 @@ def main(argv: typing.Sequence[str] | None = None,
         return cmd_availability(args, out)
     if args.command == "region-outage":
         return cmd_region_outage(args, out)
+    if args.command == "replication":
+        return cmd_replication(args, out)
     if args.command == "saturation":
         return cmd_saturation(args, out)
     if args.command == "wan":

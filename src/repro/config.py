@@ -16,6 +16,7 @@ import math
 import typing
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.pages import ReplicationSpec
     from repro.db.topology import NetworkTopology
     from repro.db.workload import AccessSkew, RateCurve
 
@@ -136,6 +137,13 @@ class ModelParams:
     #: None = homogeneous Poisson).  A :class:`repro.db.workload.RateCurve`.
     rate_curve: "RateCurve | None" = None
 
+    #: page replication (extension; see docs/MODEL.md).  None or R=1
+    #: keeps the paper's strictly partitioned placement byte-identical
+    #: on the historical hot path; R>1 gives every page an R-site
+    #: replica set (read-one-local / write-all-available).  A
+    #: :class:`repro.db.pages.ReplicationSpec`.
+    replication: "ReplicationSpec | None" = None
+
     # ----- run control --------------------------------------------------
     seed: int = 20250705
 
@@ -209,6 +217,13 @@ class ModelParams:
                 raise ValueError(
                     "rate_curve only applies to the open workload mode")
             self.rate_curve.validate()
+        if self.replication is not None:
+            self.replication.validate(self.num_sites)
+            if self.replication.is_active \
+                    and self.topology is Topology.CENTRALIZED:
+                raise ValueError(
+                    "the CENT baseline holds all data at a single site; "
+                    "page replication does not apply")
 
     # ------------------------------------------------------------------
     # Derived quantities

@@ -19,6 +19,7 @@ OPT-PC    OPT combined with presumed commit (Section 3.2)
 OPT-3PC   non-blocking OPT (Sections 3.2, 5.6)
 DPCC      distributed processing / centralized commit baseline
 CENT      fully centralized baseline (with centralized topology)
+PAXOS     Paxos Commit, F=1 quorum commit (``PAXOS:f=<F>`` general)
 ========  =======================================================
 """
 
@@ -27,6 +28,7 @@ from repro.core.centralized import CentralizedCommit
 from repro.core.early_prepare import EarlyPrepare
 from repro.core.linear import LinearTwoPhaseCommit, OptimisticLinear
 from repro.core.optimistic import OptimisticCommit
+from repro.core.paxos_commit import PaxosCommit
 from repro.core.presumed_abort import PresumedAbort
 from repro.core.presumed_commit import PresumedCommit
 from repro.core.registry import (
@@ -54,6 +56,7 @@ __all__ = [
     "OptimisticPresumedCommit",
     "OptimisticThreePhase",
     "PROTOCOL_NAMES",
+    "PaxosCommit",
     "PresumedAbort",
     "PresumedCommit",
     "ThreePhaseCommit",

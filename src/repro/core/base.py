@@ -306,8 +306,19 @@ class CommitProtocol(abc.ABC):
                     # retry every resolve_retry_ms for the whole
                     # partition.  A merely-crashed target keeps the
                     # plain resolve_retry_ms poll (site repairs are
-                    # fast; partitions can last much longer).
+                    # fast; partitions can last much longer).  Also arm
+                    # the injector's heal wake-up: the backoff can reach
+                    # 8x, and sleeping out a full interval after the
+                    # link is already back would inflate blocked_lock_ms
+                    # for nothing.
                     retry = min(retry * 2.0, base_retry * 8.0)
+                    if system.faults is not None:
+                        healed = system.faults.heal_event()
+                        yield system.env.any_of(
+                            [system.env.timeout(retry), healed])
+                        if healed.triggered:
+                            retry = base_retry
+                        continue
                 yield system.env.timeout(retry)
         outcome, rule = outcome_rule
         if outcome == "commit":

@@ -15,6 +15,7 @@ from repro.core.presumed_commit import PresumedCommit
 from repro.core.three_phase import ThreePhaseCommit
 from repro.core.early_prepare import EarlyPrepare
 from repro.core.linear import LinearTwoPhaseCommit, OptimisticLinear
+from repro.core.paxos_commit import PaxosCommit
 from repro.core.two_phase import TwoPhaseCommit
 from repro.core.unsolicited_vote import UnsolicitedVote
 from repro.core.variants import (
@@ -38,6 +39,7 @@ _FACTORIES: dict[str, typing.Callable[[], CommitProtocol]] = {
     "OPT-LIN": OptimisticLinear,
     "DPCC": lambda: CentralizedCommit(name="DPCC"),
     "CENT": lambda: CentralizedCommit(name="CENT"),
+    "PAXOS": PaxosCommit,
 }
 
 #: All registered protocol names, in the paper's customary order.
@@ -49,15 +51,37 @@ def create_protocol(name: str) -> CommitProtocol:
 
     Raises ``ValueError`` (a bad *input*, not a bad lookup -- callers
     like the CLI surface it as a usage error) naming the valid choices.
+
+    ``PAXOS`` accepts a parameterized form ``PAXOS:f=<F>`` selecting the
+    fault tolerance (``PAXOS`` alone means F = 1; ``PAXOS:f=0`` *is*
+    2PC, message for message and force for force).
     """
+    key = name.upper()
+    if key.startswith("PAXOS:"):
+        return _parse_paxos(name, key)
     try:
-        factory = _FACTORIES[name.upper()]
+        factory = _FACTORIES[key]
     except KeyError:
         raise ValueError(
             f"unknown protocol {name!r}; choose from "
             f"{', '.join(PROTOCOL_NAMES)}"
         ) from None
     return factory()
+
+
+def _parse_paxos(name: str, key: str) -> PaxosCommit:
+    """Parse ``PAXOS:f=<F>`` (``key`` is ``name`` uppercased)."""
+    suffix = key[len("PAXOS:"):]
+    if suffix.startswith("F="):
+        try:
+            f = int(suffix[len("F="):])
+        except ValueError:
+            f = -1
+        if f >= 0:
+            return PaxosCommit(f=f)
+    raise ValueError(
+        f"bad paxos spec {name!r}; expected 'PAXOS' or 'PAXOS:f=<F>' "
+        f"with F a non-negative integer")
 
 
 def protocol_requires_centralized_topology(name: str) -> bool:

@@ -40,6 +40,12 @@ class MessageKind(enum.Enum):
     # Recovery (status inquiry by an in-doubt cohort, and its answer).
     STATUS_INQ = "STATUS_INQ"
     STATUS_ACK = "STATUS_ACK"
+    # Paxos Commit (one instance per RM vote; 2a carries the vote to an
+    # acceptor, 2b its acceptance back to the leader).
+    PAXOS_2A = "PAXOS_2A"
+    PAXOS_2B = "PAXOS_2B"
+    #: replication: post-commit update propagation to a replica site.
+    REPLICA_UPDATE = "REPLICA_UPDATE"
 
     @property
     def is_execution(self) -> bool:

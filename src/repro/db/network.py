@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import typing
 
+from repro.db.messages import MessageKind
 from repro.obs.bus import EventBus
 from repro.obs.events import EventKind, MessageDeliver, MessageSend, MsgDrop
 from repro.sim.events import Event
@@ -278,6 +279,11 @@ class Network:
 
     @staticmethod
     def _count_for_transaction(message: "Message") -> None:
+        if message.kind is MessageKind.REPLICA_UPDATE:
+            # Post-commit replica propagation: accounted on the system's
+            # replication counters, not the transaction's commit-protocol
+            # overheads (which reproduce the paper's Tables 3 and 4).
+            return
         txn = message.sender.txn
         if message.kind.is_execution:
             txn.messages_execution += 1

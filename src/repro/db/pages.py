@@ -4,9 +4,20 @@ The database is a collection of ``DBSize`` pages uniformly distributed
 across all the sites (paper Section 4).  Placement is deterministic
 round-robin striping: page ``p`` lives at site ``p mod num_sites``, and
 within a site the pages are striped across the site's data disks.
+
+Replication (``--replication R[:strategy]``) extends the strictly
+partitioned layout with an available-copies scheme: every page keeps its
+*primary* at ``p mod num_sites`` (so reads stay read-one-local and the
+R=1 trajectory is byte-identical to the historical fast path) and gains
+``R - 1`` secondary copies at sites derived deterministically from the
+primary.  :class:`ReplicaDirectory` maps pages to their replica sets;
+the write-all-available propagation itself lives in the transaction
+layer.
 """
 
 from __future__ import annotations
+
+import dataclasses
 
 
 class PageDirectory:
@@ -56,3 +67,119 @@ class PageDirectory:
     def __repr__(self) -> str:
         return (f"PageDirectory(db_size={self.db_size}, "
                 f"num_sites={self.num_sites})")
+
+
+#: replica placement strategies accepted by ``--replication``.
+REPLICATION_STRATEGIES = ("chain", "spread")
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplicationSpec:
+    """Parsed ``--replication R[:strategy]`` specification.
+
+    ``factor`` is the number of copies of every page (1 = no
+    replication, the historical partitioned layout).  ``strategy``
+    picks the secondary placement: ``chain`` puts copies on the next
+    ``R - 1`` sites ring-wise (neighbouring sites, typically the same
+    DC under the dcs topology), ``spread`` spaces them evenly around
+    the site ring (maximising DC diversity).
+    """
+
+    factor: int
+    strategy: str = "chain"
+
+    @classmethod
+    def parse(cls, text: str) -> "ReplicationSpec":
+        parts = text.split(":")
+        if len(parts) > 2 or not parts[0]:
+            raise ValueError(
+                f"bad replication spec {text!r}; expected 'R' or "
+                f"'R:<strategy>' with strategy one of "
+                f"{', '.join(REPLICATION_STRATEGIES)}")
+        try:
+            factor = int(parts[0])
+        except ValueError as error:
+            raise ValueError(
+                f"bad replication spec {text!r}: {error}") from None
+        strategy = parts[1] if len(parts) == 2 else "chain"
+        return cls(factor=factor, strategy=strategy)
+
+    def validate(self, num_sites: int) -> None:
+        if self.factor < 1:
+            raise ValueError(
+                f"replication factor must be >= 1, got {self.factor}")
+        if self.factor > num_sites:
+            raise ValueError(
+                f"replication factor {self.factor} exceeds the "
+                f"{num_sites} available sites")
+        if self.strategy not in REPLICATION_STRATEGIES:
+            raise ValueError(
+                f"unknown replication strategy {self.strategy!r}; "
+                f"choose from {', '.join(REPLICATION_STRATEGIES)}")
+
+    @property
+    def is_active(self) -> bool:
+        return self.factor > 1
+
+    def describe(self) -> str:
+        if self.factor == 1:
+            return "R=1 (partitioned, no replication)"
+        return f"R={self.factor} ({self.strategy})"
+
+
+class ReplicaDirectory(PageDirectory):
+    """Page placement with an R-site replica set per page.
+
+    The replica set of a page depends only on its *primary* site, so
+    every page primaried at a site shares one replica set -- updates to
+    a remote replica site batch into a single propagation message.
+    Placement stays deterministic (no RNG): anyone can recompute a
+    page's replica set after a crash, which is what available-copies
+    recovery needs.
+    """
+
+    def __init__(self, db_size: int, num_sites: int, num_data_disks: int,
+                 spec: ReplicationSpec) -> None:
+        super().__init__(db_size, num_sites, num_data_disks)
+        spec.validate(num_sites)
+        self.spec = spec
+        if spec.strategy == "spread":
+            step = max(1, num_sites // spec.factor)
+        else:
+            step = 1
+        self._replica_sets = tuple(
+            self._place(primary, step, spec.factor, num_sites)
+            for primary in range(num_sites))
+
+    @staticmethod
+    def _place(primary: int, step: int, factor: int,
+               num_sites: int) -> tuple[int, ...]:
+        sites: list[int] = [primary]
+        seen = {primary}
+        cursor = primary
+        while len(sites) < factor:
+            cursor += step
+            site = cursor % num_sites
+            if site in seen:
+                # Stride collided with an existing copy (the factor does
+                # not divide the ring evenly): fall through to the next
+                # free site ring-wise.
+                while site in seen:
+                    site = (site + 1) % num_sites
+                cursor = site
+            seen.add(site)
+            sites.append(site)
+        return tuple(sites)
+
+    def replica_sites(self, primary_site: int) -> tuple[int, ...]:
+        """The replica set (primary first) for pages primaried at
+        ``primary_site``."""
+        return self._replica_sets[primary_site]
+
+    def replicas_of(self, page: int) -> tuple[int, ...]:
+        """All sites holding a copy of ``page`` (primary first)."""
+        return self._replica_sets[self.site_of(page)]
+
+    def __repr__(self) -> str:
+        return (f"ReplicaDirectory(db_size={self.db_size}, "
+                f"num_sites={self.num_sites}, spec={self.spec.describe()})")

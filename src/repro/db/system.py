@@ -14,7 +14,7 @@ import typing
 from repro.config import ModelParams, Topology, WorkloadMode
 from repro.db.deadlock import WaitForGraph
 from repro.db.network import Network
-from repro.db.pages import PageDirectory
+from repro.db.pages import PageDirectory, ReplicaDirectory
 from repro.db.site import Site
 from repro.db.topology import build_cost_model
 from repro.db.transaction import (
@@ -177,8 +177,24 @@ class DistributedSystem:
             params.network_topology, params.num_sites, self.streams)
         self.network = Network(self.env, params.msg_cpu_ms, bus=self.bus,
                                cost_model=self.cost_model)
-        self.directory = PageDirectory(params.db_size, params.num_sites,
-                                       params.num_data_disks)
+        # Replication plane: None (or R=1) keeps the strictly
+        # partitioned PageDirectory on the historical hot path -- the
+        # golden-sweep fixture pins that byte-for-byte.  R>1 swaps in a
+        # ReplicaDirectory and enables post-commit write-all-available
+        # propagation (see CohortAgent._replicate_updates).
+        replication = params.replication
+        if replication is not None and replication.is_active:
+            self.directory = ReplicaDirectory(
+                params.db_size, params.num_sites, params.num_data_disks,
+                replication)
+            self.replicas: ReplicaDirectory | None = self.directory
+        else:
+            self.directory = PageDirectory(params.db_size, params.num_sites,
+                                           params.num_data_disks)
+            self.replicas = None
+        #: replication counters (available-copies accounting).
+        self.replica_updates_sent = 0
+        self.replica_writes_skipped = 0
         self.sites = self._build_sites()
         self.workload = WorkloadGenerator(params, self.directory, self.streams)
         #: per-logical-site bounded admission queues (open mode only;

@@ -23,6 +23,7 @@ from repro.obs.events import (
     CommitPhase,
     EventKind,
     PhaseTransition,
+    ReplicaPropagate,
     ShelfEnter,
     TimeoutFired,
 )
@@ -361,6 +362,10 @@ class CohortAgent(Agent):
         if updated:
             self.env.process(self._flush_updates(updated),
                              name=f"{self.txn.name}-flush@{self.site.site_id}")
+            if self.system.replicas is not None:
+                self.env.process(
+                    self._replicate_updates(updated),
+                    name=f"{self.txn.name}-replicate@{self.site.site_id}")
 
     def implement_abort(self) -> None:
         """Release locks; deferred updates are simply discarded."""
@@ -376,6 +381,43 @@ class CohortAgent(Agent):
         """
         for page in pages:
             yield from self.site.write_page(page)
+
+    def _replicate_updates(self, pages: tuple[int, ...],
+                           ) -> typing.Generator[Event, typing.Any, None]:
+        """Ship committed updates to the replica sites (write all
+        available).
+
+        Runs post-commit, off the response path, like the deferred
+        update writes themselves: one batched REPLICA_UPDATE message per
+        remote replica site, applied there by a :class:`ReplicaApplier`.
+        A replica that is down or across a severed link is dropped from
+        the write set (the available-copies rule); it re-syncs through
+        the WAL-replay path when it recovers.
+        """
+        system = self.system
+        replicas = system.replicas
+        assert replicas is not None
+        bus = system.bus
+        for site_id in replicas.replica_sites(self.access.site_id)[1:]:
+            target = system.site_for(site_id)
+            available = target.up and system.network.path_open(self.site,
+                                                              target)
+            if bus.has_subscribers(EventKind.REPLICA_PROPAGATE):
+                bus.publish(ReplicaPropagate(
+                    self.env.now, self.txn.txn_id, self.site.site_id,
+                    site_id, len(pages), available))
+            if not available:
+                system.replica_writes_skipped += 1
+                continue
+            applier = ReplicaApplier(
+                system, self.txn, target,
+                CohortAccess(site_id=site_id, pages=pages,
+                             updates=(True,) * len(pages)))
+            applier.process = self.env.process(
+                applier.run(), name=f"{self.txn.name}-replica@{site_id}")
+            yield from self.send(MessageKind.REPLICA_UPDATE, applier,
+                                 payload=pages)
+            system.replica_updates_sent += 1
 
     # ------------------------------------------------------------------
     # Abort path
@@ -399,6 +441,53 @@ class CohortAgent(Agent):
 
     def __repr__(self) -> str:
         return f"<Cohort {self.txn.name}@{self.site.site_id}>"
+
+
+class ReplicaApplier(CohortAgent):
+    """Applies one committed cohort's updates at a replica site.
+
+    Write-all-available: the committed primary cohort ships its updated
+    pages in one REPLICA_UPDATE message; the applier takes an update
+    lock per copy, writes a (non-forced) REPLICA_UPDATE WAL record, and
+    pays the data-disk write, one page at a time.  Replica pages are
+    disjoint from the hosting site's primary pages (the workload reads
+    one local = primary copy), so applier locks only ever serialize
+    appliers -- and because an applier releases each page before
+    requesting the next, it never waits while holding a lock and can
+    never close a deadlock cycle.
+    """
+
+    def run(self) -> typing.Generator[Event, typing.Any, None]:
+        from repro.db.locks import LockMode  # local import: cycle guard
+        ft = self.system.fault_timeouts
+        if ft is None:
+            message = yield self.recv()
+        else:
+            message = yield from self.recv_wait(ft.work_timeout_ms,
+                                                wait="replica-update")
+            if message is None:
+                # The update died with the site or on a severed link;
+                # this copy re-syncs at recovery (available copies).
+                return
+        assert message.kind is MessageKind.REPLICA_UPDATE, message
+        self.state = CohortState.EXECUTING
+        lock_manager = self.site.lock_manager
+        for page in self.access.pages:
+            if not self.site.up:
+                # The replica crashed mid-apply: remaining copies
+                # re-sync via WAL replay when the site recovers.
+                break
+            yield from lock_manager.acquire(self, page, LockMode.UPDATE)
+            if not self.site.up:
+                lock_manager.finalize(self, committed=False)
+                break
+            self.log(LogRecordKind.REPLICA_UPDATE)
+            yield from self.site.write_page(page)
+            lock_manager.finalize(self, committed=True)
+        self.state = CohortState.COMMITTED
+
+    def __repr__(self) -> str:
+        return f"<ReplicaApplier {self.txn.name}@{self.site.site_id}>"
 
 
 class _WorkTimeout(Exception):

@@ -35,6 +35,8 @@ class LogRecordKind(enum.Enum):
     COMMIT = "commit"
     ABORT = "abort"
     END = "end"
+    ACCEPT = "accept"             # Paxos Commit: acceptor's batched 2b
+    REPLICA_UPDATE = "replica-update"  # replication: applied copy write
 
 
 @dataclasses.dataclass

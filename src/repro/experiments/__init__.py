@@ -29,6 +29,11 @@ from repro.experiments.registry import (
     experiment_ids,
     get_experiment,
 )
+from repro.experiments.replication import (
+    ReplicationPoint,
+    ReplicationResults,
+    ReplicationSweep,
+)
 from repro.experiments.runner import (
     ParallelSweepRunner,
     PointSpec,
@@ -63,6 +68,9 @@ __all__ = [
     "RegionOutagePoint",
     "RegionOutageResults",
     "RegionOutageSweep",
+    "ReplicationPoint",
+    "ReplicationResults",
+    "ReplicationSweep",
     "SaturationPoint",
     "SaturationResults",
     "SaturationSweep",

@@ -33,6 +33,7 @@ from repro.obs.events import (
     SiteRecover,
     SiteRecoveryReplay,
 )
+from repro.sim.events import Event
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db.messages import Message
@@ -91,6 +92,9 @@ class FaultInjector:
         self._partition_depth: dict[tuple[int, int], int] = {}
         #: currently severed DC pairs (the hot-path membership set).
         self._partitioned: set[tuple[int, int]] = set()
+        #: shared one-shot event triggered at the next partition heal;
+        #: lazily (re)created by :meth:`heal_event`.
+        self._heal_event: Event | None = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -164,6 +168,22 @@ class FaultInjector:
         charged for the link (the cost model prices the healthy wire,
         the injector the unhealthy one)."""
         return self.plan.message_delay(message.kind.value)
+
+    def heal_event(self) -> Event:
+        """A one-shot event triggered at the next partition heal.
+
+        Resolvers blocked across a severed link wait on this alongside
+        their capped-backoff timer: without the wake-up the first
+        post-heal inquiry could sleep out a full 8x-capped interval,
+        inflating ``blocked_lock_ms`` long after the link is back.
+        The event is shared between waiters and lazily re-armed after
+        each heal.
+        """
+        event = self._heal_event
+        if event is None or event.triggered:
+            event = Event(self.system.env)
+            self._heal_event = event
+        return event
 
     def wait_until_up(self, site: "Site"):
         """Coroutine: poll until ``site`` is operational again."""
@@ -267,6 +287,8 @@ class FaultInjector:
         if depth:
             return  # an overlapping directive still holds the cut
         self._partitioned.discard(key)
+        if self._heal_event is not None and not self._heal_event.triggered:
+            self._heal_event.succeed()
         bus = self.system.bus
         if bus.has_subscribers(EventKind.LINK_HEAL):
             bus.publish(LinkHeal(self.system.env.now, key[0], key[1]))

@@ -79,6 +79,15 @@ class EventKind(enum.Enum):
     TXN_SHED = "txn_shed"
     #: a queued arrival was picked up by a free server slot.
     TXN_DEQUEUE = "txn_dequeue"
+    # Paxos Commit (quorum commit extension).
+    #: an acceptor registered/accepted an RM's vote instance(s).
+    ACCEPTOR = "acceptor"
+    #: a recovering participant opened a higher ballot to close
+    #: unresolved vote instances (coordinator takeover).
+    BALLOT = "ballot"
+    # Replication (available copies).
+    #: a committed cohort's updates were propagated to a replica site.
+    REPLICA_PROPAGATE = "replica_propagate"
     # Commit-protocol phase transitions (master side).
     PHASE = "phase"
 
@@ -412,6 +421,55 @@ class PhaseTransition(SimEvent):
     txn: "Transaction"
     phase: CommitPhase
     protocol: str
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class AcceptorEvent(SimEvent):
+    """A Paxos Commit acceptor logged its batched acceptance: one forced
+    ACCEPT record covering every RM vote instance of the transaction."""
+
+    kind = EventKind.ACCEPTOR
+    txn_id: int
+    #: the site hosting the acceptor.
+    site_id: int
+    #: how many RM vote instances the acceptance covers.
+    instances: int
+    #: True when every instance carried a YES vote.
+    all_yes: bool
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class BallotOpened(SimEvent):
+    """A blocked participant took over coordination with a higher ballot
+    to close unresolved Paxos vote instances (deciding abort for any
+    instance no quorum member had accepted)."""
+
+    kind = EventKind.BALLOT
+    txn_id: int
+    #: the site of the cohort that opened the ballot.
+    site_id: int
+    #: acceptors the new leader could reach (>= F+1, or it stays blocked).
+    reached: int
+    #: vote instances the ballot closed as abort.
+    closed_as_abort: int
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ReplicaPropagate(SimEvent):
+    """A committed cohort shipped its updates to one replica site (or
+    skipped it: available-copies drops unreachable replicas)."""
+
+    kind = EventKind.REPLICA_PROPAGATE
+    txn_id: int
+    #: the primary site whose updates are being propagated.
+    src_site: int
+    #: the replica site addressed.
+    dst_site: int
+    #: number of updated pages in the batch.
+    pages: int
+    #: False when the replica was down/partitioned and dropped from the
+    #: write set (to re-sync via WAL replay on recovery).
+    shipped: bool
 
 
 def _json_value(value: object) -> object:

@@ -35,8 +35,10 @@ class TestHierarchy:
     def test_non_blocking_flags(self):
         for name in repro.PROTOCOL_NAMES:
             protocol = create_protocol(name)
-            expected = name in ("3PC", "OPT-3PC")
+            expected = name in ("3PC", "OPT-3PC", "PAXOS")
             assert protocol.non_blocking == expected, name
+        # F = 0 degenerates to plain (blocking) 2PC.
+        assert not create_protocol("PAXOS:f=0").non_blocking
 
     def test_every_protocol_is_a_commit_protocol(self):
         for name in repro.PROTOCOL_NAMES:

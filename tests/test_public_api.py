@@ -52,7 +52,7 @@ class TestSimulateFunction:
         assert result.committed >= 40
 
     def test_all_protocol_names_exposed(self):
-        assert len(repro.PROTOCOL_NAMES) == 14
+        assert len(repro.PROTOCOL_NAMES) == 15
         for name in repro.PROTOCOL_NAMES:
             assert repro.create_protocol(name).name == name
 
